@@ -1,0 +1,57 @@
+// Command upcxx-bench regenerates the tables and figures of the paper's
+// evaluation section (§V). Each experiment runs the real benchmark code
+// over the virtual-time machine model at the paper's rank counts and
+// prints the corresponding series.
+//
+// Usage:
+//
+//	upcxx-bench -exp all            # every table and figure (full scale)
+//	upcxx-bench -exp fig4 -quick    # one experiment, reduced sweep
+//	upcxx-bench -exp fig8 -markdown # emit a markdown table
+//
+// Experiments: fig4, tab4, fig5, fig6, fig7, fig8, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"upcxx/internal/bench/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig4, tab4, fig5, fig6, fig7, fig8, all")
+	quick := flag.Bool("quick", false, "reduced sweeps for fast runs")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	flag.Parse()
+
+	o := harness.Options{Quick: *quick}
+	emit := func(t *harness.Table) {
+		if *markdown {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+	runs := map[string][]func(harness.Options) *harness.Table{
+		"fig4":    {harness.Fig4},
+		"tab4":    {harness.TableIV},
+		"tableiv": {harness.TableIV},
+		"fig5":    {harness.Fig5},
+		"fig6":    {harness.Fig6},
+		"fig7":    {harness.Fig7},
+		"fig8":    {harness.Fig8},
+		"all":     {harness.Fig4, harness.TableIV, harness.Fig5, harness.Fig6, harness.Fig7, harness.Fig8},
+	}
+	fns, ok := runs[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Experiments stream as they complete: the full sweeps run minutes.
+	for _, fn := range fns {
+		emit(fn(o))
+	}
+}

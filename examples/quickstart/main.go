@@ -1,0 +1,73 @@
+// Quickstart: the paper's core constructs in one small SPMD program —
+// shared arrays with direct indexing, global pointers, remote allocation,
+// async remote function invocation with finish, and collectives.
+//
+//	go run ./examples/quickstart -ranks 8
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"upcxx"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 8, "SPMD ranks")
+	flag.Parse()
+
+	upcxx.Run(upcxx.Config{Ranks: *ranks}, func(me *upcxx.Rank) {
+		// shared_array<uint64> hist(ranks): each rank tallies into its
+		// own slot, then everyone reads everything.
+		hist := upcxx.NewSharedArray[uint64](me, me.Ranks(), 1)
+		hist.Set(me, me.ID(), uint64(me.ID()*me.ID()))
+		me.Barrier()
+
+		if me.ID() == 0 {
+			fmt.Print("squares via shared array: ")
+			for i := 0; i < hist.Len(); i++ {
+				fmt.Printf("%d ", hist.Get(me, i))
+			}
+			fmt.Println()
+		}
+		me.Barrier()
+
+		// Remote allocation (paper §III-C): rank 0 allocates 64 ints on
+		// the last rank and fills them with one-sided writes.
+		if me.ID() == 0 {
+			sp := upcxx.Allocate[int32](me, me.Ranks()-1, 64)
+			for i := 0; i < 64; i++ {
+				upcxx.Write(me, sp.Add(i), int32(100+i))
+			}
+			sum := upcxx.AsyncFuture(me, me.Ranks()-1, func(r *upcxx.Rank) int32 {
+				var s int32
+				for i := 0; i < 64; i++ {
+					s += upcxx.Read(r, sp.Add(i))
+				}
+				return s
+			}).Get()
+			fmt.Printf("sum of remote allocation (computed remotely): %d\n", sum)
+		}
+		me.Barrier()
+
+		// async + finish (paper §III-G): fan work out to every rank and
+		// wait for all of it.
+		if me.ID() == 0 {
+			upcxx.Finish(me, func() {
+				upcxx.Async(me, upcxx.Everywhere(me), func(tgt *upcxx.Rank) {
+					if tgt.ID()%4 == 0 {
+						fmt.Printf("  hello from async on rank %d\n", tgt.ID())
+					}
+				})
+			})
+			fmt.Println("finish: all asyncs done")
+		}
+		me.Barrier()
+
+		// A collective to finish: the sum of all rank ids.
+		total := upcxx.Reduce(me, me.ID(), func(a, b int) int { return a + b })
+		if me.ID() == 0 {
+			fmt.Printf("reduce(sum of ranks) = %d\n", total)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package gups
+
+import (
+	"testing"
+
+	"upcxx/internal/sim"
+)
+
+func TestAtomicVerificationZeroErrors(t *testing.T) {
+	r := Run(Params{
+		Ranks: 4, LogTableSize: 10, UpdatesPerRank: 500,
+		Flavor: "upcxx", Machine: sim.Local, Virtual: true, Atomic: true,
+	})
+	if r.Errors != 0 {
+		t.Fatalf("atomic GUPS verification found %d errors", r.Errors)
+	}
+	if r.GUPS <= 0 || r.UsecPerUpdate <= 0 {
+		t.Fatalf("metrics not computed: %+v", r)
+	}
+}
+
+func TestLFSRPeriodicityAndSpread(t *testing.T) {
+	// The HPCC LFSR must not cycle quickly and must hit many distinct
+	// table slots.
+	ran := seedFor(3)
+	seen := map[uint64]bool{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		ran = nextRan(ran)
+		seen[ran&1023] = true
+		if ran == 0 {
+			t.Fatal("LFSR collapsed to zero")
+		}
+	}
+	if len(seen) < 1000 {
+		t.Errorf("only %d of 1024 slots touched in %d steps", len(seen), n)
+	}
+}
+
+func TestSeedsDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for r := 0; r < 1024; r++ {
+		s := seedFor(r)
+		if seen[s] {
+			t.Fatalf("duplicate seed for rank %d", r)
+		}
+		seen[s] = true
+	}
+}
+
+func TestUPCFasterAtSmallScaleGapShrinks(t *testing.T) {
+	// The Fig 4 / Table IV shape: UPC beats UPC++ at small scale; the
+	// relative gap narrows as network latency dominates.
+	run := func(flavor string, ranks int) float64 {
+		return Run(Params{
+			Ranks: ranks, LogTableSize: 12, UpdatesPerRank: 200,
+			Flavor: flavor, Machine: sim.Vesta, Virtual: true,
+		}).UsecPerUpdate
+	}
+	upcSmall, upcxxSmall := run("upc", 4), run("upcxx", 4)
+	upcBig, upcxxBig := run("upc", 64), run("upcxx", 64)
+	if upcxxSmall <= upcSmall {
+		t.Errorf("UPC++ (%v us) should be slower than UPC (%v us) at small scale", upcxxSmall, upcSmall)
+	}
+	gapSmall := upcxxSmall / upcSmall
+	gapBig := upcxxBig / upcBig
+	if gapBig >= gapSmall {
+		t.Errorf("relative gap should shrink with scale: small %v, big %v", gapSmall, gapBig)
+	}
+}
+
+func TestLatencyGrowsWithScale(t *testing.T) {
+	// Fig 4 x-axis behaviour: per-update time rises with core count on
+	// the BG/Q torus.
+	small := Run(Params{Ranks: 4, LogTableSize: 12, UpdatesPerRank: 200,
+		Flavor: "upcxx", Machine: sim.Vesta, Virtual: true}).UsecPerUpdate
+	big := Run(Params{Ranks: 128, LogTableSize: 12, UpdatesPerRank: 200,
+		Flavor: "upcxx", Machine: sim.Vesta, Virtual: true}).UsecPerUpdate
+	if big <= small {
+		t.Errorf("per-update time should grow with scale: %v -> %v", small, big)
+	}
+}

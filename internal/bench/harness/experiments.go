@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"upcxx/internal/bench/gups"
+	"upcxx/internal/bench/lulesh"
+	"upcxx/internal/bench/raytrace"
+	"upcxx/internal/bench/samplesort"
+	"upcxx/internal/bench/stencil"
+	"upcxx/internal/sim"
+)
+
+// Quick selects reduced sweeps (fast laptop runs); the full sweeps reach
+// the paper's largest scales (8192, 6144, 12288 and 32768 ranks).
+type Options struct {
+	Quick bool
+}
+
+func caps(o Options, quickMax int) func(int) bool {
+	return func(p int) bool { return !o.Quick || p <= quickMax }
+}
+
+// Fig4 reproduces "Random Access latency per update on IBM BlueGene/Q":
+// microseconds per update vs core count, UPC and UPC++ series.
+func Fig4(o Options) *Table {
+	t := &Table{
+		Title:   "Fig 4 — Random Access latency per update, BG/Q (usec)",
+		Headers: []string{"cores", "UPC", "UPC++", "UPC++/UPC"},
+	}
+	keep := caps(o, 256)
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+		if !keep(p) {
+			continue
+		}
+		upd := updatesFor(p, o)
+		u := gups.Run(gups.Params{Ranks: p, LogTableSize: logTableFor(p),
+			UpdatesPerRank: upd, Flavor: "upc", Machine: sim.Vesta, Virtual: true})
+		x := gups.Run(gups.Params{Ranks: p, LogTableSize: logTableFor(p),
+			UpdatesPerRank: upd, Flavor: "upcxx", Machine: sim.Vesta, Virtual: true})
+		t.Add(d(p), f2(u.UsecPerUpdate), f2(x.UsecPerUpdate), f2(x.UsecPerUpdate/u.UsecPerUpdate))
+	}
+	return t
+}
+
+// TableIV reproduces "Random Access giga-updates-per-second".
+func TableIV(o Options) *Table {
+	t := &Table{
+		Title:   "Table IV — Random Access GUPS",
+		Headers: []string{"THREADS", "UPC", "UPC++"},
+	}
+	cores := []int{16, 128, 1024, 8192}
+	if o.Quick {
+		cores = []int{16, 128}
+	}
+	for _, p := range cores {
+		upd := updatesFor(p, o)
+		u := gups.Run(gups.Params{Ranks: p, LogTableSize: logTableFor(p),
+			UpdatesPerRank: upd, Flavor: "upc", Machine: sim.Vesta, Virtual: true})
+		x := gups.Run(gups.Params{Ranks: p, LogTableSize: logTableFor(p),
+			UpdatesPerRank: upd, Flavor: "upcxx", Machine: sim.Vesta, Virtual: true})
+		t.Add(d(p), f4(u.GUPS), f4(x.GUPS))
+	}
+	return t
+}
+
+func updatesFor(p int, o Options) int {
+	if o.Quick {
+		return 200
+	}
+	switch {
+	case p <= 64:
+		return 2000
+	case p <= 1024:
+		return 800
+	default:
+		return 300
+	}
+}
+
+func logTableFor(p int) int {
+	// Keep the table comfortably larger than the rank count while
+	// bounded in memory.
+	l := 16
+	for (1 << l) < 8*p {
+		l++
+	}
+	return l
+}
+
+// Fig5 reproduces "Stencil weak scaling performance (GFLOPS) on Cray
+// XC30": Titanium vs UPC++ over 24..6144 cores.
+func Fig5(o Options) *Table {
+	t := &Table{
+		Title:   "Fig 5 — Stencil weak scaling, Cray XC30 (GFLOPS)",
+		Headers: []string{"cores", "Titanium", "UPC++", "UPC++/Ti"},
+	}
+	keep := caps(o, 192)
+	box, iters := 16, 4
+	if o.Quick {
+		box = 12
+	}
+	for _, p := range []int{24, 48, 96, 192, 384, 768, 1536, 3072, 6144} {
+		if !keep(p) {
+			continue
+		}
+		ti := stencil.Run(stencil.Params{Ranks: p, Box: box, Iters: iters,
+			Flavor: "titanium", Machine: sim.Edison, Virtual: true})
+		ux := stencil.Run(stencil.Params{Ranks: p, Box: box, Iters: iters,
+			Flavor: "upcxx", Machine: sim.Edison, Virtual: true})
+		t.Add(d(p), f1(ti.GFLOPS), f1(ux.GFLOPS), f2(ux.GFLOPS/ti.GFLOPS))
+	}
+	return t
+}
+
+// Fig6 reproduces "Sample Sort weak scaling performance (TB/min) on Cray
+// XC30": UPC vs UPC++ over 1..12288 cores.
+func Fig6(o Options) *Table {
+	t := &Table{
+		Title:   "Fig 6 — Sample Sort weak scaling, Cray XC30 (TB/min)",
+		Headers: []string{"cores", "UPC", "UPC++", "UPC++/UPC"},
+	}
+	keep := caps(o, 192)
+	keys := 65536
+	if o.Quick {
+		keys = 8192
+	}
+	for _, p := range []int{1, 2, 4, 8, 12, 24, 48, 96, 192, 384, 768, 1536, 3072, 6144, 12288} {
+		if !keep(p) {
+			continue
+		}
+		kp := keys
+		if p >= 3072 {
+			kp = keys / 8 // bound total memory at the largest sweeps
+		}
+		u := samplesort.Run(samplesort.Params{Ranks: p, KeysPerRank: kp,
+			Flavor: "upc", Machine: sim.Edison, Virtual: true})
+		x := samplesort.Run(samplesort.Params{Ranks: p, KeysPerRank: kp,
+			Flavor: "upcxx", Machine: sim.Edison, Virtual: true})
+		t.Add(d(p), g3(u.TBPerMin), g3(x.TBPerMin), f2(x.TBPerMin/u.TBPerMin))
+	}
+	return t
+}
+
+// Fig7 reproduces "Embree ray tracing strong scaling performance on Cray
+// XC30": speedup vs core count for the UPC++ renderer (one rank per
+// 24-core node, node-local workers model the OpenMP threads).
+func Fig7(o Options) *Table {
+	t := &Table{
+		Title:   "Fig 7 — Ray tracing strong scaling, Cray XC30 (speedup)",
+		Headers: []string{"cores", "speedup", "ideal"},
+	}
+	keep := caps(o, 192)
+	w, h, spp := 192, 128, 16
+	if o.Quick {
+		w, h, spp = 96, 64, 4
+	}
+	var t24 float64
+	for _, cores := range []int{24, 48, 96, 192, 384, 768, 1536, 3072, 6144} {
+		if !keep(cores) {
+			continue
+		}
+		r := raytrace.Run(raytrace.Params{
+			Ranks: cores / 24, Width: w, Height: h, SPP: spp, Tile: 4,
+			Machine: sim.Edison, Virtual: true,
+			// Model Embree-scale scene complexity (BVH over thousands
+			// of primitives): the small verification scene is traced
+			// for real, its bounce count charged at production weight.
+			FlopsPerBounce: 1e6,
+		})
+		if t24 == 0 {
+			t24 = r.Seconds * 24
+		}
+		t.Add(d(cores), f1(t24/r.Seconds), d(cores))
+	}
+	return t
+}
+
+// Fig8 reproduces "LULESH weak scaling performance on Cray XC30": FOM
+// (zones/s) vs core count, MPI vs UPC++, perfect-cube process counts.
+func Fig8(o Options) *Table {
+	t := &Table{
+		Title:   "Fig 8 — LULESH weak scaling, Cray XC30 (FOM z/s)",
+		Headers: []string{"cores", "MPI", "UPC++", "UPC++/MPI"},
+	}
+	sides := []int{4, 6, 8, 10, 16, 20, 24, 32} // 64..32768 ranks
+	if o.Quick {
+		sides = []int{2, 3, 4}
+	}
+	e, iters := 6, 4
+	for _, s := range sides {
+		// ComputeScale models production LULESH zone cost over the
+		// proxy's smaller per-zone arithmetic (see lulesh.Params).
+		m := lulesh.Run(lulesh.Params{Side: s, E: e, Iters: iters,
+			Flavor: "mpi", Machine: sim.Edison, Virtual: true, ComputeScale: 16})
+		x := lulesh.Run(lulesh.Params{Side: s, E: e, Iters: iters,
+			Flavor: "upcxx", Machine: sim.Edison, Virtual: true, ComputeScale: 16})
+		t.Add(d(s*s*s), g3(m.FOM), g3(x.FOM), f2(x.FOM/m.FOM))
+	}
+	return t
+}
+
+// All returns every experiment in paper order.
+func All(o Options) []*Table {
+	return []*Table{Fig4(o), TableIV(o), Fig5(o), Fig6(o), Fig7(o), Fig8(o)}
+}

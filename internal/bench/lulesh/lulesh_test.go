@@ -1,0 +1,169 @@
+package lulesh
+
+import (
+	"math"
+	"testing"
+
+	"upcxx/internal/sim"
+)
+
+func TestDirs26(t *testing.T) {
+	if len(dirs26) != 26 {
+		t.Fatalf("got %d directions", len(dirs26))
+	}
+	for i, d := range dirs26 {
+		o := dirs26[opposite(i)]
+		if o.dx != -d.dx || o.dy != -d.dy || o.dz != -d.dz {
+			t.Fatalf("opposite(%d): %v vs %v", i, d, o)
+		}
+	}
+}
+
+func TestBoundaryCounts(t *testing.T) {
+	d := NewDomain(0, 0, 0, 2, 4) // N = 5
+	faces, edges, corners := 0, 0, 0
+	for _, dd := range dirs26 {
+		switch c := d.boundaryCount(dd); c {
+		case 25:
+			faces++
+		case 5:
+			edges++
+		case 1:
+			corners++
+		default:
+			t.Fatalf("unexpected boundary count %d for %v", c, dd)
+		}
+	}
+	if faces != 6 || edges != 12 || corners != 8 {
+		t.Fatalf("faces %d edges %d corners %d", faces, edges, corners)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	a := NewDomain(0, 0, 0, 2, 3)
+	for i := range a.fx {
+		a.fx[i] = float64(i)
+		a.fy[i] = float64(2 * i)
+		a.fz[i] = float64(3 * i)
+	}
+	dd := dir{1, 0, 0}
+	buf := a.pack(dd, a.forceFields(), nil)
+	if len(buf) != a.boundaryCount(dd)*3 {
+		t.Fatalf("pack length %d", len(buf))
+	}
+	before := append([]float64(nil), a.fx...)
+	a.unpackAdd(dd, a.forceFields(), buf)
+	// Boundary nodes doubled, others untouched.
+	k := 0
+	a.forBoundary(dd, func(ni int) {
+		if a.fx[ni] != 2*before[ni] {
+			t.Fatalf("node %d not doubled", ni)
+		}
+		k++
+	})
+}
+
+func TestMassConservation(t *testing.T) {
+	// After the mass exchange every rank's nodal masses sum to more than
+	// its own elements' mass (shared nodes), but the global sum of
+	// element masses is exact: rho0 * volume of the unit cube.
+	r := Run(Params{Side: 2, E: 3, Iters: 1, Flavor: "upcxx",
+		Machine: sim.Local, Virtual: true})
+	_ = r
+	// Direct check at domain level: one domain alone, all corners.
+	d := NewDomain(0, 0, 0, 1, 4)
+	sum := 0.0
+	for _, m := range d.mass {
+		sum += m
+	}
+	want := rho0 * 1.0 // whole cube
+	if math.Abs(sum-want) > 1e-12 {
+		t.Errorf("single-domain mass %v, want %v", sum, want)
+	}
+}
+
+func TestShockActuallyPropagates(t *testing.T) {
+	// The Sedov deposition must drive motion: kinetic energy appears and
+	// energy spreads beyond the origin element.
+	r := Run(Params{Side: 2, E: 4, Iters: 30, Flavor: "upcxx",
+		Machine: sim.Local, Virtual: true})
+	if r.Energy <= 0 {
+		t.Fatal("no energy in the system")
+	}
+	// Energy roughly conserved. The explicit first-order integrator
+	// gains some energy (LULESH proper uses a staggered leapfrog with
+	// half-step pressures); what matters here is boundedness, not
+	// shock-accuracy — the experiment measures communication.
+	if r.Energy < 2.0 || r.Energy > 4.0 {
+		t.Errorf("total energy %v drifted far from deposited 3.0", r.Energy)
+	}
+}
+
+func TestMPIAndUPCXXBitIdentical(t *testing.T) {
+	// Same arithmetic, same deterministic unpack order: the two flavors
+	// must agree bit-for-bit (paper: the UPC++ port "retains much of its
+	// original structure").
+	a := Run(Params{Side: 2, E: 4, Iters: 10, Flavor: "upcxx",
+		Machine: sim.Edison, Virtual: true})
+	b := Run(Params{Side: 2, E: 4, Iters: 10, Flavor: "mpi",
+		Machine: sim.Edison, Virtual: true})
+	if a.Checksum != b.Checksum {
+		t.Fatalf("checksums differ: upcxx %v mpi %v", a.Checksum, b.Checksum)
+	}
+	if a.Energy != b.Energy {
+		t.Fatalf("energies differ: %v vs %v", a.Energy, b.Energy)
+	}
+}
+
+func TestOneSidedBeatsTwoSided(t *testing.T) {
+	// Fig 8 at scale: the UPC++ one-sided exchange outruns MPI's
+	// two-sided matching. At 27 ranks the gap is small but must have
+	// the right sign.
+	a := Run(Params{Side: 3, E: 4, Iters: 8, Flavor: "upcxx",
+		Machine: sim.Edison, Virtual: true})
+	b := Run(Params{Side: 3, E: 4, Iters: 8, Flavor: "mpi",
+		Machine: sim.Edison, Virtual: true})
+	if a.FOM <= b.FOM {
+		t.Errorf("UPC++ FOM %v should exceed MPI FOM %v", a.FOM, b.FOM)
+	}
+}
+
+func TestSymmetryOfOctant(t *testing.T) {
+	// The deposition sits at the origin corner of a symmetric octant:
+	// after several steps the energy field must be invariant under
+	// coordinate permutation (single domain; no rank decomposition).
+	d := NewDomain(0, 0, 0, 1, 6)
+	for iter := 0; iter < 20; iter++ {
+		d.calcForces()
+		d.advanceNodes()
+		_, bound := d.updateElements()
+		d.dt = math.Min(bound, d.dt*1.1)
+	}
+	for ex := 0; ex < d.E; ex++ {
+		for ey := 0; ey < d.E; ey++ {
+			for ez := 0; ez < d.E; ez++ {
+				e1 := d.e[d.elemIdx(ex, ey, ez)]
+				e2 := d.e[d.elemIdx(ey, ex, ez)]
+				e3 := d.e[d.elemIdx(ez, ey, ex)]
+				if math.Abs(e1-e2) > 1e-9*(math.Abs(e1)+1e-30) ||
+					math.Abs(e1-e3) > 1e-9*(math.Abs(e1)+1e-30) {
+					t.Fatalf("energy field asymmetric at (%d,%d,%d): %v %v %v",
+						ex, ey, ez, e1, e2, e3)
+				}
+			}
+		}
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// The same global mesh cut 1-way and 8-ways must produce the same
+	// physics (up to FP reassociation in the reduce; checksums compare
+	// with tolerance).
+	a := Run(Params{Side: 1, E: 8, Iters: 10, Flavor: "upcxx",
+		Machine: sim.Local, Virtual: true})
+	b := Run(Params{Side: 2, E: 4, Iters: 10, Flavor: "upcxx",
+		Machine: sim.Local, Virtual: true})
+	if math.Abs(a.Energy-b.Energy) > 1e-9*math.Abs(a.Energy) {
+		t.Fatalf("decomposition changed energy: %v vs %v", a.Energy, b.Energy)
+	}
+}

@@ -1,0 +1,292 @@
+// Package lulesh implements the paper's §V-E application study (Fig 8):
+// a Lagrange-leapfrog shock-hydrodynamics proxy in the mold of LULESH,
+// weak-scaled over a perfect-cube number of ranks, whose distinguishing
+// communication pattern is a 26-neighbor exchange of non-contiguous
+// boundary data with explicit packing and unpacking.
+//
+// The physics is a simplified — but numerically live — staggered-mesh
+// compressible hydro: a Sedov-like energy deposition at the global
+// origin corner drives a shock outward through an ideal-gas EOS with
+// artificial viscosity; pressure gradients scatter to nodal forces,
+// nodes integrate velocity and position, elements update volume and
+// energy, and the timestep obeys a global Courant reduction. What the
+// experiment measures — message sizes, the 26-neighbor pattern, the
+// pack/unpack work and the two-sided vs one-sided protocols — is
+// preserved exactly; see DESIGN.md §4 for the substitution argument.
+package lulesh
+
+import "math"
+
+const (
+	gammaEOS = 1.4
+	rho0     = 1.0
+	eFloor   = 1e-12
+	pFloor   = 0.0
+	qCoef    = 1.5
+	courant  = 0.25
+	dtMax    = 1e-2
+)
+
+// Domain is one rank's mesh: E elements per dimension, N = E+1 nodes per
+// dimension, plus this rank's coordinates in the rank cube.
+type Domain struct {
+	E, N       int
+	rx, ry, rz int // rank coordinates in the n^3 rank grid
+	side       int // rank grid edge n
+	h          float64
+
+	// Nodal fields, length N^3.
+	x, y, z    []float64 // coordinates
+	xd, yd, zd []float64 // velocities
+	fx, fy, fz []float64 // forces
+	mass       []float64
+
+	// Element fields, length E^3.
+	e, p, q, v, volo []float64
+
+	dt float64
+}
+
+// NewDomain builds rank (rx,ry,rz) of an n^3 rank grid with E elements
+// per dimension per rank.
+func NewDomain(rx, ry, rz, side, E int) *Domain {
+	N := E + 1
+	d := &Domain{
+		E: E, N: N, rx: rx, ry: ry, rz: rz, side: side,
+		h:  1.0 / float64(side*E),
+		dt: 1e-4,
+	}
+	nn := N * N * N
+	ne := E * E * E
+	d.x = make([]float64, nn)
+	d.y = make([]float64, nn)
+	d.z = make([]float64, nn)
+	d.xd = make([]float64, nn)
+	d.yd = make([]float64, nn)
+	d.zd = make([]float64, nn)
+	d.fx = make([]float64, nn)
+	d.fy = make([]float64, nn)
+	d.fz = make([]float64, nn)
+	d.mass = make([]float64, nn)
+	d.e = make([]float64, ne)
+	d.p = make([]float64, ne)
+	d.q = make([]float64, ne)
+	d.v = make([]float64, ne)
+	d.volo = make([]float64, ne)
+
+	for ix := 0; ix < N; ix++ {
+		for iy := 0; iy < N; iy++ {
+			for iz := 0; iz < N; iz++ {
+				i := d.nodeIdx(ix, iy, iz)
+				d.x[i] = float64(rx*E+ix) * d.h
+				d.y[i] = float64(ry*E+iy) * d.h
+				d.z[i] = float64(rz*E+iz) * d.h
+			}
+		}
+	}
+	vol := d.h * d.h * d.h
+	for ei := range d.e {
+		d.v[ei] = 1
+		d.volo[ei] = vol
+	}
+	// Lump element mass onto corner nodes (partial sums; boundary
+	// contributions are accumulated across ranks by the mass exchange).
+	corner := rho0 * vol / 8
+	for ex := 0; ex < E; ex++ {
+		for ey := 0; ey < E; ey++ {
+			for ez := 0; ez < E; ez++ {
+				d.forEachCorner(ex, ey, ez, func(ni int) {
+					d.mass[ni] += corner
+				})
+			}
+		}
+	}
+	// Sedov-like deposition: the global origin-corner element.
+	if rx == 0 && ry == 0 && rz == 0 {
+		d.e[0] = 3.0 // total deposited energy (arbitrary units)
+		d.p[0] = (gammaEOS - 1) * rho0 * d.e[0] / vol
+	}
+	return d
+}
+
+func (d *Domain) nodeIdx(ix, iy, iz int) int { return (ix*d.N+iy)*d.N + iz }
+func (d *Domain) elemIdx(ex, ey, ez int) int { return (ex*d.E+ey)*d.E + ez }
+
+// forEachCorner visits the 8 corner node indices of an element.
+func (d *Domain) forEachCorner(ex, ey, ez int, f func(ni int)) {
+	for cx := 0; cx <= 1; cx++ {
+		for cy := 0; cy <= 1; cy++ {
+			for cz := 0; cz <= 1; cz++ {
+				f(d.nodeIdx(ex+cx, ey+cy, ez+cz))
+			}
+		}
+	}
+}
+
+// calcForces zeroes the force arrays and scatters element stress to the
+// corner nodes (the CalcForceForNodes phase). The element is treated as a
+// near-axis-aligned hex: stress sigma = -(p+q) acts across the three face
+// pairs, whose areas come from averaged edge lengths.
+func (d *Domain) calcForces() float64 {
+	for i := range d.fx {
+		d.fx[i], d.fy[i], d.fz[i] = 0, 0, 0
+	}
+	flops := 0.0
+	for ex := 0; ex < d.E; ex++ {
+		for ey := 0; ey < d.E; ey++ {
+			for ez := 0; ez < d.E; ez++ {
+				ei := d.elemIdx(ex, ey, ez)
+				sigma := -(d.p[ei] + d.q[ei])
+				if sigma == 0 {
+					continue
+				}
+				dx, dy, dz := d.elemEdges(ex, ey, ez)
+				// Face areas; each face's force splits over 4 nodes.
+				fxc := sigma * dy * dz / 4
+				fyc := sigma * dx * dz / 4
+				fzc := sigma * dx * dy / 4
+				for cx := 0; cx <= 1; cx++ {
+					sx := float64(2*cx - 1)
+					for cy := 0; cy <= 1; cy++ {
+						sy := float64(2*cy - 1)
+						for cz := 0; cz <= 1; cz++ {
+							sz := float64(2*cz - 1)
+							ni := d.nodeIdx(ex+cx, ey+cy, ez+cz)
+							d.fx[ni] += sx * fxc
+							d.fy[ni] += sy * fyc
+							d.fz[ni] += sz * fzc
+						}
+					}
+				}
+				flops += 350 // hourglass control etc. in full LULESH
+			}
+		}
+	}
+	return flops
+}
+
+// elemEdges returns the averaged edge lengths of an element.
+func (d *Domain) elemEdges(ex, ey, ez int) (dx, dy, dz float64) {
+	n000 := d.nodeIdx(ex, ey, ez)
+	n100 := d.nodeIdx(ex+1, ey, ez)
+	n010 := d.nodeIdx(ex, ey+1, ez)
+	n001 := d.nodeIdx(ex, ey, ez+1)
+	n111 := d.nodeIdx(ex+1, ey+1, ez+1)
+	n011 := d.nodeIdx(ex, ey+1, ez+1)
+	n101 := d.nodeIdx(ex+1, ey, ez+1)
+	n110 := d.nodeIdx(ex+1, ey+1, ez)
+	dx = ((d.x[n100] - d.x[n000]) + (d.x[n111] - d.x[n011])) / 2
+	dy = ((d.y[n010] - d.y[n000]) + (d.y[n111] - d.y[n101])) / 2
+	dz = ((d.z[n001] - d.z[n000]) + (d.z[n111] - d.z[n110])) / 2
+	return
+}
+
+// advanceNodes integrates acceleration -> velocity -> position, applying
+// symmetry boundary conditions on the global low planes (Sedov octant).
+func (d *Domain) advanceNodes() float64 {
+	dt := d.dt
+	N := d.N
+	for ix := 0; ix < N; ix++ {
+		for iy := 0; iy < N; iy++ {
+			for iz := 0; iz < N; iz++ {
+				i := d.nodeIdx(ix, iy, iz)
+				m := d.mass[i]
+				ax := d.fx[i] / m
+				ay := d.fy[i] / m
+				az := d.fz[i] / m
+				d.xd[i] += ax * dt
+				d.yd[i] += ay * dt
+				d.zd[i] += az * dt
+				// Symmetry planes: zero normal velocity at the global
+				// low boundary.
+				if d.rx == 0 && ix == 0 {
+					d.xd[i] = 0
+				}
+				if d.ry == 0 && iy == 0 {
+					d.yd[i] = 0
+				}
+				if d.rz == 0 && iz == 0 {
+					d.zd[i] = 0
+				}
+				d.x[i] += d.xd[i] * dt
+				d.y[i] += d.yd[i] * dt
+				d.z[i] += d.zd[i] * dt
+			}
+		}
+	}
+	return float64(N*N*N) * 50
+}
+
+// updateElements recomputes volumes, applies the EOS with artificial
+// viscosity, and returns (flops, local Courant dt bound).
+func (d *Domain) updateElements() (float64, float64) {
+	flops := 0.0
+	dtBound := dtMax
+	for ex := 0; ex < d.E; ex++ {
+		for ey := 0; ey < d.E; ey++ {
+			for ez := 0; ez < d.E; ez++ {
+				ei := d.elemIdx(ex, ey, ez)
+				dx, dy, dz := d.elemEdges(ex, ey, ez)
+				vol := dx * dy * dz
+				vnew := vol / d.volo[ei]
+				if vnew < 0.05 {
+					vnew = 0.05
+				}
+				delv := vnew - d.v[ei]
+				rho := rho0 / vnew
+				// Artificial viscosity on compression.
+				if delv < 0 {
+					cs := math.Sqrt(gammaEOS * (d.p[ei] + pFloor + 1e-12) / rho)
+					d.q[ei] = qCoef * rho * (cs*math.Abs(delv) + math.Abs(delv)*math.Abs(delv))
+				} else {
+					d.q[ei] = 0
+				}
+				// Energy work term: de = -(p+q) dV.
+				d.e[ei] -= (d.p[ei] + d.q[ei]) * delv * d.volo[ei] / (rho0 * d.volo[ei])
+				if d.e[ei] < eFloor {
+					d.e[ei] = eFloor
+				}
+				d.v[ei] = vnew
+				// Ideal-gas EOS on specific internal energy.
+				d.p[ei] = (gammaEOS - 1) * rho * d.e[ei] / d.volo[ei] * d.volo[ei]
+				if d.p[ei] < pFloor {
+					d.p[ei] = pFloor
+				}
+				// Courant bound.
+				cs := math.Sqrt(gammaEOS*(d.p[ei]+1e-12)/rho) + 1e-12
+				minEdge := math.Min(dx, math.Min(dy, dz))
+				if b := courant * minEdge / cs; b < dtBound {
+					dtBound = b
+				}
+				flops += 300 // EOS + constraints in full LULESH
+			}
+		}
+	}
+	return flops, dtBound
+}
+
+// totalEnergy returns the domain's internal plus kinetic energy (kinetic
+// uses lumped nodal masses).
+func (d *Domain) totalEnergy() (internal, kinetic float64) {
+	for _, e := range d.e {
+		internal += e
+	}
+	for i := range d.xd {
+		v2 := d.xd[i]*d.xd[i] + d.yd[i]*d.yd[i] + d.zd[i]*d.zd[i]
+		kinetic += 0.5 * d.mass[i] * v2
+	}
+	return
+}
+
+// checksum folds the element energies and nodal speeds into a
+// deterministic signature for cross-flavor comparison.
+func (d *Domain) checksum() float64 {
+	s := 0.0
+	for i, e := range d.e {
+		s += e * float64(i%97+1)
+	}
+	for i := range d.xd {
+		s += (d.xd[i] + 2*d.yd[i] + 3*d.zd[i]) * float64(i%89+1)
+	}
+	return s
+}

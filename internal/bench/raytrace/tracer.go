@@ -1,0 +1,235 @@
+// Package raytrace implements the paper's §V-D study (Fig 7): a
+// distributed Monte-Carlo renderer with a static cyclic tile distribution
+// over ranks, node-local dynamic parallelism (the paper's OpenMP, modeled
+// as per-node worker ways in the cost model), and a sum-reduction of
+// partial images. Embree's vectorized kernels are replaced by a
+// from-scratch path tracer — Fig 7 measures the strong scaling of the
+// parallel structure, not SIMD throughput (see DESIGN.md §4).
+//
+// The renderer is a full, if small, path tracer: spheres, lambertian and
+// metal materials, an emissive sky, gamma-corrected accumulation, and a
+// deterministic per-pixel RNG so the image is bit-identical for every
+// rank count (the reduction adds each pixel from exactly one rank).
+package raytrace
+
+import "math"
+
+// Vec is a 3-vector.
+type Vec struct{ X, Y, Z float64 }
+
+// Arithmetic helpers.
+func (a Vec) Add(b Vec) Vec       { return Vec{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+func (a Vec) Sub(b Vec) Vec       { return Vec{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+func (a Vec) Scale(k float64) Vec { return Vec{a.X * k, a.Y * k, a.Z * k} }
+func (a Vec) Mul(b Vec) Vec       { return Vec{a.X * b.X, a.Y * b.Y, a.Z * b.Z} }
+func (a Vec) Dot(b Vec) float64   { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+func (a Vec) Len() float64        { return math.Sqrt(a.Dot(a)) }
+func (a Vec) Norm() Vec           { return a.Scale(1 / a.Len()) }
+
+// Ray is origin + direction.
+type Ray struct{ O, D Vec }
+
+// At returns the point at parameter t.
+func (r Ray) At(t float64) Vec { return r.O.Add(r.D.Scale(t)) }
+
+// Material kinds.
+const (
+	Lambertian = iota
+	Metal
+	Emissive
+)
+
+// Sphere is the scene primitive.
+type Sphere struct {
+	Center Vec
+	Radius float64
+	Albedo Vec
+	Kind   int
+	Fuzz   float64
+}
+
+// hit solves the ray/sphere intersection in (tmin, tmax).
+func (s *Sphere) hit(r Ray, tmin, tmax float64) (float64, bool) {
+	oc := r.O.Sub(s.Center)
+	a := r.D.Dot(r.D)
+	half := oc.Dot(r.D)
+	c := oc.Dot(oc) - s.Radius*s.Radius
+	disc := half*half - a*c
+	if disc < 0 {
+		return 0, false
+	}
+	sq := math.Sqrt(disc)
+	t := (-half - sq) / a
+	if t <= tmin || t >= tmax {
+		t = (-half + sq) / a
+		if t <= tmin || t >= tmax {
+			return 0, false
+		}
+	}
+	return t, true
+}
+
+// Scene is a list of spheres plus a sky.
+type Scene struct {
+	Spheres []Sphere
+}
+
+// BuildScene constructs the deterministic benchmark scene: a ground
+// sphere, a grid of small spheres with varied materials, and two large
+// feature spheres.
+func BuildScene() *Scene {
+	sc := &Scene{}
+	sc.Spheres = append(sc.Spheres, Sphere{
+		Center: Vec{0, -1000, 0}, Radius: 1000,
+		Albedo: Vec{0.5, 0.5, 0.5}, Kind: Lambertian,
+	})
+	rng := rngState(12345)
+	for a := -4; a < 4; a++ {
+		for b := -4; b < 4; b++ {
+			choose := rng.next()
+			center := Vec{float64(a) + 0.7*rng.next(), 0.2, float64(b) + 0.7*rng.next()}
+			switch {
+			case choose < 0.7:
+				sc.Spheres = append(sc.Spheres, Sphere{
+					Center: center, Radius: 0.2,
+					Albedo: Vec{rng.next() * rng.next(), rng.next() * rng.next(), rng.next() * rng.next()},
+					Kind:   Lambertian,
+				})
+			case choose < 0.9:
+				sc.Spheres = append(sc.Spheres, Sphere{
+					Center: center, Radius: 0.2,
+					Albedo: Vec{0.5 * (1 + rng.next()), 0.5 * (1 + rng.next()), 0.5 * (1 + rng.next())},
+					Kind:   Metal, Fuzz: 0.3 * rng.next(),
+				})
+			default:
+				sc.Spheres = append(sc.Spheres, Sphere{
+					Center: center, Radius: 0.2,
+					Albedo: Vec{4, 3.6, 3.2}, Kind: Emissive,
+				})
+			}
+		}
+	}
+	sc.Spheres = append(sc.Spheres,
+		Sphere{Center: Vec{0, 1, 0}, Radius: 1, Albedo: Vec{0.7, 0.6, 0.5}, Kind: Metal, Fuzz: 0.05},
+		Sphere{Center: Vec{-3, 1, -1}, Radius: 1, Albedo: Vec{0.4, 0.2, 0.1}, Kind: Lambertian},
+	)
+	return sc
+}
+
+// rngState is a SplitMix64-based deterministic RNG; per-pixel seeding
+// makes the image independent of tile ownership.
+type rngState uint64
+
+func (s *rngState) next() float64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / 9007199254740992.0
+}
+
+func (s *rngState) unitSphere() Vec {
+	for {
+		v := Vec{2*s.next() - 1, 2*s.next() - 1, 2*s.next() - 1}
+		if v.Dot(v) < 1 {
+			return v
+		}
+	}
+}
+
+// trace returns the radiance along r and the number of bounces consumed
+// (the flop proxy for the cost model).
+func (sc *Scene) trace(r Ray, depth int, rng *rngState) (Vec, int) {
+	bounces := 0
+	atten := Vec{1, 1, 1}
+	for d := 0; d < depth; d++ {
+		var best *Sphere
+		bestT := math.Inf(1)
+		for i := range sc.Spheres {
+			if t, ok := sc.Spheres[i].hit(r, 1e-3, bestT); ok {
+				bestT = t
+				best = &sc.Spheres[i]
+			}
+		}
+		bounces++
+		if best == nil {
+			// Sky: vertical gradient.
+			t := 0.5 * (r.D.Norm().Y + 1)
+			sky := Vec{1, 1, 1}.Scale(1 - t).Add(Vec{0.5, 0.7, 1.0}.Scale(t))
+			return atten.Mul(sky), bounces
+		}
+		p := r.At(bestT)
+		n := p.Sub(best.Center).Norm()
+		switch best.Kind {
+		case Emissive:
+			return atten.Mul(best.Albedo), bounces
+		case Metal:
+			refl := r.D.Norm().Sub(n.Scale(2 * r.D.Norm().Dot(n)))
+			refl = refl.Add(rng.unitSphere().Scale(best.Fuzz))
+			if refl.Dot(n) <= 0 {
+				return Vec{}, bounces
+			}
+			atten = atten.Mul(best.Albedo)
+			r = Ray{p, refl}
+		default: // Lambertian
+			target := n.Add(rng.unitSphere())
+			if target.Len() < 1e-8 {
+				target = n
+			}
+			atten = atten.Mul(best.Albedo)
+			r = Ray{p, target.Norm()}
+		}
+	}
+	return Vec{}, bounces
+}
+
+// Camera generates primary rays.
+type Camera struct {
+	origin, llc, horiz, vert Vec
+}
+
+// NewCamera builds the fixed benchmark camera for the given aspect ratio.
+func NewCamera(aspect float64) *Camera {
+	lookFrom := Vec{6, 2.5, 5}
+	lookAt := Vec{0, 0.6, 0}
+	vup := Vec{0, 1, 0}
+	fov := 35.0
+	theta := fov * math.Pi / 180
+	h := math.Tan(theta / 2)
+	vh := 2 * h
+	vw := aspect * vh
+	w := lookFrom.Sub(lookAt).Norm()
+	u := Vec{vup.Y*w.Z - vup.Z*w.Y, vup.Z*w.X - vup.X*w.Z, vup.X*w.Y - vup.Y*w.X}.Norm()
+	v := Vec{w.Y*u.Z - w.Z*u.Y, w.Z*u.X - w.X*u.Z, w.X*u.Y - w.Y*u.X}
+	return &Camera{
+		origin: lookFrom,
+		horiz:  u.Scale(vw),
+		vert:   v.Scale(vh),
+		llc:    lookFrom.Sub(u.Scale(vw / 2)).Sub(v.Scale(vh / 2)).Sub(w),
+	}
+}
+
+// ray returns the primary ray through normalized screen coordinates.
+func (c *Camera) ray(s, t float64) Ray {
+	d := c.llc.Add(c.horiz.Scale(s)).Add(c.vert.Scale(t)).Sub(c.origin)
+	return Ray{c.origin, d}
+}
+
+// RenderPixel integrates one pixel with spp samples, returning RGB and
+// the bounce count consumed.
+func RenderPixel(sc *Scene, cam *Camera, px, py, w, h, spp, depth int) (Vec, int) {
+	var acc Vec
+	bounces := 0
+	rng := rngState(uint64(py)*1000003 + uint64(px)*7919 + 1)
+	for s := 0; s < spp; s++ {
+		u := (float64(px) + rng.next()) / float64(w)
+		v := (float64(py) + rng.next()) / float64(h)
+		col, b := sc.trace(cam.ray(u, v), depth, &rng)
+		acc = acc.Add(col)
+		bounces += b
+	}
+	acc = acc.Scale(1 / float64(spp))
+	// Gamma 2.
+	return Vec{math.Sqrt(acc.X), math.Sqrt(acc.Y), math.Sqrt(acc.Z)}, bounces
+}

@@ -1,0 +1,112 @@
+package samplesort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"upcxx/internal/sim"
+)
+
+func TestSortsCorrectly(t *testing.T) {
+	r := Run(Params{Ranks: 8, KeysPerRank: 2000, Flavor: "upcxx",
+		Machine: sim.Local, Virtual: true})
+	if !r.Sorted {
+		t.Fatal("global order verification failed")
+	}
+	if r.Keys != 16000 {
+		t.Errorf("Keys = %d", r.Keys)
+	}
+	if r.TBPerMin <= 0 {
+		t.Error("no throughput computed")
+	}
+}
+
+func TestUPCFlavorSortsToo(t *testing.T) {
+	r := Run(Params{Ranks: 4, KeysPerRank: 1000, Flavor: "upc",
+		Machine: sim.Local, Virtual: true})
+	if !r.Sorted {
+		t.Fatal("UPC flavor failed to sort")
+	}
+}
+
+func TestLoadBalanceReasonable(t *testing.T) {
+	// Oversampled splitters should keep the heaviest rank within ~2x of
+	// the mean for uniform keys.
+	r := Run(Params{Ranks: 8, KeysPerRank: 4000, Oversample: 64,
+		Flavor: "upcxx", Machine: sim.Local, Virtual: true})
+	if !r.Sorted {
+		t.Fatal("not sorted")
+	}
+	if r.Balance > 2 {
+		t.Errorf("load balance %v exceeds 2x mean", r.Balance)
+	}
+}
+
+func TestQuicksortMatchesStdlib(t *testing.T) {
+	f := func(seed int64, ln uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(ln)
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64() % 64 // many duplicates
+		}
+		b := append([]uint64(nil), a...)
+		quicksort(a)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuicksortEdgeCases(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{5},
+		{2, 1},
+		{1, 1, 1, 1, 1},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	}
+	for _, c := range cases {
+		cp := append([]uint64(nil), c...)
+		quicksort(cp)
+		if !isSorted(cp) {
+			t.Errorf("quicksort(%v) = %v", c, cp)
+		}
+	}
+}
+
+func TestUPCXXCloseToUPC(t *testing.T) {
+	// Fig 6: "the performance of UPC++ is nearly identical to the UPC
+	// version". Same machine, same workload, within ~20%.
+	a := Run(Params{Ranks: 8, KeysPerRank: 4000, Flavor: "upcxx",
+		Machine: sim.Edison, Virtual: true})
+	b := Run(Params{Ranks: 8, KeysPerRank: 4000, Flavor: "upc",
+		Machine: sim.Edison, Virtual: true})
+	ratio := a.Seconds / b.Seconds
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("UPC++/UPC time ratio %v should be near 1", ratio)
+	}
+}
+
+func TestThroughputScales(t *testing.T) {
+	// Weak scaling: more ranks sort more data in comparable time. The
+	// per-rank key count must be large enough that the serial sampling
+	// phase does not dominate (the paper sorts millions of keys per
+	// rank; 200k keeps the test fast while preserving the balance).
+	t1 := Run(Params{Ranks: 2, KeysPerRank: 200000, Oversample: 8, Flavor: "upcxx",
+		Machine: sim.Edison, Virtual: true}).TBPerMin
+	t2 := Run(Params{Ranks: 16, KeysPerRank: 200000, Oversample: 8, Flavor: "upcxx",
+		Machine: sim.Edison, Virtual: true}).TBPerMin
+	if t2 <= t1 {
+		t.Errorf("throughput should grow with ranks: %v -> %v", t1, t2)
+	}
+}

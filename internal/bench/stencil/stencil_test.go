@@ -1,0 +1,118 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"upcxx/internal/sim"
+)
+
+func TestFactor3(t *testing.T) {
+	cases := map[int][3]int{
+		1:  {1, 1, 1},
+		8:  {2, 2, 2},
+		24: {4, 3, 2}, // surface-minimizing over 24
+		27: {3, 3, 3},
+		64: {4, 4, 4},
+		2:  {2, 1, 1},
+		12: {3, 2, 2},
+	}
+	for p, want := range cases {
+		x, y, z := Factor3(p)
+		if x*y*z != p {
+			t.Fatalf("Factor3(%d) = %d*%d*%d != %d", p, x, y, z, p)
+		}
+		if [3]int{x, y, z} != want {
+			t.Errorf("Factor3(%d) = %v, want %v", p, [3]int{x, y, z}, want)
+		}
+	}
+}
+
+// reference computes the same stencil serially for one iteration on a
+// g^3 grid with the same initial condition, returning the checksum.
+func reference(g, iters int) float64 {
+	cur := make([]float64, (g+2)*(g+2)*(g+2))
+	next := make([]float64, len(cur))
+	idx := func(x, y, z int) int { return ((x+1)*(g+2)+(y+1))*(g+2) + (z + 1) }
+	for x := 0; x < g; x++ {
+		for y := 0; y < g; y++ {
+			for z := 0; z < g; z++ {
+				cur[idx(x, y, z)] = float64((x*31+y*17+z*7)%100) * 0.01
+			}
+		}
+	}
+	const c = 0.4
+	for it := 0; it < iters; it++ {
+		for x := 0; x < g; x++ {
+			for y := 0; y < g; y++ {
+				for z := 0; z < g; z++ {
+					o := idx(x, y, z)
+					next[o] = c*cur[o] +
+						cur[o+1] + cur[o-1] +
+						cur[o+(g+2)] + cur[o-(g+2)] +
+						cur[o+(g+2)*(g+2)] + cur[o-(g+2)*(g+2)]
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	sum := 0.0
+	for x := 0; x < g; x++ {
+		for y := 0; y < g; y++ {
+			for z := 0; z < g; z++ {
+				sum += cur[idx(x, y, z)]
+			}
+		}
+	}
+	return sum
+}
+
+func TestMatchesSerialReference(t *testing.T) {
+	// 8 ranks x 4^3 boxes = one global 8^3 grid; 3 iterations.
+	r := Run(Params{Ranks: 8, Box: 4, Iters: 3, Flavor: "upcxx",
+		Machine: sim.Local, Virtual: true})
+	want := reference(8, 3)
+	if math.Abs(r.Checksum-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("checksum %v, serial reference %v", r.Checksum, want)
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// The same global grid cut 1-way and 8-ways must agree.
+	a := Run(Params{Ranks: 1, Box: 8, Iters: 2, Flavor: "upcxx",
+		Machine: sim.Local, Virtual: true}).Checksum
+	b := Run(Params{Ranks: 8, Box: 4, Iters: 2, Flavor: "upcxx",
+		Machine: sim.Local, Virtual: true}).Checksum
+	if math.Abs(a-b) > 1e-9*math.Abs(a) {
+		t.Fatalf("1-rank checksum %v != 8-rank checksum %v", a, b)
+	}
+}
+
+func TestTitaniumMatchesUPCXXValues(t *testing.T) {
+	// Both flavors run identical arithmetic; only modeled time differs.
+	a := Run(Params{Ranks: 8, Box: 4, Iters: 2, Flavor: "upcxx",
+		Machine: sim.Edison, Virtual: true})
+	b := Run(Params{Ranks: 8, Box: 4, Iters: 2, Flavor: "titanium",
+		Machine: sim.Edison, Virtual: true})
+	if a.Checksum != b.Checksum {
+		t.Errorf("flavors computed different answers: %v vs %v", a.Checksum, b.Checksum)
+	}
+	// Fig 5: the two curves lie nearly on top of each other (within ~15%).
+	ratio := a.GFLOPS / b.GFLOPS
+	if ratio < 0.85 || ratio > 1.18 {
+		t.Errorf("UPC++/Titanium GFLOPS ratio %v should be near 1", ratio)
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	// Fig 5: GFLOPS grows close to linearly with rank count under weak
+	// scaling (per-rank grid fixed).
+	// Box 16 keeps a realistic surface-to-volume ratio at test scale.
+	g1 := Run(Params{Ranks: 1, Box: 24, Iters: 5, Flavor: "upcxx",
+		Machine: sim.Edison, Virtual: true}).GFLOPS
+	g8 := Run(Params{Ranks: 8, Box: 24, Iters: 5, Flavor: "upcxx",
+		Machine: sim.Edison, Virtual: true}).GFLOPS
+	if g8 < 4*g1 {
+		t.Errorf("8-rank GFLOPS %v should be at least 4x 1-rank %v", g8, g1)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"sync"
+
+	"upcxx/internal/gasnet"
+)
+
+// Place designates the target(s) of an async: a single rank or a group
+// (paper §III-G: "place can be a single thread ID or a group of threads").
+type Place struct {
+	ranks []int
+}
+
+// On returns the place consisting of a single rank.
+func On(rank int) Place { return Place{ranks: []int{rank}} }
+
+// OnRanks returns the place consisting of the given ranks.
+func OnRanks(ranks ...int) Place {
+	rs := make([]int, len(ranks))
+	copy(rs, ranks)
+	return Place{ranks: rs}
+}
+
+// Everywhere returns the place consisting of all ranks of me's job.
+func Everywhere(me *Rank) Place {
+	rs := make([]int, me.Ranks())
+	for i := range rs {
+		rs[i] = i
+	}
+	return Place{ranks: rs}
+}
+
+// TaskFn is the body of an async task; it runs on the target rank's
+// goroutine with the target's handle. UPC++ ships a function pointer and
+// its arguments (no closure capture, §III-G); here the closure travels
+// in-process and the declared Payload size is charged to the cost model.
+type TaskFn func(me *Rank)
+
+type asyncCfg struct {
+	payload int
+	after   *Event
+	signal  *Event
+	flops   float64
+}
+
+// AsyncOpt configures an Async launch.
+type AsyncOpt func(*asyncCfg)
+
+// Payload declares the modeled size in bytes of the task's serialized
+// arguments (default 64).
+func Payload(bytes int) AsyncOpt { return func(c *asyncCfg) { c.payload = bytes } }
+
+// After defers the launch until ev fires — the paper's
+// async_after(place, after, ...) dependency construct.
+func After(ev *Event) AsyncOpt { return func(c *asyncCfg) { c.after = ev } }
+
+// Signal registers the task(s) with ev; ev fires when they (and every
+// other registered operation) complete — the paper's
+// async(place, event* ack) form.
+func Signal(ev *Event) AsyncOpt { return func(c *asyncCfg) { c.signal = ev } }
+
+// TaskFlops charges the given modeled compute to the target when the task
+// runs (in addition to any charges the body itself makes).
+func TaskFlops(f float64) AsyncOpt { return func(c *asyncCfg) { c.flops = f } }
+
+// Async launches fn asynchronously on every rank of place, the paper's
+// async(place)(function, args...). The launch is non-blocking; completion
+// is observed through a surrounding Finish, a Signal event, or a returned
+// future (AsyncFuture).
+func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) {
+	cfg := asyncCfg{payload: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	me.enter()
+	fs := me.currentFinish()
+	if fs != nil {
+		fs.add(len(place.ranks))
+	}
+	if cfg.signal != nil {
+		cfg.signal.register(len(place.ranks))
+	}
+	me.exit()
+
+	job := me.job
+	launchOne := func(from *gasnet.Endpoint, target int, arrival float64) {
+		from.SendAt(target, arrival, cfg.payload, func(tep *gasnet.Endpoint) {
+			tgt := job.ranks[tep.Rank]
+			tep.Clock.Advance(job.model.TaskDispatchCost())
+			if cfg.flops > 0 {
+				tgt.Work(cfg.flops)
+			}
+			fn(tgt)
+			done := tgt.Clock()
+			if cfg.signal != nil {
+				cfg.signal.signal(done, tgt)
+			}
+			if fs != nil {
+				fs.childDone(done, tgt)
+			}
+		})
+	}
+
+	if cfg.after == nil {
+		for _, t := range place.ranks {
+			t0 := me.Clock()
+			me.ep.Clock.Advance(job.model.AMSendCost(cfg.payload))
+			arrival := job.model.AMArrival(t0, me.id, t, cfg.payload)
+			launchOne(me.ep, t, arrival)
+		}
+		return
+	}
+
+	// async_after: launch when the dependency event fires. The launch
+	// executes on whichever rank's goroutine delivers the final signal
+	// and injects from that rank's endpoint, with arrivals modeled from
+	// the fire time.
+	targets := place.ranks
+	cfg.after.whenFired(me, func(fireTime float64, from *Rank) {
+		for _, t := range targets {
+			arrival := fireTime + job.model.Lat(from.id, t) + job.model.WireNs(cfg.payload)
+			launchOne(from.ep, t, arrival)
+		}
+	})
+}
+
+// AsyncAfter is shorthand for Async with an After dependency and an
+// optional Signal event, matching the paper's
+// async_after(place, after, signal)(task) form.
+func AsyncAfter(me *Rank, place Place, after *Event, signal *Event, fn TaskFn, opts ...AsyncOpt) {
+	opts = append(opts, After(after))
+	if signal != nil {
+		opts = append(opts, Signal(signal))
+	}
+	Async(me, place, fn, opts...)
+}
+
+// Future holds the eventual return value of an AsyncFuture call, like the
+// paper's future<T> (requires C++11 there; requires nothing special here).
+// Only the launching rank may Get it.
+type Future[T any] struct {
+	owner *Rank
+	done  bool
+	val   T
+}
+
+// AsyncFuture launches fn on the target rank and returns a future for its
+// result: future<T> f = async(place)(function, args...). The reply travels
+// back as a message and its latency is charged when the value is consumed.
+func AsyncFuture[T any](me *Rank, target int, fn func(me *Rank) T, opts ...AsyncOpt) *Future[T] {
+	cfg := asyncCfg{payload: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	f := &Future[T]{owner: me}
+	me.enter()
+	fs := me.currentFinish()
+	if fs != nil {
+		fs.add(1)
+	}
+	me.exit()
+	job := me.job
+	repBytes := int(sizeOf[T]())
+
+	t0 := me.Clock()
+	me.ep.Clock.Advance(job.model.AMSendCost(cfg.payload))
+	arrival := job.model.AMArrival(t0, me.id, target, cfg.payload)
+	me.ep.SendAt(target, arrival, cfg.payload, func(tep *gasnet.Endpoint) {
+		tgt := job.ranks[tep.Rank]
+		tep.Clock.Advance(job.model.TaskDispatchCost())
+		if cfg.flops > 0 {
+			tgt.Work(cfg.flops)
+		}
+		v := fn(tgt)
+		done := tgt.Clock()
+		repArrival := done + job.model.Lat(tgt.id, me.id) + job.model.WireNs(repBytes)
+		tep.SendAt(me.id, repArrival, repBytes, func(*gasnet.Endpoint) {
+			f.val = v
+			f.done = true
+		})
+		if cfg.signal != nil {
+			cfg.signal.signal(done, tgt)
+		}
+		if fs != nil {
+			fs.childDone(done, tgt)
+		}
+	})
+	return f
+}
+
+// Ready reports whether the value has arrived, servicing progress once.
+func (f *Future[T]) Ready() bool {
+	f.owner.Advance()
+	return f.done
+}
+
+// Get blocks until the value arrives (servicing async tasks meanwhile)
+// and returns it — the paper's future.get().
+func (f *Future[T]) Get() T {
+	f.owner.ep.WaitFor(func() bool { return f.done })
+	return f.val
+}
+
+// finishScope tracks asyncs launched in the dynamic extent of one Finish
+// block on the initiating rank. Unlike X10's transitive finish, UPC++
+// (and we) wait only for tasks spawned directly in the block's dynamic
+// scope (paper §III-G) — termination detection for unbounded task graphs
+// is too expensive on distributed memory.
+type finishScope struct {
+	mu          sync.Mutex
+	outstanding int
+	owner       *Rank
+}
+
+func (fs *finishScope) add(n int) {
+	fs.mu.Lock()
+	fs.outstanding += n
+	fs.mu.Unlock()
+}
+
+func (fs *finishScope) childDone(doneTime float64, child *Rank) {
+	fs.mu.Lock()
+	fs.outstanding--
+	zero := fs.outstanding == 0
+	fs.mu.Unlock()
+	if zero {
+		arrival := doneTime + child.job.model.Lat(child.id, fs.owner.id)
+		child.ep.Wake(fs.owner.id, arrival)
+	}
+}
+
+func (fs *finishScope) empty() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.outstanding == 0
+}
+
+// currentFinish returns the innermost active finish scope, if any.
+func (r *Rank) currentFinish() *finishScope {
+	if n := len(r.finish); n > 0 {
+		return r.finish[n-1]
+	}
+	return nil
+}
+
+// Finish runs body and then blocks until every async launched in body's
+// dynamic scope (on this rank) has completed — the paper's finish
+// construct, implemented there with RAII and here with a higher-order
+// function, the idiomatic Go equivalent.
+func Finish(me *Rank, body func()) {
+	fs := &finishScope{owner: me}
+	me.finish = append(me.finish, fs)
+	body()
+	me.finish = me.finish[:len(me.finish)-1]
+	me.ep.WaitFor(fs.empty)
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"upcxx/internal/segment"
+)
+
+// Event synchronizes individual non-blocking operations and async tasks,
+// like the paper's event type (§III-D, §III-G): async_copy and async
+// calls may register with an event; the event fires when every registered
+// operation has signaled; ranks may Wait on it, and further asyncs may be
+// launched when it fires (AsyncAfter).
+//
+// An Event with no registrations is considered fired, so Wait on a fresh
+// or fully-drained event returns immediately — this makes events reusable
+// across iterations, the common LULESH-style pattern.
+type Event struct {
+	mu      sync.Mutex
+	pending int
+	maxDone float64 // latest completion time among signaled operations
+	waiters []*Rank
+	after   []func(fireTime float64, from *Rank)
+}
+
+// NewEvent returns an event ready for registrations.
+func NewEvent() *Event { return &Event{} }
+
+// register records one more operation that must signal before the event
+// fires.
+func (ev *Event) register(n int) {
+	ev.mu.Lock()
+	ev.pending += n
+	ev.mu.Unlock()
+}
+
+// signal marks one registered operation complete at virtual time done.
+// from is the rank on whose goroutine the signal executes; it is used to
+// route wakeups and to inject deferred async_after launches.
+func (ev *Event) signal(done float64, from *Rank) {
+	ev.mu.Lock()
+	ev.pending--
+	if done > ev.maxDone {
+		ev.maxDone = done
+	}
+	fired := ev.pending == 0
+	var waiters []*Rank
+	var after []func(float64, *Rank)
+	var fireTime float64
+	if fired {
+		waiters = ev.waiters
+		ev.waiters = nil
+		after = ev.after
+		ev.after = nil
+		fireTime = ev.maxDone
+	}
+	ev.mu.Unlock()
+	if !fired {
+		return
+	}
+	for _, w := range waiters {
+		from.ep.Wake(w.id, fireTime+from.job.model.Lat(from.id, w.id))
+	}
+	for _, f := range after {
+		f(fireTime, from)
+	}
+}
+
+// done reports whether the event has fired (no pending registrations).
+func (ev *Event) done() (bool, float64) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.pending == 0, ev.maxDone
+}
+
+// Test returns true if the event has fired, servicing progress once
+// (paper: test() polls the runtime).
+func (ev *Event) Test(me *Rank) bool {
+	me.Advance()
+	ok, t := ev.done()
+	if ok {
+		me.ep.Clock.AdvanceTo(t)
+	}
+	return ok
+}
+
+// Wait blocks the calling rank until the event fires, servicing async
+// tasks while waiting, and advances the rank's clock to the fire time.
+func (ev *Event) Wait(me *Rank) {
+	ev.mu.Lock()
+	if ev.pending == 0 {
+		t := ev.maxDone
+		ev.mu.Unlock()
+		me.ep.Clock.AdvanceTo(t)
+		return
+	}
+	ev.waiters = append(ev.waiters, me)
+	ev.mu.Unlock()
+	me.ep.WaitFor(func() bool {
+		ok, _ := ev.done()
+		return ok
+	})
+	_, t := ev.done()
+	me.ep.Clock.AdvanceTo(t)
+}
+
+// whenFired runs f(fireTime, from) when the event fires — from is the
+// rank whose goroutine delivers the final signal — or immediately with
+// from=me if the event has already fired. Used by AsyncAfter.
+func (ev *Event) whenFired(me *Rank, f func(fireTime float64, from *Rank)) {
+	ev.mu.Lock()
+	if ev.pending == 0 {
+		t := ev.maxDone
+		ev.mu.Unlock()
+		f(t, me)
+		return
+	}
+	ev.after = append(ev.after, f)
+	ev.mu.Unlock()
+}
+
+// Copy performs a blocking one-sided bulk transfer of count elements from
+// src to dst (the paper's copy(src, dst, count)); buffers are contiguous.
+// Any combination of local and remote endpoints is allowed; a fully remote
+// pair is staged through the initiator.
+func Copy[T any](me *Rank, src, dst GlobalPtr[T], count int) {
+	me.enter()
+	defer me.exit()
+	if count < 0 {
+		panic(fmt.Sprintf("upcxx: Copy with negative count %d", count))
+	}
+	if count == 0 {
+		return
+	}
+	bytes := count * int(sizeOf[T]())
+	srcR, dstR := int(src.rank), int(dst.rank)
+	mo := me.job.model
+
+	switch {
+	case srcR == me.id && dstR == me.id:
+		me.ep.Clock.Advance(mo.GetCost(me.id, me.id, bytes))
+	case dstR == me.id: // remote get
+		me.ep.Stats.Gets.Add(1)
+		me.ep.Stats.GetBytes.Add(int64(bytes))
+		me.ep.Clock.Advance(mo.GetCost(me.id, srcR, bytes))
+	case srcR == me.id: // remote put
+		me.ep.Stats.Puts.Add(1)
+		me.ep.Stats.PutBytes.Add(int64(bytes))
+		me.ep.Clock.Advance(mo.PutCost(me.id, dstR, bytes))
+	default: // third party: get then put, staged through the initiator
+		me.ep.Stats.Gets.Add(1)
+		me.ep.Stats.Puts.Add(1)
+		me.ep.Stats.GetBytes.Add(int64(bytes))
+		me.ep.Stats.PutBytes.Add(int64(bytes))
+		me.ep.Clock.Advance(mo.GetCost(me.id, srcR, bytes) + mo.PutCost(me.id, dstR, bytes))
+	}
+	moveBytes(me, src, dst, bytes)
+}
+
+// moveBytes performs the actual data movement between segments, staged
+// through a private buffer so that at most one segment lock is held at a
+// time (no lock-ordering deadlocks, and overlapping same-segment ranges
+// behave like memmove).
+func moveBytes[T any](me *Rank, src, dst GlobalPtr[T], bytes int) {
+	tmp := make([]byte, bytes)
+	me.job.segs[src.rank].Read(src.Offset(), tmp)
+	me.job.segs[dst.rank].Write(dst.Offset(), tmp)
+}
+
+// AsyncCopy initiates a non-blocking one-sided bulk transfer (the paper's
+// async_copy). If ev is non-nil the operation registers with it and
+// signals on completion; otherwise completion attaches to the rank's
+// implicit handle set, synchronized by AsyncCopyFence / Fence. The data
+// movement itself is performed eagerly (so program results are ready at
+// synchronization); the cost model accounts initiation now and transfer
+// completion at the modeled finish time, which is what enables
+// communication/computation overlap in virtual time.
+func AsyncCopy[T any](me *Rank, src, dst GlobalPtr[T], count int, ev *Event) {
+	me.enter()
+	defer me.exit()
+	if count <= 0 {
+		if ev != nil {
+			ev.register(1)
+			ev.signal(me.Clock(), me)
+		}
+		return
+	}
+	bytes := count * int(sizeOf[T]())
+	mo := me.job.model
+	peer := int(src.rank)
+	if peer == me.id {
+		peer = int(dst.rank)
+	}
+	me.ep.Stats.Puts.Add(1)
+	me.ep.Stats.PutBytes.Add(int64(bytes))
+	me.ep.Clock.Advance(mo.NBInitCost())
+	completion := me.Clock() + mo.NBCompleteCost(me.id, peer, bytes)
+
+	moveBytes(me, src, dst, bytes)
+
+	if ev != nil {
+		ev.register(1)
+		ev.signal(completion, me)
+	} else {
+		if completion > me.implicitMax {
+			me.implicitMax = completion
+		}
+		me.implicitN++
+	}
+}
+
+// AsyncCopyFence completes all outstanding implicit-handle async copies
+// issued by this rank (the paper's async_copy_fence: "handle-less"
+// non-blocking communication, §V-E).
+func AsyncCopyFence(me *Rank) {
+	me.enter()
+	defer me.exit()
+	me.ep.Clock.AdvanceTo(me.implicitMax)
+	me.implicitMax = 0
+	me.implicitN = 0
+}
+
+// Fence orders this rank's outstanding shared-memory operations (the
+// upc_fence equivalent): it completes all implicit non-blocking operations
+// and services progress once.
+func Fence(me *Rank) {
+	AsyncCopyFence(me)
+	me.Advance()
+}
+
+// ReadSlice copies len(dst) elements from shared memory at src into the
+// local slice dst; a convenience over Copy for staging between private
+// and shared memory.
+func ReadSlice[T any](me *Rank, src GlobalPtr[T], dst []T) {
+	me.enter()
+	defer me.exit()
+	bytes := len(dst) * int(sizeOf[T]())
+	if bytes == 0 {
+		return
+	}
+	me.ep.Stats.Gets.Add(1)
+	me.ep.Stats.GetBytes.Add(int64(bytes))
+	me.ep.Clock.Advance(me.job.model.GetCost(me.id, int(src.rank), bytes))
+	seg := me.job.segs[src.rank]
+	seg.Lock()
+	copy(dst, segment.Slice[T](seg, src.Offset(), len(dst)))
+	seg.Unlock()
+}
+
+// WriteSlice copies the local slice src into shared memory at dst.
+func WriteSlice[T any](me *Rank, dst GlobalPtr[T], src []T) {
+	me.enter()
+	defer me.exit()
+	bytes := len(src) * int(sizeOf[T]())
+	if bytes == 0 {
+		return
+	}
+	me.ep.Stats.Puts.Add(1)
+	me.ep.Stats.PutBytes.Add(int64(bytes))
+	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(dst.rank), bytes))
+	seg := me.job.segs[dst.rank]
+	seg.Lock()
+	copy(segment.Slice[T](seg, dst.Offset(), len(src)), src)
+	seg.Unlock()
+}
+
+// WriteSliceAsync is the non-blocking WriteSlice: initiation is charged
+// now, completion attaches to ev (or the implicit set if ev is nil).
+func WriteSliceAsync[T any](me *Rank, dst GlobalPtr[T], src []T, ev *Event) {
+	me.enter()
+	bytes := len(src) * int(sizeOf[T]())
+	mo := me.job.model
+	me.ep.Stats.Puts.Add(1)
+	me.ep.Stats.PutBytes.Add(int64(bytes))
+	me.ep.Clock.Advance(mo.NBInitCost())
+	completion := me.Clock() + mo.NBCompleteCost(me.id, int(dst.rank), bytes)
+	seg := me.job.segs[dst.rank]
+	seg.Lock()
+	copy(segment.Slice[T](seg, dst.Offset(), len(src)), src)
+	seg.Unlock()
+	me.exit()
+	if ev != nil {
+		ev.register(1)
+		ev.signal(completion, me)
+	} else {
+		if completion > me.implicitMax {
+			me.implicitMax = completion
+		}
+		me.implicitN++
+	}
+}

@@ -1,0 +1,296 @@
+// Package core implements the UPC++ programming model of the paper
+// "UPC++: A PGAS Extension for C++" (Zheng et al., IPDPS 2014): SPMD
+// execution over a partitioned global address space, shared scalars and
+// block-cyclic shared arrays, global pointers with phase-free arithmetic,
+// dynamic global memory management, one-sided bulk transfers with events,
+// asynchronous remote function invocation with futures, X10-style finish,
+// event-driven task dependencies, global locks and collectives.
+//
+// A job is started with Run, which spawns one goroutine per rank (the
+// analog of UPC++'s one OS process per rank) and hands each a *Rank
+// handle. Go has no per-thread globals, so the handle plays the role of
+// MYTHREAD/THREADS and is threaded through all operations; everything else
+// follows the paper's API surface closely (see Table I mapping in
+// tablei_test.go).
+//
+// C++ UPC++ expresses typed operations through templates and operator
+// overloading; here Go generics carry the types: upcxx.Read[T],
+// upcxx.Write[T], upcxx.Allocate[T], SharedArray[T], Future[T].
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"upcxx/internal/gasnet"
+	"upcxx/internal/segment"
+	"upcxx/internal/sim"
+)
+
+// ThreadMode selects the runtime's thread-support level, mirroring the
+// paper §IV: Serialized (the application promises that each rank's UPC++
+// calls are serialized; the runtime skips internal locking) or Concurrent
+// (multiple goroutines may call into the same rank handle; the runtime
+// serializes internally, like MPI_THREAD_MULTIPLE).
+type ThreadMode int
+
+const (
+	Serialized ThreadMode = iota
+	Concurrent
+)
+
+// AccessPath selects how one-sided remote accesses are performed: Direct
+// models RDMA (load/store into the peer segment, charged with LogGP put /
+// get costs), AMMediated routes every access through an active message
+// executed by the target's progress engine (the path networks without
+// RDMA, or the paper's BG/Q fine-grained accesses, take). The ablation
+// bench compares the two.
+type AccessPath int
+
+const (
+	Direct AccessPath = iota
+	AMMediated
+)
+
+// Config describes a job.
+type Config struct {
+	// Ranks is the number of SPMD ranks (THREADS). Required, >= 1.
+	Ranks int
+	// SegmentBytes is the per-rank shared segment size. Default 8 MiB.
+	SegmentBytes int
+	// Machine is the hardware profile for the cost model. Default sim.Local.
+	Machine sim.Machine
+	// SW is the software-overhead profile. Default sim.SWUPCXX.
+	SW sim.SW
+	// Virtual enables virtual-time reporting in Stats (the cost model is
+	// always charged; this flag records which time base is authoritative).
+	Virtual bool
+	// Threads selects Serialized (default) or Concurrent mode.
+	Threads ThreadMode
+	// Access selects Direct (default) or AMMediated one-sided transfers.
+	Access AccessPath
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 8 << 20
+	}
+	if c.Machine.Name == "" {
+		c.Machine = sim.Local
+	}
+	if c.SW.Name == "" {
+		c.SW = sim.SWUPCXX
+	}
+	return c
+}
+
+// Stats reports a finished job's measurements: wall-clock duration, the
+// modeled virtual makespan, and aggregate communication counters.
+type Stats struct {
+	Ranks     int
+	Wall      time.Duration
+	VirtualNs float64 // max over ranks of final virtual clock
+	AMs       int64
+	Tasks     int64
+	Puts      int64
+	Gets      int64
+	PutBytes  int64
+	GetBytes  int64
+	SegPeak   uint64 // max per-rank shared-heap high-water mark
+}
+
+// Seconds returns the authoritative elapsed time of the run: virtual time
+// when the job was configured with Virtual, wall-clock time otherwise.
+func (s Stats) Seconds(virtual bool) float64 {
+	if virtual {
+		return s.VirtualNs * 1e-9
+	}
+	return s.Wall.Seconds()
+}
+
+// Job is the shared state of one SPMD run.
+type Job struct {
+	cfg   Config
+	model *sim.Model
+	eng   *gasnet.Engine
+	segs  []*segment.Segment
+	ranks []*Rank
+}
+
+// Rank is one SPMD execution unit's handle; all UPC++ operations take it.
+// A Rank handle must only be used by the goroutine Run created for it (or,
+// in Concurrent mode, by any goroutine, serialized internally).
+type Rank struct {
+	id  int
+	job *Job
+	ep  *gasnet.Endpoint
+	seg *segment.Segment
+
+	mu sync.Mutex // Concurrent-mode serialization
+
+	finish []*finishScope
+
+	// Implicit-handle non-blocking operation state (async_copy without an
+	// event; completed by Fence / AsyncCopyFence).
+	implicitMax float64
+	implicitN   int
+
+	// Lock manager state, touched only by this rank's goroutine (AM
+	// handlers run there), so no mutex is needed.
+	locks      map[uint64]*lockState
+	nextLockID uint64
+}
+
+func newJob(cfg Config) *Job {
+	cfg = cfg.withDefaults()
+	j := &Job{
+		cfg:   cfg,
+		model: sim.NewModel(cfg.Virtual, cfg.Machine, cfg.SW, cfg.Ranks),
+	}
+	j.eng = gasnet.New(j.model, cfg.Ranks)
+	j.segs = make([]*segment.Segment, cfg.Ranks)
+	j.ranks = make([]*Rank, cfg.Ranks)
+	for i := 0; i < cfg.Ranks; i++ {
+		j.segs[i] = segment.New(cfg.SegmentBytes)
+		j.ranks[i] = &Rank{
+			id:    i,
+			job:   j,
+			ep:    j.eng.Endpoint(i),
+			seg:   j.segs[i],
+			locks: make(map[uint64]*lockState),
+		}
+	}
+	return j
+}
+
+// Run executes main as an SPMD program over cfg.Ranks ranks and returns
+// the job's statistics. It does not return until every rank's main has
+// returned and the runtime has quiesced. A panic on any rank crashes the
+// whole job (matching the paper's process model, where a failed process
+// aborts the SPMD job).
+func Run(cfg Config, main func(me *Rank)) Stats {
+	j := newJob(cfg)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, r := range j.ranks {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			main(r)
+			r.quiesce()
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	st := Stats{Ranks: cfg.Ranks, Wall: wall, VirtualNs: j.eng.MaxClock()}
+	st.AMs, st.Tasks, st.Puts, st.Gets, st.PutBytes, st.GetBytes = j.eng.TotalStats()
+	for _, s := range j.segs {
+		if p := s.Peak(); p > st.SegPeak {
+			st.SegPeak = p
+		}
+	}
+	return st
+}
+
+// quiesce drains in-flight messages after main returns: two barrier rounds
+// guarantee that any task injected before the first barrier has executed
+// before any rank tears down.
+func (r *Rank) quiesce() {
+	r.ep.Barrier()
+	r.ep.Poll()
+	r.ep.Barrier()
+}
+
+// ID returns this rank's index (MYTHREAD in UPC terms, myrank() in UPC++).
+func (r *Rank) ID() int { return r.id }
+
+// Ranks returns the job size (THREADS in UPC terms, ranks() in UPC++).
+func (r *Rank) Ranks() int { return r.job.cfg.Ranks }
+
+// Model exposes the cost model (used by benchmark harnesses).
+func (r *Rank) Model() *sim.Model { return r.job.model }
+
+// Clock returns this rank's current virtual time in nanoseconds.
+func (r *Rank) Clock() float64 { return r.ep.Clock.Now() }
+
+// Barrier blocks until all ranks arrive (upc_barrier / upcxx barrier()).
+// Queued async tasks are serviced while waiting, per the paper's progress
+// rules.
+func (r *Rank) Barrier() {
+	r.enter()
+	defer r.exit()
+	r.ep.Barrier()
+}
+
+// Advance services queued async tasks and returns how many ran. It is the
+// paper's advance() progress call.
+func (r *Rank) Advance() int {
+	r.enter()
+	defer r.exit()
+	return r.ep.Poll()
+}
+
+// Work charges n floating-point operations of modeled compute time to this
+// rank's virtual clock. Benchmarks perform their real arithmetic and then
+// charge what they executed; see DESIGN.md §4.
+func (r *Rank) Work(flops float64) { r.ep.Clock.Advance(r.job.model.FlopsCost(flops)) }
+
+// WorkParallel charges n flops executed across `ways` node-local workers
+// (the OpenMP-within-rank idiom of the paper's Embree study).
+func (r *Rank) WorkParallel(flops float64, ways int) {
+	if ways < 1 {
+		ways = 1
+	}
+	r.ep.Clock.Advance(r.job.model.FlopsCost(flops) / float64(ways))
+}
+
+// MemWork charges the movement of n bytes through this core's memory
+// system (for memory-bound kernels such as stencils).
+func (r *Rank) MemWork(bytes float64) { r.ep.Clock.Advance(r.job.model.MemCost(bytes)) }
+
+// Lapse charges an arbitrary modeled duration in nanoseconds.
+func (r *Rank) Lapse(ns float64) { r.ep.Clock.Advance(ns) }
+
+// enter/exit implement Concurrent-mode serialization; in Serialized mode
+// they are free.
+func (r *Rank) enter() {
+	if r.job.cfg.Threads == Concurrent {
+		r.mu.Lock()
+	}
+}
+
+func (r *Rank) exit() {
+	if r.job.cfg.Threads == Concurrent {
+		r.mu.Unlock()
+	}
+}
+
+// call executes fn on the target rank's goroutine and blocks until fn's
+// reply value arrives back, charging AM costs both ways. It is the
+// building block for remote allocation, lock traffic and other control
+// RPCs. fn must not block.
+func (r *Rank) call(target int, reqBytes, repBytes int, fn func(tgt *Rank) uint64) uint64 {
+	var (
+		reply uint64
+		done  bool
+	)
+	r.ep.Send(target, reqBytes, func(tep *gasnet.Endpoint) {
+		tgt := r.job.ranks[tep.Rank]
+		v := fn(tgt)
+		tep.Send(r.id, repBytes, func(*gasnet.Endpoint) {
+			reply = v
+			done = true
+		})
+	})
+	r.ep.WaitFor(func() bool { return done })
+	return reply
+}
+
+func (r *Rank) String() string {
+	return fmt.Sprintf("rank %d/%d", r.id, r.job.cfg.Ranks)
+}

@@ -1,0 +1,64 @@
+package core
+
+import "upcxx/internal/gasnet"
+
+// Runtime-services API: the narrow surface sibling substrates build on,
+// playing the role direct GASNet calls play for libraries layered over
+// real UPC++ (the multidimensional array library, the MPI baseline).
+// Application code should prefer the high-level operations.
+
+// AM injects an active message executing fn on the target rank's
+// goroutine, charging standard AM costs for a payload of the given size.
+// fn must not block (it may send further messages).
+func (r *Rank) AM(target, bytes int, fn func(tgt *Rank)) {
+	job := r.job
+	r.ep.Send(target, bytes, func(tep *gasnet.Endpoint) {
+		fn(job.ranks[tep.Rank])
+	})
+}
+
+// AMAt injects an active message with an explicit modeled arrival time,
+// for substrates that account their own protocol costs (e.g. the
+// two-sided MPI baseline's eager/rendezvous protocols).
+func (r *Rank) AMAt(target int, arrival float64, bytes int, fn func(tgt *Rank)) {
+	job := r.job
+	r.ep.SendAt(target, arrival, bytes, func(tep *gasnet.Endpoint) {
+		fn(job.ranks[tep.Rank])
+	})
+}
+
+// WaitUntil services incoming tasks until pred() is true. Any cross-rank
+// state change that makes pred true must be followed by a WakeAt (or an
+// ordinary message) to this rank, or the wait may not terminate.
+func (r *Rank) WaitUntil(pred func() bool) { r.ep.WaitFor(pred) }
+
+// WakeAt sends a no-op message unblocking a WaitUntil on the target at
+// the given modeled arrival time.
+func (r *Rank) WakeAt(target int, arrival float64) { r.ep.Wake(target, arrival) }
+
+// Now returns the rank's current virtual time in nanoseconds (alias of
+// Clock, reading more naturally in timing expressions).
+func (r *Rank) Now() float64 { return r.ep.Clock.Now() }
+
+// AdvanceTo moves this rank's virtual clock forward to t (never
+// backwards).
+func (r *Rank) AdvanceTo(t float64) { r.ep.Clock.AdvanceTo(t) }
+
+// Register adds n pending completions to ev, for substrates implementing
+// their own event-completing protocols (e.g. the array library's
+// asynchronous ghost copies).
+func Register(ev *Event, n int) { ev.register(n) }
+
+// SignalAt marks one registered completion of ev at virtual time done;
+// from is the rank whose goroutine delivers the signal.
+func SignalAt(ev *Event, done float64, from *Rank) { ev.signal(done, from) }
+
+// SignalNow registers and immediately signals one completion of ev — the
+// degenerate "operation was a no-op" case.
+func SignalNow(ev *Event, from *Rank) {
+	if ev == nil {
+		return
+	}
+	ev.register(1)
+	ev.signal(from.Now(), from)
+}

@@ -1,0 +1,58 @@
+package core
+
+import "testing"
+
+// TestTableI walks Table I of the paper: every UPC programming idiom has
+// a UPC++ equivalent, and here a Go equivalent. One assertion per row.
+func TestTableI(t *testing.T) {
+	Run(testCfg(4), func(me *Rank) {
+		// THREADS / ranks().
+		if me.Ranks() != 4 {
+			t.Error("ranks()")
+		}
+		// MYTHREAD / myrank().
+		if me.ID() < 0 || me.ID() >= 4 {
+			t.Error("myrank()")
+		}
+		// shared Type v -> shared_var<Type> v.
+		v := NewSharedVar[int64](me)
+		if me.ID() == 0 {
+			v.Set(me, 5)
+		}
+		me.Barrier()
+		if v.Get(me) != 5 {
+			t.Error("shared_var")
+		}
+		// shared [BS] Type A[size] -> shared_array<Type, BS> A(size).
+		a := NewSharedArray[int64](me, 16, 2)
+		// shared Type *p -> global_ptr<Type> p.
+		p := a.Ptr(0)
+		if p.IsNull() {
+			t.Error("global_ptr")
+		}
+		// upc_alloc -> allocate<Type>(...).
+		q := Allocate[int64](me, me.ID(), 4)
+		// upc_memcpy -> copy<Type>(...).
+		if me.ID() == 0 {
+			Write(me, q, 9)
+			Copy(me, q, a.Ptr(0), 1)
+			if a.Get(me, 0) != 9 {
+				t.Error("copy")
+			}
+		}
+		// upc_barrier / barrier() and upc_fence / fence().
+		me.Barrier()
+		Fence(me)
+		// upc_forall(...; affinity_cond) -> for + affinity test.
+		count := 0
+		for i := 0; i < a.Len(); i++ {
+			if a.OwnerOf(i) == me.ID() { // the affinity condition
+				count++
+			}
+		}
+		if count != 4 { // 16 elements, BS 2, 4 ranks -> 2 blocks = 4 elems each
+			t.Errorf("forall affinity visited %d elements, want 4", count)
+		}
+		me.Barrier()
+	})
+}

@@ -1,0 +1,317 @@
+// Package gasnet is the communication substrate of upcxx-go, playing the
+// role GASNet plays under real UPC++ (paper Fig 2): active messages, a
+// per-rank progress engine, barriers and collective rendezvous.
+//
+// Each rank of a job owns one Endpoint, serviced by that rank's goroutine.
+// An active message is a closure executed on the *target's* goroutine when
+// the target polls its inbox — either explicitly (Poll / Advance) or
+// implicitly while blocked in any synchronizing operation (Barrier,
+// WaitFor, a full Send). This mirrors GASNet semantics, where AM handlers
+// run inside the polling call of the target process.
+//
+// Two invariants keep the system deadlock-free:
+//
+//  1. AM handlers never block. Anything that must wait (lock grants,
+//     future replies) is expressed as a later message back to the waiter.
+//  2. Any cross-rank state change that can unblock a waiter is followed by
+//     a wake message to that waiter's inbox, so blocked receives always
+//     terminate.
+//
+// Virtual time: every message carries its modeled arrival time; executing
+// a task first advances the target clock to the arrival (never backwards).
+// See DESIGN.md §4.
+package gasnet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"upcxx/internal/sim"
+)
+
+// InboxCap is the per-rank inbox depth. Senders finding a full inbox
+// service their own inbox while waiting (the GASNet "poll while stalled"
+// rule), so a modest depth bounds memory at 32K ranks without deadlock.
+const InboxCap = 64
+
+// Task is one active message: a closure plus modeling metadata.
+type Task struct {
+	// Fn runs on the target rank's goroutine; ep is the target endpoint.
+	Fn func(ep *Endpoint)
+	// Arrival is the virtual time at which the message reaches the target.
+	Arrival float64
+	// From is the sending rank.
+	From int
+	// Bytes is the modeled payload size.
+	Bytes int
+}
+
+// Stats aggregates communication counters for one endpoint. Counters are
+// atomic so the engine can snapshot them while ranks run.
+type Stats struct {
+	AMs      atomic.Int64
+	Tasks    atomic.Int64
+	Puts     atomic.Int64
+	Gets     atomic.Int64
+	PutBytes atomic.Int64
+	GetBytes atomic.Int64
+	Barriers atomic.Int64
+}
+
+// Engine owns the endpoints, barrier and collective state of one job.
+type Engine struct {
+	N     int
+	Model *sim.Model
+	eps   []*Endpoint
+	bar   *barrier
+	coll  *collective
+}
+
+// New creates an engine with n endpoints sharing the given cost model.
+func New(model *sim.Model, n int) *Engine {
+	g := &Engine{
+		N:     n,
+		Model: model,
+		bar:   newBarrier(n),
+		coll:  &collective{},
+	}
+	g.eps = make([]*Endpoint, n)
+	for i := range g.eps {
+		g.eps[i] = &Endpoint{
+			Rank:  i,
+			eng:   g,
+			Inbox: make(chan Task, InboxCap),
+		}
+	}
+	return g
+}
+
+// Endpoint returns rank i's endpoint.
+func (g *Engine) Endpoint(i int) *Endpoint { return g.eps[i] }
+
+// TotalStats sums the counters across all endpoints.
+func (g *Engine) TotalStats() (ams, tasks, puts, gets, putB, getB int64) {
+	for _, e := range g.eps {
+		ams += e.Stats.AMs.Load()
+		tasks += e.Stats.Tasks.Load()
+		puts += e.Stats.Puts.Load()
+		gets += e.Stats.Gets.Load()
+		putB += e.Stats.PutBytes.Load()
+		getB += e.Stats.GetBytes.Load()
+	}
+	return
+}
+
+// MaxClock returns the maximum virtual clock across ranks (the job's
+// modeled makespan so far).
+func (g *Engine) MaxClock() float64 {
+	m := 0.0
+	for _, e := range g.eps {
+		if t := e.Clock.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Endpoint is one rank's attachment to the engine.
+type Endpoint struct {
+	Rank  int
+	eng   *Engine
+	Inbox chan Task
+	Clock sim.Clock
+	Stats Stats
+}
+
+// Engine returns the owning engine.
+func (e *Endpoint) Engine() *Engine { return e.eng }
+
+// N returns the job size.
+func (e *Endpoint) N() int { return e.eng.N }
+
+// Model returns the job's cost model.
+func (e *Endpoint) Model() *sim.Model { return e.eng.Model }
+
+// Peer returns another rank's endpoint; used by the one-sided data path
+// (the RDMA analog) and by in-process shortcuts that are charged as if
+// they were messages.
+func (e *Endpoint) Peer(rank int) *Endpoint { return e.eng.eps[rank] }
+
+// Send injects an active message of the given modeled payload size to the
+// target rank, charging send overhead to the local clock. If the target
+// inbox is full the sender services its own inbox while waiting.
+func (e *Endpoint) Send(to int, bytes int, fn func(ep *Endpoint)) {
+	mo := e.eng.Model
+	t0 := e.Clock.Now()
+	e.Clock.Advance(mo.AMSendCost(bytes)) // sender occupancy
+	arrival := mo.AMArrival(t0, e.Rank, to, bytes)
+	e.SendAt(to, arrival, bytes, fn)
+}
+
+// SendAt injects a message with an explicit arrival time, for callers
+// (e.g. the MPI baseline) that model their own protocol costs.
+func (e *Endpoint) SendAt(to int, arrival float64, bytes int, fn func(ep *Endpoint)) {
+	e.Stats.AMs.Add(1)
+	t := Task{Fn: fn, Arrival: arrival, From: e.Rank, Bytes: bytes}
+	if to == e.Rank {
+		// Loopback: execute immediately on our own goroutine.
+		e.exec(t)
+		return
+	}
+	tgt := e.eng.eps[to]
+	for {
+		select {
+		case tgt.Inbox <- t:
+			return
+		case mine := <-e.Inbox:
+			e.exec(mine)
+		}
+	}
+}
+
+func (e *Endpoint) exec(t Task) {
+	e.Clock.AdvanceTo(t.Arrival)
+	e.Stats.Tasks.Add(1)
+	t.Fn(e)
+}
+
+// Poll drains all currently queued tasks without blocking and reports how
+// many ran. This is the paper's advance().
+func (e *Endpoint) Poll() int {
+	n := 0
+	for {
+		select {
+		case t := <-e.Inbox:
+			e.exec(t)
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// WaitFor services the inbox until pred() is true. Any state transition
+// that can make pred true must be accompanied by a wake message to this
+// endpoint (invariant 2 above); Wake provides a no-op message for that.
+func (e *Endpoint) WaitFor(pred func() bool) {
+	for !pred() {
+		e.exec(<-e.Inbox)
+	}
+}
+
+// Wake sends a no-op message that unblocks a WaitFor on the target; the
+// arrival time models the notification's network travel.
+func (e *Endpoint) Wake(to int, arrival float64) {
+	e.SendAt(to, arrival, 0, func(*Endpoint) {})
+}
+
+// ---- Barrier ----
+
+type barGen struct {
+	ch        chan struct{}
+	releaseNs float64
+}
+
+type barrier struct {
+	mu    sync.Mutex
+	n     int
+	count int
+	maxNs float64
+	cur   *barGen
+}
+
+func newBarrier(n int) *barrier {
+	return &barrier{n: n, cur: &barGen{ch: make(chan struct{})}}
+}
+
+// Barrier synchronizes all ranks. On release every clock advances to
+// max(entry clocks) + the modeled dissemination-barrier cost. Tasks are
+// serviced while waiting, matching GASNet's progress guarantee.
+func (e *Endpoint) Barrier() {
+	e.Stats.Barriers.Add(1)
+	b := e.eng.bar
+	b.mu.Lock()
+	gen := b.cur
+	if t := e.Clock.Now(); t > b.maxNs {
+		b.maxNs = t
+	}
+	b.count++
+	if b.count == b.n {
+		gen.releaseNs = b.maxNs + e.eng.Model.BarrierCost()
+		b.count = 0
+		b.maxNs = 0
+		b.cur = &barGen{ch: make(chan struct{})}
+		b.mu.Unlock()
+		close(gen.ch)
+	} else {
+		b.mu.Unlock()
+		for done := false; !done; {
+			select {
+			case <-gen.ch:
+				done = true
+			case t := <-e.Inbox:
+				e.exec(t)
+			}
+		}
+	}
+	e.Clock.AdvanceTo(gen.releaseNs)
+}
+
+// ---- Collective rendezvous ----
+
+type collective struct {
+	mu       sync.Mutex
+	slot     any
+	leavers  int
+	finished bool
+}
+
+// Collective performs an allgather-style rendezvous. alloc builds the
+// shared result (called once per collective, by the first arriver); put
+// deposits this rank's contribution into it; finish (optional) runs
+// exactly once, after every contribution is deposited and before any
+// rank returns — the hook reductions use to fold in one rendezvous. The
+// returned value is shared read-only by all ranks and remains valid
+// after return (a fresh one is allocated per collective). elemBytes
+// sizes the cost model's allgather charge.
+//
+// Sharing one result slice instead of copying per rank is what keeps
+// 32K-rank metadata exchanges (e.g. shared_array base-offset directories)
+// linear instead of quadratic in memory.
+func (e *Endpoint) Collective(alloc func(n int) any, put func(slot any), finish func(slot any), elemBytes int) any {
+	c := e.eng.coll
+	c.mu.Lock()
+	if c.slot == nil {
+		c.slot = alloc(e.eng.N)
+	}
+	slot := c.slot
+	c.mu.Unlock()
+
+	put(slot)
+	e.Barrier() // all contributions deposited
+
+	if finish != nil {
+		c.mu.Lock()
+		if !c.finished {
+			finish(slot)
+			c.finished = true
+		}
+		c.mu.Unlock()
+	}
+
+	mo := e.eng.Model
+	cost := float64(mo.CollStages())*mo.CollStageCost(elemBytes) +
+		float64(e.eng.N-1)*mo.WireNs(elemBytes)
+	e.Clock.Advance(cost)
+
+	c.mu.Lock()
+	c.leavers++
+	if c.leavers == e.eng.N {
+		c.slot = nil
+		c.leavers = 0
+		c.finished = false
+	}
+	c.mu.Unlock()
+	e.Barrier() // nobody may start the next collective before all leave
+	return slot
+}

@@ -1,0 +1,219 @@
+package ndarray
+
+import (
+	"fmt"
+
+	"upcxx/internal/core"
+)
+
+// Array is an N-dimensional array over a RectDomain, stored contiguously
+// (row-major over the domain lattice) in the shared segment of a single
+// rank (paper §III-E: "the elements of an array must be located on a
+// single thread, which may be in a remote memory location"). Views created
+// by Constrict, Slice, Translate and Permute share the backing store.
+//
+// Indexing from the owning rank is a direct memory access; from any other
+// rank the overloaded accessors fetch or store remotely, and CopyFrom
+// performs the one-sided intersect/pack/transfer/unpack protocol that
+// makes ghost exchanges a single statement.
+type Array[T any] struct {
+	dom RectDomain // the view's index domain (a sublattice of the allocation's)
+
+	// Addressing is anchored to the allocation, not the view, so that all
+	// views of one array agree on where each index point lives:
+	// offsetOf(p) = offset + sum_k ((p_k - origin_k) / lat_k) * strides_k.
+	origin  Point        // allocation's index-space origin
+	lat     Point        // allocation's lattice stride
+	strides [MaxDims]int // physical stride (in elements) per dimension
+	offset  int          // element offset of origin within the allocation
+
+	owner    int
+	gp       core.GlobalPtr[T]
+	data     []T  // whole allocation; non-nil only on the owning rank
+	alloclen int  // allocation length in elements
+	unstrid  bool // logical row-major == physical layout (paper's "unstrided")
+}
+
+// New allocates an array over dom in the calling rank's shared segment.
+// Elements are zero-valued. The layout is packed row-major over the
+// domain's points, so a unit-stride domain yields an unstrided array (the
+// paper's template specialization that skips stride arithmetic).
+func New[T any](me *core.Rank, dom RectDomain) *Array[T] {
+	n := dom.Size()
+	gp := core.Allocate[T](me, me.ID(), n)
+	a := &Array[T]{
+		dom:      dom,
+		origin:   dom.Lo(),
+		lat:      dom.Stride(),
+		owner:    me.ID(),
+		gp:       gp,
+		alloclen: n,
+	}
+	if n > 0 {
+		a.data = core.LocalSlice(me, gp, n)
+	}
+	// Packed row-major strides over the lattice extents.
+	stride := 1
+	for k := dom.Dim() - 1; k >= 0; k-- {
+		a.strides[k] = stride
+		stride *= dom.Extent(k)
+	}
+	a.unstrid = true
+	return a
+}
+
+// Domain returns the array's (view's) index domain.
+func (a *Array[T]) Domain() RectDomain { return a.dom }
+
+// Owner returns the rank holding the elements.
+func (a *Array[T]) Owner() int { return a.owner }
+
+// Unstrided reports whether the view's logical layout matches physical
+// memory (enabling the fast indexing specialization of the paper §III-E).
+func (a *Array[T]) Unstrided() bool { return a.unstrid }
+
+// index maps a view-domain point to an element offset in the allocation.
+func (a *Array[T]) index(p Point) int {
+	if !a.dom.Contains(p) {
+		panic(fmt.Sprintf("ndarray: index %v outside domain %v", p, a.dom))
+	}
+	off := a.offset
+	for k := 0; k < a.dom.Dim(); k++ {
+		off += ((p.Get(k) - a.origin.Get(k)) / a.lat.Get(k)) * a.strides[k]
+	}
+	return off
+}
+
+// Get reads the element at p, remotely if the array lives elsewhere (the
+// overloaded index operator of the paper).
+func (a *Array[T]) Get(me *core.Rank, p Point) T {
+	i := a.index(p)
+	if a.owner == me.ID() {
+		me.Lapse(2) // modeled L1 access
+		return a.storage(me)[i]
+	}
+	return core.Read(me, a.gp.Add(i))
+}
+
+// Set writes the element at p, remotely if needed.
+func (a *Array[T]) Set(me *core.Rank, p Point, v T) {
+	i := a.index(p)
+	if a.owner == me.ID() {
+		me.Lapse(2)
+		a.storage(me)[i] = v
+		return
+	}
+	core.Write(me, a.gp.Add(i), v)
+}
+
+// Local returns the element storage for local compute loops; it panics if
+// the array is remote. Index through Idx/Row3 helpers.
+func (a *Array[T]) Local(me *core.Rank) []T {
+	if a.owner != me.ID() {
+		panic(fmt.Sprintf("ndarray: Local access to array owned by rank %d from rank %d", a.owner, me.ID()))
+	}
+	return a.storage(me)
+}
+
+// Idx returns the storage offset of point p (for use with Local).
+func (a *Array[T]) Idx(p Point) int { return a.index(p) }
+
+// Idx3 returns the storage offset of (i,j,k) in a 3-D view without
+// constructing a Point — the hot-loop form.
+func (a *Array[T]) Idx3(i, j, k int) int {
+	return a.offset +
+		((i-a.origin.Get(0))/a.lat.Get(0))*a.strides[0] +
+		((j-a.origin.Get(1))/a.lat.Get(1))*a.strides[1] +
+		((k-a.origin.Get(2))/a.lat.Get(2))*a.strides[2]
+}
+
+// Row3 returns the contiguous run of elements [ (i,j,klo) .. (i,j,khi) )
+// of an unstrided 3-D array — the paper's one-dimension-at-a-time indexing
+// that lets the compiler lift index arithmetic out of the inner loop.
+func (a *Array[T]) Row3(me *core.Rank, i, j int) []T {
+	if !a.unstrid || a.dom.Dim() != 3 {
+		panic("ndarray: Row3 requires an unstrided 3-D array")
+	}
+	base := a.Idx3(i, j, a.dom.lo.Get(2))
+	return a.Local(me)[base : base+a.dom.Extent(2)]
+}
+
+// view clones the descriptor with a new domain, keeping the backing.
+func (a *Array[T]) view(dom RectDomain) *Array[T] {
+	v := *a
+	v.dom = dom
+	return &v
+}
+
+// Constrict restricts the view to a subdomain (the paper's
+// A.constrict(d); Titanium's restrict). d must use the same lattice.
+func (a *Array[T]) Constrict(d RectDomain) *Array[T] {
+	inter := a.dom.Intersect(d)
+	v := a.view(inter)
+	v.unstrid = a.unstrid && inter.Equal(a.dom)
+	return v
+}
+
+// Translate shifts the index space by off: element formerly at p is now
+// addressed as p+off. The backing store is untouched.
+func (a *Array[T]) Translate(off Point) *Array[T] {
+	v := a.view(a.dom.Translate(off))
+	v.origin = a.origin.Add(off)
+	return v
+}
+
+// Slice fixes dimension dim at coordinate idx, yielding an
+// (N-1)-dimensional view (the paper's slicing of a 3-D grid into a 2-D
+// ghost plane).
+func (a *Array[T]) Slice(dim, idx int) *Array[T] {
+	d := idx - a.dom.lo.Get(dim)
+	s := a.dom.stride.Get(dim)
+	if d < 0 || idx >= a.dom.hi.Get(dim) || d%s != 0 {
+		panic(fmt.Sprintf("ndarray: Slice index %d outside dimension %d of %v", idx, dim, a.dom))
+	}
+	v := *a
+	v.offset = a.offset + ((idx-a.origin.Get(dim))/a.lat.Get(dim))*a.strides[dim]
+	v.dom = a.dom.Slice(dim)
+	v.origin = a.origin.Drop(dim)
+	v.lat = a.lat.Drop(dim)
+	k := 0
+	for i := 0; i < a.dom.Dim(); i++ {
+		if i == dim {
+			continue
+		}
+		v.strides[k] = a.strides[i]
+		k++
+	}
+	for ; k < MaxDims; k++ {
+		v.strides[k] = 0
+	}
+	v.unstrid = false
+	return &v
+}
+
+// Permute reorders the view's dimensions by perm (new dimension i is old
+// dimension perm[i]) — a transpose without data movement.
+func (a *Array[T]) Permute(perm []int) *Array[T] {
+	v := *a
+	v.dom = a.dom.Permute(perm)
+	v.origin = a.origin.Permute(perm)
+	v.lat = a.lat.Permute(perm)
+	for i, src := range perm {
+		v.strides[i] = a.strides[src]
+	}
+	v.unstrid = false
+	return &v
+}
+
+// Fill sets every element of the (local) view to v.
+func (a *Array[T]) Fill(me *core.Rank, v T) {
+	data := a.Local(me)
+	a.dom.ForEach(func(p Point) { data[a.index(p)] = v })
+	me.MemWork(float64(a.dom.Size() * 8))
+}
+
+// elemBytes returns the modeled element size.
+func (a *Array[T]) elemBytes() int {
+	var t T
+	return int(sizeofT(t))
+}

@@ -1,0 +1,146 @@
+package ndarray
+
+import (
+	"fmt"
+
+	"upcxx/internal/core"
+)
+
+// DistArray is the paper's stated future work (§III-E: "in the future,
+// we plan to take further advantage of this capability by building true
+// distributed multidimensional arrays on top of the current
+// non-distributed library"): a global N-dimensional index space cut into
+// per-rank tiles, presented behind one handle. It is built exactly the
+// way the paper suggests a user would: a directory of per-rank array
+// handles (Ref values) assembled with a collective, with single-element
+// access routed to the owning tile and bulk ghost exchange delegated to
+// the one-sided CopyFrom machinery.
+type DistArray[T any] struct {
+	global RectDomain
+	tiles  []Ref[T]     // directory, indexed by rank; shared read-only
+	doms   []RectDomain // tile interiors, indexed by rank
+	ghost  int          // ghost width of each tile allocation
+	mine   *Array[T]    // this rank's tile (with ghost frame)
+	rank   int
+}
+
+// NewDist collectively creates a distributed array over the global
+// domain, cut into one tile per rank along the factorization dims (which
+// must multiply to the rank count and divide the extents). Each tile is
+// allocated with the given ghost width.
+func NewDist[T any](me *core.Rank, global RectDomain, dims []int, ghost int) *DistArray[T] {
+	if len(dims) != global.Dim() {
+		panic("ndarray: NewDist dims must match the domain dimensionality")
+	}
+	ranks := 1
+	for _, d := range dims {
+		ranks *= d
+	}
+	if ranks != me.Ranks() {
+		panic(fmt.Sprintf("ndarray: NewDist factorization %v covers %d ranks, job has %d", dims, ranks, me.Ranks()))
+	}
+	// This rank's coordinates in the rank grid (row-major over dims).
+	coords := make([]int, len(dims))
+	id := me.ID()
+	for k := len(dims) - 1; k >= 0; k-- {
+		coords[k] = id % dims[k]
+		id /= dims[k]
+	}
+	// Tile bounds: even splits required.
+	lo, hi := global.Lo(), global.Hi()
+	tlo, thi := lo, hi
+	for k := 0; k < global.Dim(); k++ {
+		ext := hi.Get(k) - lo.Get(k)
+		if ext%dims[k] != 0 {
+			panic(fmt.Sprintf("ndarray: extent %d of dim %d not divisible by %d", ext, k, dims[k]))
+		}
+		w := ext / dims[k]
+		tlo = tlo.With(k, lo.Get(k)+coords[k]*w)
+		thi = thi.With(k, lo.Get(k)+(coords[k]+1)*w)
+	}
+	interior := RectDomain{lo: tlo, hi: thi, stride: Ones(global.Dim())}
+	tile := New[T](me, interior.Grow(ghost))
+
+	da := &DistArray[T]{
+		global: global,
+		ghost:  ghost,
+		mine:   tile,
+		rank:   me.ID(),
+	}
+	da.tiles = core.AllGather(me, tile.Ref())
+	da.doms = core.AllGather(me, interior)
+	me.Barrier()
+	return da
+}
+
+// Global returns the global index domain.
+func (da *DistArray[T]) Global() RectDomain { return da.global }
+
+// Interior returns this rank's tile interior (in global coordinates).
+func (da *DistArray[T]) Interior() RectDomain { return da.doms[da.rank] }
+
+// Tile returns this rank's tile array (interior grown by the ghost
+// width), for local compute.
+func (da *DistArray[T]) Tile() *Array[T] { return da.mine }
+
+// OwnerOf returns the rank whose interior contains p, or -1.
+func (da *DistArray[T]) OwnerOf(p Point) int {
+	for r, d := range da.doms {
+		if d.Contains(p) {
+			return r
+		}
+	}
+	return -1
+}
+
+// Get reads the element at global point p from wherever it lives.
+func (da *DistArray[T]) Get(me *core.Rank, p Point) T {
+	r := da.OwnerOf(p)
+	if r < 0 {
+		panic(fmt.Sprintf("ndarray: %v outside the distributed domain %v", p, da.global))
+	}
+	if r == da.rank {
+		return da.mine.Get(me, p)
+	}
+	return FromRef(da.tiles[r]).Get(me, p)
+}
+
+// Set writes the element at global point p.
+func (da *DistArray[T]) Set(me *core.Rank, p Point, v T) {
+	r := da.OwnerOf(p)
+	if r < 0 {
+		panic(fmt.Sprintf("ndarray: %v outside the distributed domain %v", p, da.global))
+	}
+	if r == da.rank {
+		da.mine.Set(me, p, v)
+		return
+	}
+	FromRef(da.tiles[r]).Set(me, p, v)
+}
+
+// ExchangeGhosts pulls every ghost cell of this rank's tile from the
+// interiors that own it, overlapping all transfers through one event.
+// Collective in effect (all ranks should call it between compute phases);
+// the caller provides the barrier that separates phases, as usual in the
+// paper's memory model.
+func (da *DistArray[T]) ExchangeGhosts(me *core.Rank) {
+	if da.ghost == 0 {
+		return
+	}
+	ev := core.NewEvent()
+	footprint := da.mine.Domain()
+	shell := NewDomain(footprint).Subtract(da.doms[da.rank])
+	for _, rect := range shell.Rects() {
+		for r, dom := range da.doms {
+			if r == da.rank {
+				continue
+			}
+			need := rect.Intersect(dom)
+			if need.IsEmpty() {
+				continue
+			}
+			da.mine.Constrict(need).CopyFromAsync(me, FromRef(da.tiles[r]).Constrict(need), ev)
+		}
+	}
+	ev.Wait(me)
+}

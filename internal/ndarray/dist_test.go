@@ -1,0 +1,106 @@
+package ndarray
+
+import (
+	"testing"
+
+	"upcxx/internal/core"
+)
+
+func TestDistArrayGetSetAcrossTiles(t *testing.T) {
+	core.Run(testCfg(4), func(me *core.Rank) {
+		da := NewDist[int64](me, RD2(0, 0, 8, 8), []int{2, 2}, 0)
+		// Every rank writes a diagonal stripe, regardless of ownership.
+		for i := me.ID(); i < 8; i += me.Ranks() {
+			da.Set(me, P2(i, i), int64(100+i))
+		}
+		me.Barrier()
+		for i := 0; i < 8; i++ {
+			if got := da.Get(me, P2(i, i)); got != int64(100+i) {
+				t.Errorf("da[%d,%d] = %d", i, i, got)
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestDistArrayOwnership(t *testing.T) {
+	core.Run(testCfg(4), func(me *core.Rank) {
+		da := NewDist[int32](me, RD2(0, 0, 8, 8), []int{2, 2}, 0)
+		if me.ID() == 0 {
+			// Row-major rank grid: rank 0 owns [0,4)x[0,4), rank 1 owns
+			// [0,4)x[4,8), rank 2 [4,8)x[0,4), rank 3 [4,8)x[4,8).
+			cases := map[int]Point{0: P2(0, 0), 1: P2(0, 7), 2: P2(7, 0), 3: P2(7, 7)}
+			for want, p := range cases {
+				if got := da.OwnerOf(p); got != want {
+					t.Errorf("OwnerOf(%v) = %d, want %d", p, got, want)
+				}
+			}
+			if da.OwnerOf(P2(8, 8)) != -1 {
+				t.Error("outside point should have no owner")
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestDistArrayGhostExchange(t *testing.T) {
+	// Each rank fills its interior with its id; after the exchange every
+	// ghost cell holds the owning neighbor's id.
+	core.Run(testCfg(4), func(me *core.Rank) {
+		da := NewDist[int32](me, RD2(0, 0, 8, 8), []int{2, 2}, 1)
+		tile := da.Tile()
+		da.Interior().ForEach(func(p Point) { tile.Set(me, p, int32(me.ID()+1)) })
+		me.Barrier()
+		da.ExchangeGhosts(me)
+		me.Barrier()
+
+		footprint := tile.Domain()
+		shell := NewDomain(footprint).Subtract(da.Interior())
+		checked := 0
+		shell.ForEach(func(p Point) {
+			owner := da.OwnerOf(p)
+			if owner < 0 {
+				return // global boundary ghost; stays zero
+			}
+			if got := tile.Get(me, p); got != int32(owner+1) {
+				t.Errorf("rank %d ghost %v = %d, want %d", me.ID(), p, got, owner+1)
+			}
+			checked++
+		})
+		if checked == 0 {
+			t.Error("no interior-adjacent ghosts checked")
+		}
+		me.Barrier()
+	})
+}
+
+func TestDistArrayCornersExchangeToo(t *testing.T) {
+	// Unlike a face-only exchange, the shell subtraction covers edge and
+	// corner ghosts (needed by 27-point stencils).
+	core.Run(testCfg(4), func(me *core.Rank) {
+		da := NewDist[int32](me, RD2(0, 0, 4, 4), []int{2, 2}, 1)
+		tile := da.Tile()
+		da.Interior().ForEach(func(p Point) { tile.Set(me, p, int32(10*(me.ID()+1))) })
+		me.Barrier()
+		da.ExchangeGhosts(me)
+		me.Barrier()
+		if me.ID() == 0 {
+			// Rank 0's corner ghost (2,2) is rank 3's interior corner.
+			if got := tile.Get(me, P2(2, 2)); got != 40 {
+				t.Errorf("corner ghost = %d, want 40", got)
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestDistArrayBadFactorizationPanics(t *testing.T) {
+	core.Run(testCfg(3), func(me *core.Rank) {
+		defer func() {
+			if recover() == nil {
+				t.Error("factorization not matching rank count should panic")
+			}
+		}()
+		NewDist[int32](me, RD2(0, 0, 6, 6), []int{2, 2}, 0)
+	})
+}

@@ -1,0 +1,389 @@
+package ndarray
+
+import (
+	"fmt"
+	"iter"
+)
+
+// RectDomain is a strided rectangular index box: the points
+// lo + k*stride for every combination of k >= 0 staying below hi
+// (exclusive upper bound, the convention UPC++ chose over Titanium's
+// inclusive one — paper footnote 1).
+type RectDomain struct {
+	lo, hi, stride Point
+}
+
+// RD builds a unit-stride rectangular domain [lo, hi).
+func RD(lo, hi Point) RectDomain {
+	lo.check(hi, "RD")
+	return RectDomain{lo: lo, hi: hi, stride: Ones(lo.Dim())}
+}
+
+// RDS builds a strided rectangular domain: the paper's
+// RECTDOMAIN((1,2,3), (5,6,7), (1,1,2)). Every stride must be >= 1.
+func RDS(lo, hi, stride Point) RectDomain {
+	lo.check(hi, "RDS")
+	lo.check(stride, "RDS")
+	for d := 0; d < lo.Dim(); d++ {
+		if stride.Get(d) < 1 {
+			panic(fmt.Sprintf("ndarray: stride %v must be >= 1 in every dimension", stride))
+		}
+	}
+	return RectDomain{lo: lo, hi: hi, stride: stride}
+}
+
+// RD1, RD2 and RD3 are unit-stride convenience constructors.
+func RD1(lo, hi int) RectDomain             { return RD(P1(lo), P1(hi)) }
+func RD2(lox, loy, hix, hiy int) RectDomain { return RD(P2(lox, loy), P2(hix, hiy)) }
+func RD3(lox, loy, loz, hix, hiy, hiz int) RectDomain {
+	return RD(P3(lox, loy, loz), P3(hix, hiy, hiz))
+}
+
+// Dim returns the dimensionality.
+func (d RectDomain) Dim() int { return d.lo.Dim() }
+
+// Lo returns the inclusive lower bound.
+func (d RectDomain) Lo() Point { return d.lo }
+
+// Hi returns the exclusive upper bound.
+func (d RectDomain) Hi() Point { return d.hi }
+
+// Stride returns the per-dimension stride.
+func (d RectDomain) Stride() Point { return d.stride }
+
+// Extent returns the number of points along dimension k.
+func (d RectDomain) Extent(k int) int {
+	w := d.hi.Get(k) - d.lo.Get(k)
+	if w <= 0 {
+		return 0
+	}
+	s := d.stride.Get(k)
+	return (w + s - 1) / s
+}
+
+// Size returns the number of points in the domain.
+func (d RectDomain) Size() int {
+	n := 1
+	for k := 0; k < d.Dim(); k++ {
+		n *= d.Extent(k)
+	}
+	return n
+}
+
+// IsEmpty reports whether the domain contains no points.
+func (d RectDomain) IsEmpty() bool { return d.Size() == 0 }
+
+// Contains reports whether p is a point of the domain (inside the box and
+// on the stride lattice).
+func (d RectDomain) Contains(p Point) bool {
+	if p.Dim() != d.Dim() {
+		return false
+	}
+	for k := 0; k < d.Dim(); k++ {
+		v := p.Get(k)
+		if v < d.lo.Get(k) || v >= d.hi.Get(k) {
+			return false
+		}
+		if (v-d.lo.Get(k))%d.stride.Get(k) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two domains contain the same points. Empty
+// domains are all equal.
+func (d RectDomain) Equal(o RectDomain) bool {
+	if d.IsEmpty() && o.IsEmpty() {
+		return d.Dim() == o.Dim()
+	}
+	return d.lo == o.lo && d.hi == o.hi && d.stride == o.stride
+}
+
+// Translate returns the domain shifted by p (domain arithmetic rd + pt).
+func (d RectDomain) Translate(p Point) RectDomain {
+	return RectDomain{lo: d.lo.Add(p), hi: d.hi.Add(p), stride: d.stride}
+}
+
+// Intersect returns the intersection (Titanium's rd1 * rd2). Strides must
+// agree where both domains are strided; arbitrary lattice intersection
+// (different strides) is not supported, matching the library's use cases.
+func (d RectDomain) Intersect(o RectDomain) RectDomain {
+	d.lo.check(o.lo, "Intersect")
+	if d.stride != o.stride {
+		// Allow intersecting with a unit-stride box from either side.
+		if o.stride == Ones(o.Dim()) {
+			return d.clipBox(o.lo, o.hi)
+		}
+		if d.stride == Ones(d.Dim()) {
+			return o.clipBox(d.lo, d.hi)
+		}
+		panic(fmt.Sprintf("ndarray: Intersect of incompatible strides %v and %v", d.stride, o.stride))
+	}
+	if d.stride != Ones(d.Dim()) {
+		// Equal strides: lattices must be congruent.
+		for k := 0; k < d.Dim(); k++ {
+			s := d.stride.Get(k)
+			if (d.lo.Get(k)-o.lo.Get(k))%s != 0 {
+				return RectDomain{lo: d.lo, hi: d.lo, stride: d.stride} // disjoint lattices
+			}
+		}
+	}
+	return d.clipBox(o.lo, o.hi)
+}
+
+// clipBox clips d to the box [blo, bhi), keeping d's lattice.
+func (d RectDomain) clipBox(blo, bhi Point) RectDomain {
+	lo, hi := d.lo, d.hi
+	for k := 0; k < d.Dim(); k++ {
+		s := d.stride.Get(k)
+		l := lo.Get(k)
+		if b := blo.Get(k); b > l {
+			// Round up to the next lattice point.
+			l += ((b - l + s - 1) / s) * s
+		}
+		h := hi.Get(k)
+		if b := bhi.Get(k); b < h {
+			h = b
+		}
+		lo = lo.With(k, l)
+		hi = hi.With(k, h)
+	}
+	return RectDomain{lo: lo, hi: hi, stride: d.stride}
+}
+
+// BoundingBox returns the smallest unit-stride domain containing both
+// operands.
+func (d RectDomain) BoundingBox(o RectDomain) RectDomain {
+	if d.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return d
+	}
+	return RD(d.lo.Min(o.lo), d.hi.Max(o.hi))
+}
+
+// Shrink returns the domain with k points trimmed from every side in
+// every dimension (the interior view of a grid with ghost cells).
+func (d RectDomain) Shrink(k int) RectDomain {
+	g := Ones(d.Dim()).Scale(k)
+	return RectDomain{lo: d.lo.Add(g), hi: d.hi.Sub(g), stride: d.stride}
+}
+
+// Grow returns the domain with k points added on every side in every
+// dimension (accrete; builds the ghosted footprint of an interior).
+func (d RectDomain) Grow(k int) RectDomain {
+	g := Ones(d.Dim()).Scale(k)
+	return RectDomain{lo: d.lo.Sub(g), hi: d.hi.Add(g), stride: d.stride}
+}
+
+// Face returns the thickness-thick face of the domain on the given side
+// of dimension dim: side < 0 takes the low face, side > 0 the high face.
+// Ghost-zone domains fall out of Face applied to a grown interior.
+func (d RectDomain) Face(dim, side, thickness int) RectDomain {
+	lo, hi := d.lo, d.hi
+	if side < 0 {
+		hi = hi.With(dim, lo.Get(dim)+thickness*d.stride.Get(dim))
+	} else {
+		lo = lo.With(dim, hi.Get(dim)-thickness*d.stride.Get(dim))
+	}
+	return RectDomain{lo: lo, hi: hi, stride: d.stride}
+}
+
+// Slice returns the (N-1)-dimensional domain obtained by dropping
+// dimension dim.
+func (d RectDomain) Slice(dim int) RectDomain {
+	return RectDomain{lo: d.lo.Drop(dim), hi: d.hi.Drop(dim), stride: d.stride.Drop(dim)}
+}
+
+// Permute returns the domain with dimensions reordered by perm (as
+// Point.Permute).
+func (d RectDomain) Permute(perm []int) RectDomain {
+	return RectDomain{lo: d.lo.Permute(perm), hi: d.hi.Permute(perm), stride: d.stride.Permute(perm)}
+}
+
+// ForEach calls f for every point of the domain in row-major order (the
+// paper's foreach (p, dom) macro; iterations are sequential on the
+// calling thread, unlike upc_forall).
+func (d RectDomain) ForEach(f func(Point)) {
+	if d.IsEmpty() {
+		return
+	}
+	p := d.lo
+	n := d.Dim()
+	for {
+		f(p)
+		// Odometer increment over the strided lattice.
+		k := n - 1
+		for ; k >= 0; k-- {
+			v := p.Get(k) + d.stride.Get(k)
+			if v < d.hi.Get(k) {
+				p = p.With(k, v)
+				break
+			}
+			p = p.With(k, d.lo.Get(k))
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// All returns a range-over-func iterator over the domain's points in
+// row-major order: for p := range dom.All() { ... }.
+func (d RectDomain) All() iter.Seq[Point] {
+	return func(yield func(Point) bool) {
+		if d.IsEmpty() {
+			return
+		}
+		p := d.lo
+		n := d.Dim()
+		for {
+			if !yield(p) {
+				return
+			}
+			k := n - 1
+			for ; k >= 0; k-- {
+				v := p.Get(k) + d.stride.Get(k)
+				if v < d.hi.Get(k) {
+					p = p.With(k, v)
+					break
+				}
+				p = p.With(k, d.lo.Get(k))
+			}
+			if k < 0 {
+				return
+			}
+		}
+	}
+}
+
+// ForEach3 iterates a 3-D unit-stride domain with scalar indices — the
+// fast inner-loop form the paper's stencil uses (foreach3 (i, j, k, dom)).
+func (d RectDomain) ForEach3(f func(i, j, k int)) {
+	if d.Dim() != 3 {
+		panic("ndarray: ForEach3 on non-3D domain")
+	}
+	si, sj, sk := d.stride.Get(0), d.stride.Get(1), d.stride.Get(2)
+	for i := d.lo.Get(0); i < d.hi.Get(0); i += si {
+		for j := d.lo.Get(1); j < d.hi.Get(1); j += sj {
+			for k := d.lo.Get(2); k < d.hi.Get(2); k += sk {
+				f(i, j, k)
+			}
+		}
+	}
+}
+
+func (d RectDomain) String() string {
+	return fmt.Sprintf("[%v : %v : %v)", d.lo, d.hi, d.stride)
+}
+
+// Domain is a union of disjoint rectangular domains, Titanium's general
+// domain type. It supports the set algebra needed to compute irregular
+// regions such as ghost shells (outer minus interior).
+type Domain struct {
+	rects []RectDomain
+}
+
+// NewDomain builds a domain as the union of the given rectangles.
+func NewDomain(rs ...RectDomain) Domain {
+	var d Domain
+	for _, r := range rs {
+		d = d.Union(r)
+	}
+	return d
+}
+
+// Rects returns the disjoint rectangles making up the domain.
+func (d Domain) Rects() []RectDomain { return d.rects }
+
+// Size returns the number of points.
+func (d Domain) Size() int {
+	n := 0
+	for _, r := range d.rects {
+		n += r.Size()
+	}
+	return n
+}
+
+// IsEmpty reports whether the domain has no points.
+func (d Domain) IsEmpty() bool { return d.Size() == 0 }
+
+// Contains reports whether p lies in the domain.
+func (d Domain) Contains(p Point) bool {
+	for _, r := range d.rects {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns d with the (unit-stride) rectangle r added; overlapping
+// parts are not duplicated.
+func (d Domain) Union(r RectDomain) Domain {
+	if r.IsEmpty() {
+		return d
+	}
+	// Keep only the parts of r not already covered, then append them.
+	pieces := []RectDomain{r}
+	for _, have := range d.rects {
+		var next []RectDomain
+		for _, p := range pieces {
+			next = append(next, subtractRect(p, have)...)
+		}
+		pieces = next
+	}
+	out := Domain{rects: append(append([]RectDomain{}, d.rects...), pieces...)}
+	return out
+}
+
+// Subtract returns d minus the rectangle r.
+func (d Domain) Subtract(r RectDomain) Domain {
+	var out Domain
+	for _, have := range d.rects {
+		out.rects = append(out.rects, subtractRect(have, r)...)
+	}
+	return out
+}
+
+// ForEach visits every point of the domain (rectangle by rectangle).
+func (d Domain) ForEach(f func(Point)) {
+	for _, r := range d.rects {
+		r.ForEach(f)
+	}
+}
+
+// subtractRect returns a \ b as disjoint rectangles, by splitting a along
+// each dimension around b. Unit strides only (the general-domain algebra
+// is defined for unstrided domains, as in Titanium).
+func subtractRect(a, b RectDomain) []RectDomain {
+	inter := a.Intersect(b)
+	if inter.IsEmpty() {
+		if a.IsEmpty() {
+			return nil
+		}
+		return []RectDomain{a}
+	}
+	var out []RectDomain
+	rem := a
+	for k := 0; k < a.Dim(); k++ {
+		// Piece below b in dimension k.
+		if rem.lo.Get(k) < inter.lo.Get(k) {
+			r := rem
+			r.hi = r.hi.With(k, inter.lo.Get(k))
+			out = append(out, r)
+			rem.lo = rem.lo.With(k, inter.lo.Get(k))
+		}
+		// Piece above b in dimension k.
+		if rem.hi.Get(k) > inter.hi.Get(k) {
+			r := rem
+			r.lo = r.lo.With(k, inter.hi.Get(k))
+			out = append(out, r)
+			rem.hi = rem.hi.With(k, inter.hi.Get(k))
+		}
+	}
+	// rem is now exactly the intersection: dropped.
+	return out
+}

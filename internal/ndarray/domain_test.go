@@ -1,0 +1,289 @@
+package ndarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectDomainBasics(t *testing.T) {
+	// The paper's example: RECTDOMAIN((1,2,3), (5,6,7), (1,1,2)).
+	d := RDS(P3(1, 2, 3), P3(5, 6, 7), P3(1, 1, 2))
+	if d.Dim() != 3 {
+		t.Error("Dim")
+	}
+	if d.Extent(0) != 4 || d.Extent(1) != 4 || d.Extent(2) != 2 {
+		t.Errorf("extents: %d %d %d", d.Extent(0), d.Extent(1), d.Extent(2))
+	}
+	if d.Size() != 32 {
+		t.Errorf("Size = %d, want 32", d.Size())
+	}
+	if !d.Contains(P3(1, 2, 3)) || !d.Contains(P3(4, 5, 5)) {
+		t.Error("Contains should include lattice points")
+	}
+	if d.Contains(P3(1, 2, 4)) {
+		t.Error("off-lattice point (z=4 not on stride 2 from 3) should be excluded")
+	}
+	if d.Contains(P3(5, 2, 3)) {
+		t.Error("upper bound is exclusive")
+	}
+}
+
+func TestDomainSizeMatchesIteration(t *testing.T) {
+	doms := []RectDomain{
+		RD3(0, 0, 0, 4, 5, 6),
+		RDS(P3(1, 2, 3), P3(9, 9, 9), P3(2, 3, 1)),
+		RD2(-3, -3, 3, 3),
+		RD1(5, 5), // empty
+		RDS(P2(0, 0), P2(7, 7), P2(3, 3)),
+	}
+	for _, d := range doms {
+		n := 0
+		d.ForEach(func(p Point) {
+			if !d.Contains(p) {
+				t.Errorf("%v yielded point %v outside itself", d, p)
+			}
+			n++
+		})
+		if n != d.Size() {
+			t.Errorf("%v: iterated %d points, Size() says %d", d, n, d.Size())
+		}
+	}
+}
+
+func TestRangeOverFunc(t *testing.T) {
+	d := RD2(0, 0, 3, 3)
+	n := 0
+	for p := range d.All() {
+		if !d.Contains(p) {
+			t.Errorf("All() yielded %v outside domain", p)
+		}
+		n++
+		if n == 5 {
+			break // early break must not panic
+		}
+	}
+	if n != 5 {
+		t.Errorf("early break consumed %d points", n)
+	}
+}
+
+func TestForEachRowMajorOrder(t *testing.T) {
+	d := RD2(0, 0, 2, 3)
+	var got []Point
+	d.ForEach(func(p Point) { got = append(got, p) })
+	want := []Point{P2(0, 0), P2(0, 1), P2(0, 2), P2(1, 0), P2(1, 1), P2(1, 2)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := RD2(0, 0, 10, 10)
+	b := RD2(5, -5, 15, 5)
+	i := a.Intersect(b)
+	if !i.Equal(RD2(5, 0, 10, 5)) {
+		t.Errorf("Intersect = %v", i)
+	}
+	// Disjoint.
+	if !a.Intersect(RD2(20, 20, 30, 30)).IsEmpty() {
+		t.Error("disjoint intersect should be empty")
+	}
+	// Strided with congruent lattice.
+	s1 := RDS(P1(0), P1(20), P1(2))
+	s2 := RDS(P1(6), P1(30), P1(2))
+	si := s1.Intersect(s2)
+	if !si.Equal(RDS(P1(6), P1(20), P1(2))) {
+		t.Errorf("strided intersect = %v", si)
+	}
+	// Incongruent lattices: even vs odd.
+	odd := RDS(P1(1), P1(21), P1(2))
+	if !s1.Intersect(odd).IsEmpty() {
+		t.Error("even and odd lattices should not intersect")
+	}
+	// Strided vs unit-stride box.
+	box := RD1(5, 15)
+	sb := s1.Intersect(box)
+	if !sb.Equal(RDS(P1(6), P1(15), P1(2))) {
+		t.Errorf("strided-clip = %v", sb)
+	}
+}
+
+func TestIntersectPropertyMembership(t *testing.T) {
+	// A point is in the intersection iff it is in both domains.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rd := func() RectDomain {
+			lo := P2(rng.Intn(10)-5, rng.Intn(10)-5)
+			return RD(lo, lo.Add(P2(rng.Intn(8), rng.Intn(8))))
+		}
+		a, b := rd(), rd()
+		inter := a.Intersect(b)
+		for x := -6; x < 14; x++ {
+			for y := -6; y < 14; y++ {
+				p := P2(x, y)
+				if inter.Contains(p) != (a.Contains(p) && b.Contains(p)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	d := RD2(0, 0, 4, 4).Translate(P2(10, -10))
+	if !d.Equal(RD2(10, -10, 14, -6)) {
+		t.Errorf("Translate = %v", d)
+	}
+	if d.Size() != 16 {
+		t.Error("Translate changed size")
+	}
+}
+
+func TestShrinkGrowInverse(t *testing.T) {
+	d := RD3(0, 0, 0, 10, 10, 10)
+	if !d.Shrink(2).Grow(2).Equal(d) {
+		t.Error("Grow should invert Shrink")
+	}
+	if d.Shrink(1).Size() != 512 {
+		t.Errorf("Shrink(1).Size = %d, want 512", d.Shrink(1).Size())
+	}
+	if d.Grow(1).Size() != 12*12*12 {
+		t.Errorf("Grow(1).Size = %d", d.Grow(1).Size())
+	}
+}
+
+func TestFace(t *testing.T) {
+	d := RD3(0, 0, 0, 8, 8, 8)
+	lo := d.Face(0, -1, 1)
+	if !lo.Equal(RD3(0, 0, 0, 1, 8, 8)) {
+		t.Errorf("low face = %v", lo)
+	}
+	hi := d.Face(2, +1, 2)
+	if !hi.Equal(RD3(0, 0, 6, 8, 8, 8)) {
+		t.Errorf("high face = %v", hi)
+	}
+	// A ghost face of a grown domain lies outside the original.
+	ghost := d.Grow(1).Face(1, -1, 1)
+	if !ghost.Intersect(d).IsEmpty() {
+		t.Error("ghost face should not intersect the interior")
+	}
+	if ghost.Size() != 10*10 {
+		t.Errorf("ghost face size = %d, want 100", ghost.Size())
+	}
+}
+
+func TestSlicePermute(t *testing.T) {
+	d := RD3(1, 2, 3, 5, 6, 7)
+	s := d.Slice(1)
+	if !s.Equal(RD2(1, 3, 5, 7)) {
+		t.Errorf("Slice = %v", s)
+	}
+	p := d.Permute([]int{2, 1, 0})
+	if !p.Equal(RD3(3, 2, 1, 7, 6, 5)) {
+		t.Errorf("Permute = %v", p)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	a, b := RD2(0, 0, 2, 2), RD2(5, 5, 7, 9)
+	bb := a.BoundingBox(b)
+	if !bb.Equal(RD2(0, 0, 7, 9)) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if !a.BoundingBox(RD2(3, 3, 3, 3)).Equal(a) {
+		t.Error("bounding box with empty should be identity")
+	}
+}
+
+func TestGeneralDomainUnionSubtract(t *testing.T) {
+	// The ghost shell: a grown box minus its interior.
+	outer := RD2(0, 0, 6, 6)
+	inner := outer.Shrink(1)
+	shell := NewDomain(outer).Subtract(inner)
+	if shell.Size() != 36-16 {
+		t.Errorf("shell size = %d, want 20", shell.Size())
+	}
+	outer.ForEach(func(p Point) {
+		want := !inner.Contains(p)
+		if shell.Contains(p) != want {
+			t.Errorf("shell membership of %v = %v, want %v", p, shell.Contains(p), want)
+		}
+	})
+	// Union must not double count.
+	u := NewDomain(RD2(0, 0, 4, 4), RD2(2, 2, 6, 6))
+	if u.Size() != 16+16-4 {
+		t.Errorf("union size = %d, want 28", u.Size())
+	}
+}
+
+func TestDomainSubtractPropertyDisjointCover(t *testing.T) {
+	// a \ b pieces are disjoint and cover exactly a minus b.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rd := func() RectDomain {
+			lo := P2(rng.Intn(8), rng.Intn(8))
+			return RD(lo, lo.Add(P2(1+rng.Intn(6), 1+rng.Intn(6))))
+		}
+		a, b := rd(), rd()
+		pieces := subtractRect(a, b)
+		seen := map[Point]int{}
+		for _, r := range pieces {
+			r.ForEach(func(p Point) { seen[p]++ })
+		}
+		for p, n := range seen {
+			if n != 1 {
+				return false // overlap between pieces
+			}
+			if !a.Contains(p) || b.Contains(p) {
+				return false // outside a \ b
+			}
+		}
+		count := 0
+		a.ForEach(func(p Point) {
+			if !b.Contains(p) {
+				count++
+			}
+		})
+		return count == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEach3MatchesForEach(t *testing.T) {
+	d := RDS(P3(0, 1, 2), P3(6, 7, 8), P3(2, 3, 1))
+	var a, b []Point
+	d.ForEach(func(p Point) { a = append(a, p) })
+	d.ForEach3(func(i, j, k int) { b = append(b, P3(i, j, k)) })
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmptyDomainEdgeCases(t *testing.T) {
+	e := RD2(3, 3, 3, 3)
+	if !e.IsEmpty() || e.Size() != 0 {
+		t.Error("degenerate domain should be empty")
+	}
+	e.ForEach(func(Point) { t.Error("empty domain iterated") })
+	if e.Contains(P2(3, 3)) {
+		t.Error("empty domain contains nothing")
+	}
+	inv := RD2(5, 5, 2, 2) // hi < lo
+	if !inv.IsEmpty() {
+		t.Error("inverted bounds should be empty")
+	}
+}

@@ -1,0 +1,241 @@
+// Package ndarray is the multidimensional domain and array library of
+// UPC++ (paper §III-E), modeled on Titanium's domains and arrays (which
+// descend from ZPL): points are coordinates in N-dimensional space,
+// rectangular domains are strided index boxes (lower bound inclusive,
+// upper bound exclusive, as UPC++ chose), and arrays are mappings from a
+// rectangular domain to elements living on a single — possibly remote —
+// rank.
+//
+// Arrays support zero-copy views: Constrict (restrict to a subdomain),
+// Slice (drop a dimension), Translate (shift the index space), Permute
+// (reorder dimensions), and one-sided CopyFrom with automatic domain
+// intersection, packing and unpacking — the operation that turns a ghost
+// exchange into the paper's single statement
+// A.constrict(ghost).copy(B).
+//
+// Where C++ UPC++ uses macros (POINT, RECTDOMAIN, ARRAY, foreach), Go uses
+// ordinary constructors (P, RD, New) and iteration helpers (ForEach,
+// RectDomain.All with range-over-func).
+package ndarray
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxDims is the largest supported dimensionality; the paper's
+// applications use up to 3.
+const MaxDims = 4
+
+// Point is a coordinate in n-dimensional space (Titanium's point<N>).
+// Point is a comparable POD value: it may be stored in shared memory and
+// used as a map key.
+type Point struct {
+	n int32
+	c [MaxDims]int32
+}
+
+// P builds a point from coordinates: P(1,2,3) is the paper's POINT(1,2,3).
+func P(coords ...int) Point {
+	if len(coords) == 0 || len(coords) > MaxDims {
+		panic(fmt.Sprintf("ndarray: point dimensionality %d out of range 1..%d", len(coords), MaxDims))
+	}
+	var p Point
+	p.n = int32(len(coords))
+	for i, c := range coords {
+		p.c[i] = int32(c)
+	}
+	return p
+}
+
+// P1, P2 and P3 are allocation-free constructors for the common ranks.
+func P1(x int) Point       { return Point{n: 1, c: [MaxDims]int32{int32(x)}} }
+func P2(x, y int) Point    { return Point{n: 2, c: [MaxDims]int32{int32(x), int32(y)}} }
+func P3(x, y, z int) Point { return Point{n: 3, c: [MaxDims]int32{int32(x), int32(y), int32(z)}} }
+
+// Ones returns the n-dimensional point with every coordinate 1 (the
+// default stride).
+func Ones(n int) Point {
+	var p Point
+	p.n = int32(n)
+	for i := 0; i < n; i++ {
+		p.c[i] = 1
+	}
+	return p
+}
+
+// Zero returns the n-dimensional origin.
+func Zero(n int) Point { return Point{n: int32(n)} }
+
+// Dim returns the dimensionality.
+func (p Point) Dim() int { return int(p.n) }
+
+// Get returns coordinate d (0-based; Titanium's pt[d+1]).
+func (p Point) Get(d int) int { return int(p.c[d]) }
+
+// With returns a copy of p with coordinate d replaced by v.
+func (p Point) With(d, v int) Point {
+	p.c[d] = int32(v)
+	return p
+}
+
+func (p Point) check(q Point, op string) {
+	if p.n != q.n {
+		panic(fmt.Sprintf("ndarray: %s of %dD and %dD points", op, p.n, q.n))
+	}
+}
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point {
+	p.check(q, "Add")
+	for i := int32(0); i < p.n; i++ {
+		p.c[i] += q.c[i]
+	}
+	return p
+}
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point {
+	p.check(q, "Sub")
+	for i := int32(0); i < p.n; i++ {
+		p.c[i] -= q.c[i]
+	}
+	return p
+}
+
+// Neg returns -p.
+func (p Point) Neg() Point {
+	for i := int32(0); i < p.n; i++ {
+		p.c[i] = -p.c[i]
+	}
+	return p
+}
+
+// Scale returns p with every coordinate multiplied by k.
+func (p Point) Scale(k int) Point {
+	for i := int32(0); i < p.n; i++ {
+		p.c[i] *= int32(k)
+	}
+	return p
+}
+
+// Mul returns the componentwise product p * q.
+func (p Point) Mul(q Point) Point {
+	p.check(q, "Mul")
+	for i := int32(0); i < p.n; i++ {
+		p.c[i] *= q.c[i]
+	}
+	return p
+}
+
+// Min returns the componentwise minimum.
+func (p Point) Min(q Point) Point {
+	p.check(q, "Min")
+	for i := int32(0); i < p.n; i++ {
+		if q.c[i] < p.c[i] {
+			p.c[i] = q.c[i]
+		}
+	}
+	return p
+}
+
+// Max returns the componentwise maximum.
+func (p Point) Max(q Point) Point {
+	p.check(q, "Max")
+	for i := int32(0); i < p.n; i++ {
+		if q.c[i] > p.c[i] {
+			p.c[i] = q.c[i]
+		}
+	}
+	return p
+}
+
+// AllLess reports whether p < q in every coordinate.
+func (p Point) AllLess(q Point) bool {
+	p.check(q, "AllLess")
+	for i := int32(0); i < p.n; i++ {
+		if p.c[i] >= q.c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllLeq reports whether p <= q in every coordinate.
+func (p Point) AllLeq(q Point) bool {
+	p.check(q, "AllLeq")
+	for i := int32(0); i < p.n; i++ {
+		if p.c[i] > q.c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Product returns the product of the coordinates.
+func (p Point) Product() int {
+	v := 1
+	for i := int32(0); i < p.n; i++ {
+		v *= int(p.c[i])
+	}
+	return v
+}
+
+// Drop returns the (n-1)-dimensional point with coordinate d removed.
+func (p Point) Drop(d int) Point {
+	var q Point
+	q.n = p.n - 1
+	k := 0
+	for i := 0; i < int(p.n); i++ {
+		if i == d {
+			continue
+		}
+		q.c[k] = p.c[i]
+		k++
+	}
+	return q
+}
+
+// Insert returns the (n+1)-dimensional point with v inserted as
+// coordinate d.
+func (p Point) Insert(d, v int) Point {
+	var q Point
+	q.n = p.n + 1
+	k := 0
+	for i := 0; i < int(q.n); i++ {
+		if i == d {
+			q.c[i] = int32(v)
+			continue
+		}
+		q.c[i] = p.c[k]
+		k++
+	}
+	return q
+}
+
+// Permute returns p with coordinates reordered so that result[i] =
+// p[perm[i]]; perm must be a permutation of 0..n-1.
+func (p Point) Permute(perm []int) Point {
+	if len(perm) != int(p.n) {
+		panic("ndarray: Permute length mismatch")
+	}
+	var q Point
+	q.n = p.n
+	for i, src := range perm {
+		q.c[i] = p.c[src]
+	}
+	return q
+}
+
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < int(p.n); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", p.c[i])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

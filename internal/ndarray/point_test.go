@@ -1,0 +1,130 @@
+package ndarray
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointConstructors(t *testing.T) {
+	if P(1, 2, 3) != P3(1, 2, 3) {
+		t.Error("P and P3 disagree")
+	}
+	if P(5) != P1(5) || P(4, 7) != P2(4, 7) {
+		t.Error("P and P1/P2 disagree")
+	}
+	p := P(1, 2, 3)
+	if p.Dim() != 3 || p.Get(0) != 1 || p.Get(2) != 3 {
+		t.Errorf("accessors broken: %v", p)
+	}
+}
+
+func TestPointBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("P() with no coords should panic")
+		}
+	}()
+	P()
+}
+
+func TestPointMismatchedDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add of mismatched dims should panic")
+		}
+	}()
+	P2(1, 2).Add(P3(1, 2, 3))
+}
+
+func TestPointArithmetic(t *testing.T) {
+	a, b := P3(1, 2, 3), P3(10, 20, 30)
+	if a.Add(b) != P3(11, 22, 33) {
+		t.Error("Add")
+	}
+	if b.Sub(a) != P3(9, 18, 27) {
+		t.Error("Sub")
+	}
+	if a.Neg() != P3(-1, -2, -3) {
+		t.Error("Neg")
+	}
+	if a.Scale(4) != P3(4, 8, 12) {
+		t.Error("Scale")
+	}
+	if a.Mul(b) != P3(10, 40, 90) {
+		t.Error("Mul")
+	}
+	if a.Min(P3(0, 5, 2)) != P3(0, 2, 2) {
+		t.Error("Min")
+	}
+	if a.Max(P3(0, 5, 2)) != P3(1, 5, 3) {
+		t.Error("Max")
+	}
+	if a.Product() != 6 {
+		t.Error("Product")
+	}
+	if !a.AllLess(b) || b.AllLess(a) {
+		t.Error("AllLess")
+	}
+	if !a.AllLeq(a) {
+		t.Error("AllLeq should be reflexive")
+	}
+}
+
+func TestPointDropInsert(t *testing.T) {
+	p := P3(7, 8, 9)
+	if p.Drop(1) != P2(7, 9) {
+		t.Errorf("Drop(1) = %v", p.Drop(1))
+	}
+	if p.Drop(1).Insert(1, 8) != p {
+		t.Error("Insert should invert Drop")
+	}
+	if p.Drop(0) != P2(8, 9) || p.Drop(2) != P2(7, 8) {
+		t.Error("Drop at ends")
+	}
+}
+
+func TestPointPermute(t *testing.T) {
+	p := P3(1, 2, 3)
+	if p.Permute([]int{2, 0, 1}) != P3(3, 1, 2) {
+		t.Errorf("Permute = %v", p.Permute([]int{2, 0, 1}))
+	}
+	if p.Permute([]int{0, 1, 2}) != p {
+		t.Error("identity permutation changed point")
+	}
+}
+
+func TestPointPropertyAddSubInverse(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz int16) bool {
+		a := P3(int(ax), int(ay), int(az))
+		b := P3(int(bx), int(by), int(bz))
+		return a.Add(b).Sub(b) == a && a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointPropertyMinMaxLattice(t *testing.T) {
+	// Min and Max form a lattice: Min(a,b) <= both <= Max(a,b).
+	f := func(ax, ay, bx, by int16) bool {
+		a := P2(int(ax), int(ay))
+		b := P2(int(bx), int(by))
+		lo, hi := a.Min(b), a.Max(b)
+		return lo.AllLeq(a) && lo.AllLeq(b) && a.AllLeq(hi) && b.AllLeq(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if P3(1, 2, 3).String() != "[1, 2, 3]" {
+		t.Errorf("String = %q", P3(1, 2, 3).String())
+	}
+}
+
+func TestOnesZero(t *testing.T) {
+	if Ones(3) != P3(1, 1, 1) || Zero(2) != P2(0, 0) {
+		t.Error("Ones/Zero")
+	}
+}

@@ -1,0 +1,67 @@
+package ndarray
+
+import "upcxx/internal/core"
+
+// Ref is a POD handle to an Array that can be stored in shared memory —
+// in particular in a core.SharedArray — enabling the paper's directory
+// idiom for distributing multidimensional data:
+//
+//	shared_array< ndarray<int, 3> > dir(THREADS);
+//	dir[MYTHREAD] = ARRAY(int, ...);
+//
+// becomes
+//
+//	dir := core.NewSharedArray[ndarray.Ref[int32]](me, me.Ranks(), 1)
+//	dir.Set(me, me.ID(), grid.Ref())
+//
+// Any rank can reconstruct a usable (remote) view with FromRef and then
+// Get/Set/CopyFrom against it.
+type Ref[T any] struct {
+	Dom      RectDomain
+	Origin   Point
+	Lat      Point
+	Strides  [MaxDims]int64
+	Offset   int64
+	Owner    int32
+	GP       core.GlobalPtr[T]
+	AllocLen int64
+	Unstrid  bool
+}
+
+// Ref returns the POD handle of the array view.
+func (a *Array[T]) Ref() Ref[T] {
+	r := Ref[T]{
+		Dom:      a.dom,
+		Origin:   a.origin,
+		Lat:      a.lat,
+		Offset:   int64(a.offset),
+		Owner:    int32(a.owner),
+		GP:       a.gp,
+		AllocLen: int64(a.alloclen),
+		Unstrid:  a.unstrid,
+	}
+	for i, s := range a.strides {
+		r.Strides[i] = int64(s)
+	}
+	return r
+}
+
+// FromRef reconstructs an array view from a POD handle. On the owning
+// rank the view is directly addressable; elsewhere accesses go through
+// the one-sided machinery.
+func FromRef[T any](ref Ref[T]) *Array[T] {
+	a := &Array[T]{
+		dom:      ref.Dom,
+		origin:   ref.Origin,
+		lat:      ref.Lat,
+		offset:   int(ref.Offset),
+		owner:    int(ref.Owner),
+		gp:       ref.GP,
+		alloclen: int(ref.AllocLen),
+		unstrid:  ref.Unstrid,
+	}
+	for i, s := range ref.Strides {
+		a.strides[i] = int(s)
+	}
+	return a
+}

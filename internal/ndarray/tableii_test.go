@@ -1,0 +1,63 @@
+package ndarray
+
+import (
+	"testing"
+
+	"upcxx/internal/core"
+)
+
+// TestTableII walks Table II of the paper: every Titanium domain/array
+// syntax has a UPC++ equivalent, and here a Go equivalent. Each row is
+// exercised with the paper's own literal values.
+func TestTableII(t *testing.T) {
+	core.Run(testCfg(1), func(me *core.Rank) {
+		// Point literals: [1, 2] and [1, 2, 3] -> POINT(1, 2), POINT(1, 2, 3).
+		p2 := P(1, 2)
+		p3 := P(1, 2, 3)
+		if p2.Dim() != 2 || p3.Dim() != 3 {
+			t.Error("point literals")
+		}
+
+		// Rectangular domains: [[1,2] : [8,8] : [1,3]] (Titanium,
+		// inclusive) -> RECTDOMAIN((1,2), (9,9), (1,3)) (UPC++,
+		// exclusive upper bound, one greater per dimension).
+		rd := RDS(P(1, 2), P(9, 9), P(1, 3))
+		if rd.Size() != 8*3 { // x: 1..8 step 1 (8), y: 2,5,8 (3)
+			t.Errorf("rectdomain size = %d, want 24", rd.Size())
+		}
+
+		// Domain arithmetic: rd1 + rd2 (union/bounding), rd1 * rd2
+		// (intersection).
+		rd1 := RD2(0, 0, 4, 4)
+		rd2 := RD2(2, 2, 6, 6)
+		if rd1.Intersect(rd2).Size() != 4 {
+			t.Error("rd1 * rd2")
+		}
+		if NewDomain(rd1, rd2).Size() != 16+16-4 {
+			t.Error("rd1 + rd2")
+		}
+
+		// Array literals: new int[[1,2]:[8,8]:[1,3]] ->
+		// ARRAY(int, ((1,2), (9,9), (1,3))).
+		arr := New[int32](me, rd)
+		if arr.Domain().Size() != 24 {
+			t.Error("array literal over strided domain")
+		}
+
+		// Array indexing: array[pt] both ways.
+		arr.Set(me, P(3, 5), 11)
+		if arr.Get(me, P(3, 5)) != 11 {
+			t.Error("array[pt]")
+		}
+
+		// Iteration: foreach (p in dom) -> ForEach / range All().
+		n := 0
+		rd.ForEach(func(Point) { n++ })
+		for range rd.All() {
+			n++
+		}
+		if n != 48 {
+			t.Errorf("foreach visited %d, want 48", n)
+		}
+	})
+}

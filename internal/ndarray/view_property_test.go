@@ -1,0 +1,150 @@
+package ndarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"upcxx/internal/core"
+)
+
+// TestViewChainProperty drives random chains of view operations
+// (Constrict, Translate, Slice, Permute) over a 3-D array and checks the
+// fundamental view invariant: a view addresses exactly the parent's
+// elements under the composed coordinate transform — writes through any
+// view are visible at the corresponding parent point.
+func TestViewChainProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		core.Run(testCfg(1), func(me *core.Rank) {
+			rng := rand.New(rand.NewSource(seed))
+			base := New[int64](me, RD3(0, 0, 0, 6, 6, 6))
+			// Fill base with its own linear index.
+			i := 0
+			base.Domain().ForEach(func(p Point) { base.Set(me, p, int64(i)); i++ })
+
+			// invert maps a view point back to base coordinates.
+			type xform func(Point) Point
+			view := base
+			invert := func(p Point) Point { return p }
+			for step := 0; step < 6 && view.Domain().Size() > 0; step++ {
+				prevInvert := invert
+				switch rng.Intn(3) {
+				case 0: // Constrict to a random subbox.
+					d := view.Domain()
+					if d.Dim() == 0 {
+						continue
+					}
+					lo, hi := d.Lo(), d.Hi()
+					nlo, nhi := lo, hi
+					for k := 0; k < d.Dim(); k++ {
+						w := hi.Get(k) - lo.Get(k)
+						if w <= 1 {
+							continue
+						}
+						a := lo.Get(k) + rng.Intn(w/2+1)
+						b := a + 1 + rng.Intn(hi.Get(k)-a)
+						nlo = nlo.With(k, a)
+						nhi = nhi.With(k, b)
+					}
+					view = view.Constrict(RectDomain{lo: nlo, hi: nhi, stride: d.Stride()})
+					// Constrict does not change coordinates.
+				case 1: // Translate by a random offset.
+					d := view.Domain()
+					off := Zero(d.Dim())
+					for k := 0; k < d.Dim(); k++ {
+						off = off.With(k, rng.Intn(7)-3)
+					}
+					view = view.Translate(off)
+					invert = func(p Point) Point { return prevInvert(p.Sub(off)) }
+				case 2: // Permute (dims >= 2 only).
+					d := view.Domain()
+					if d.Dim() < 2 {
+						continue
+					}
+					perm := rng.Perm(d.Dim())
+					view = view.Permute(perm)
+					// inverse permutation
+					inv := make([]int, len(perm))
+					for i, s := range perm {
+						inv[s] = i
+					}
+					invert = func(p Point) Point { return prevInvert(p.Permute(inv)) }
+				}
+			}
+			if view.Domain().IsEmpty() {
+				return
+			}
+			// Read check: every view point equals base at the inverted point.
+			view.Domain().ForEach(func(p Point) {
+				if view.Get(me, p) != base.Get(me, invert(p)) {
+					ok = false
+				}
+			})
+			// Write check through one random point.
+			d := view.Domain()
+			probe := d.Lo()
+			view.Set(me, probe, -777)
+			if base.Get(me, invert(probe)) != -777 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSliceComposition checks that slicing all dims one at a time reaches
+// the same element as direct indexing.
+func TestSliceComposition(t *testing.T) {
+	core.Run(testCfg(1), func(me *core.Rank) {
+		a := New[int32](me, RD3(1, 2, 3, 5, 6, 7))
+		a.Set(me, P3(3, 4, 5), 42)
+		s := a.Slice(0, 3).Slice(0, 4) // fix x=3, then y=4: 1-D over z
+		if s.Domain().Dim() != 1 {
+			t.Fatalf("dim = %d", s.Domain().Dim())
+		}
+		if got := s.Get(me, P1(5)); got != 42 {
+			t.Errorf("composed slice read %d, want 42", got)
+		}
+		s.Set(me, P1(6), 9)
+		if a.Get(me, P3(3, 4, 6)) != 9 {
+			t.Error("composed slice write lost")
+		}
+	})
+}
+
+// TestPermuteRoundTrip: permuting by a permutation and its inverse is the
+// identity view.
+func TestPermuteRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		ok := true
+		core.Run(testCfg(1), func(me *core.Rank) {
+			rng := rand.New(rand.NewSource(seed))
+			a := New[int32](me, RD3(0, 0, 0, 3, 4, 5))
+			i := int32(0)
+			a.Domain().ForEach(func(p Point) { a.Set(me, p, i); i++ })
+			perm := rng.Perm(3)
+			inv := make([]int, 3)
+			for i, s := range perm {
+				inv[s] = i
+			}
+			b := a.Permute(perm).Permute(inv)
+			if !b.Domain().Equal(a.Domain()) {
+				ok = false
+				return
+			}
+			a.Domain().ForEach(func(p Point) {
+				if a.Get(me, p) != b.Get(me, p) {
+					ok = false
+				}
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

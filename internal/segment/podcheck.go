@@ -1,0 +1,66 @@
+package segment
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+var podCache sync.Map // reflect.Type -> error (nil entry means OK)
+
+// CheckPOD reports whether t may be stored in a shared segment: it must
+// contain no Go pointers, since segment bytes are invisible to the garbage
+// collector (the same restriction a registered RDMA segment imposes on the
+// host language). The result is cached per type.
+func CheckPOD(t reflect.Type) error {
+	if v, ok := podCache.Load(t); ok {
+		if v == nil {
+			return nil
+		}
+		return v.(error)
+	}
+	err := checkPOD(t, nil)
+	if err == nil {
+		podCache.Store(t, nil)
+	} else {
+		podCache.Store(t, err)
+	}
+	return err
+}
+
+func checkPOD(t reflect.Type, path []string) error {
+	bad := func(why string) error {
+		loc := t.String()
+		if len(path) > 0 {
+			loc = fmt.Sprintf("%s (at %v)", loc, path)
+		}
+		return fmt.Errorf("segment: type %s is not pointer-free: %s", loc, why)
+	}
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return nil
+	case reflect.Array:
+		return checkPOD(t.Elem(), append(path, "[]"))
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if err := checkPOD(f.Type, append(path, f.Name)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Ptr, reflect.UnsafePointer:
+		return bad("contains a pointer")
+	case reflect.Slice:
+		return bad("contains a slice header")
+	case reflect.String:
+		return bad("contains a string header")
+	case reflect.Map, reflect.Chan, reflect.Func, reflect.Interface:
+		return bad("contains a " + t.Kind().String())
+	default:
+		return bad("unsupported kind " + t.Kind().String())
+	}
+}

@@ -1,0 +1,263 @@
+package segment
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestAllocAligned(t *testing.T) {
+	s := New(1 << 16)
+	for i := 0; i < 20; i++ {
+		off, err := s.Alloc(uint64(1 + i*7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off%Align != 0 {
+			t.Fatalf("allocation %d at off %d not %d-aligned", i, off, Align)
+		}
+	}
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	s := New(1 << 12)
+	a, _ := s.Alloc(1024)
+	b, _ := s.Alloc(1024)
+	if a == b {
+		t.Fatal("distinct allocations share an offset")
+	}
+	if err := s.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Errorf("first-fit should reuse freed block: got %d want %d", c, a)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	s := New(1 << 10)
+	if _, err := s.Alloc(2 << 10); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+	// Fill completely, then one more byte must fail.
+	if _, err := s.Alloc(1 << 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(1); err == nil {
+		t.Fatal("expected out-of-memory after exhaustion")
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	s := New(1 << 10)
+	off, _ := s.Alloc(64)
+	if err := s.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(off); err == nil {
+		t.Fatal("double free should error")
+	}
+	if err := s.Free(12345); err == nil {
+		t.Fatal("free of random offset should error")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	s := New(1 << 12)
+	var offs []uint64
+	for i := 0; i < 8; i++ {
+		o, err := s.Alloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, o)
+	}
+	// Free all in a scrambled order; the free list must coalesce back to
+	// one block covering the whole segment.
+	for _, i := range []int{3, 1, 7, 0, 5, 2, 6, 4} {
+		if err := s.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.FreeBlocks(); got != 1 {
+		t.Fatalf("after freeing everything, free list has %d blocks, want 1", got)
+	}
+	if s.InUse() != 0 {
+		t.Fatalf("InUse = %d after freeing everything", s.InUse())
+	}
+	// Whole capacity must be allocatable again.
+	if _, err := s.Alloc(s.Capacity()); err != nil {
+		t.Fatalf("cannot re-allocate full capacity: %v", err)
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	s := New(1 << 12)
+	a, _ := s.Alloc(1024)
+	b, _ := s.Alloc(1024)
+	s.Free(a)
+	s.Free(b)
+	if s.Peak() != 2048 {
+		t.Errorf("Peak = %d, want 2048", s.Peak())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := New(1 << 12)
+	off, _ := s.Alloc(64)
+	in := []byte("hello, global address space!")
+	s.Write(off, in)
+	out := make([]byte, len(in))
+	s.Read(off, out)
+	if string(out) != string(in) {
+		t.Fatalf("round trip: got %q want %q", out, in)
+	}
+}
+
+func TestTypedAccess(t *testing.T) {
+	type vec struct{ X, Y, Z float64 }
+	s := New(1 << 12)
+	off, _ := s.Alloc(uint64(unsafe.Sizeof(vec{})) * 4)
+	vs := Slice[vec](s, off, 4)
+	vs[2] = vec{1, 2, 3}
+	if p := At[vec](s, off+2*uint64(unsafe.Sizeof(vec{}))); *p != (vec{1, 2, 3}) {
+		t.Fatalf("typed views disagree: %+v", *p)
+	}
+}
+
+// TestAllocatorPropertyNoOverlap drives random alloc/free sequences and
+// checks the fundamental allocator invariants: live allocations never
+// overlap, never exceed capacity, and InUse accounting is exact.
+func TestAllocatorPropertyNoOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(1 << 14)
+		type allocation struct{ off, size uint64 }
+		var live []allocation
+		var accounted uint64
+		for step := 0; step < 200; step++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				size := uint64(1 + rng.Intn(1000))
+				off, err := s.Alloc(size)
+				if err != nil {
+					continue // segment full; acceptable
+				}
+				rounded := (size + Align - 1) &^ uint64(Align-1)
+				// No overlap with any live allocation.
+				for _, a := range live {
+					if off < a.off+a.size && a.off < off+rounded {
+						return false
+					}
+				}
+				if off+rounded > s.Capacity() {
+					return false
+				}
+				live = append(live, allocation{off, rounded})
+				accounted += rounded
+			} else {
+				i := rng.Intn(len(live))
+				if err := s.Free(live[i].off); err != nil {
+					return false
+				}
+				accounted -= live[i].size
+				live = append(live[:i], live[i+1:]...)
+			}
+			if s.InUse() != accounted {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckPOD(t *testing.T) {
+	type ok1 struct {
+		A int64
+		B [3]float64
+		C struct{ X, Y uint8 }
+	}
+	type bad1 struct{ P *int }
+	type bad2 struct{ S []byte }
+	type bad3 struct{ M map[string]int }
+	type bad4 struct{ Str string }
+	goods := []reflect.Type{
+		reflect.TypeOf(int64(0)),
+		reflect.TypeOf(3.14),
+		reflect.TypeOf([4]uint64{}),
+		reflect.TypeOf(ok1{}),
+		reflect.TypeOf(complex128(0)),
+	}
+	for _, g := range goods {
+		if err := CheckPOD(g); err != nil {
+			t.Errorf("CheckPOD(%v) = %v, want nil", g, err)
+		}
+	}
+	bads := []reflect.Type{
+		reflect.TypeOf(bad1{}),
+		reflect.TypeOf(bad2{}),
+		reflect.TypeOf(bad3{}),
+		reflect.TypeOf(bad4{}),
+		reflect.TypeOf(&ok1{}),
+		reflect.TypeOf("s"),
+		reflect.TypeOf([]int{}),
+		reflect.TypeOf(make(chan int)),
+	}
+	for _, b := range bads {
+		if err := CheckPOD(b); err == nil {
+			t.Errorf("CheckPOD(%v) = nil, want error", b)
+		}
+	}
+	// Cached second lookup must agree.
+	if err := CheckPOD(reflect.TypeOf(bad1{})); err == nil {
+		t.Error("cached CheckPOD lost the error")
+	}
+	if err := CheckPOD(reflect.TypeOf(ok1{})); err != nil {
+		t.Error("cached CheckPOD invented an error")
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	// Remote-access data path: concurrent readers/writers on disjoint
+	// allocations must not corrupt each other.
+	s := New(1 << 16)
+	const n = 8
+	offs := make([]uint64, n)
+	for i := range offs {
+		offs[i], _ = s.Alloc(64)
+	}
+	done := make(chan bool)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			pat := byte(i + 1)
+			buf := make([]byte, 64)
+			for j := range buf {
+				buf[j] = pat
+			}
+			for iter := 0; iter < 100; iter++ {
+				s.Write(offs[i], buf)
+				out := make([]byte, 64)
+				s.Read(offs[i], out)
+				for _, b := range out {
+					if b != pat {
+						t.Errorf("rank %d read corrupted byte %d", i, b)
+						done <- false
+						return
+					}
+				}
+			}
+			done <- true
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,182 @@
+// Package sim provides the performance-modeling substrate for upcxx-go.
+//
+// The paper evaluates UPC++ on two supercomputers (Edison, a Cray XC30 with
+// an Aries Dragonfly interconnect, and Vesta, an IBM BG/Q with a 5D torus)
+// at up to 32K cores. This repository runs on a single machine, so the
+// hardware is replaced by a LogGP-style analytic network model: every
+// runtime operation charges latency (L), per-message software overhead (o),
+// inter-message gap (g) and per-byte cost (G) to a per-rank virtual clock.
+// Rank counts, algorithms, message sizes and memory traffic are all real;
+// only *time* is modeled. See DESIGN.md §4 for the substitution argument.
+package sim
+
+import "math"
+
+// Topology selects the network-diameter model used to derive the one-way
+// latency as a function of job size.
+type Topology int
+
+const (
+	// TopoFlat models a crossbar: latency independent of node count.
+	TopoFlat Topology = iota
+	// TopoDragonfly models the Aries Dragonfly used by Edison: small,
+	// nearly constant diameter with a mild logarithmic growth term.
+	TopoDragonfly
+	// TopoTorus5D models the BG/Q 5D torus: diameter grows as the fifth
+	// root of the node count.
+	TopoTorus5D
+)
+
+// Machine describes the hardware half of the performance model: node
+// geometry, compute rates and LogGP network parameters. All times are in
+// nanoseconds, all rates in units per nanosecond.
+type Machine struct {
+	Name         string
+	CoresPerNode int
+
+	// PeakFlopsPerNs is the per-core peak floating-point rate
+	// (flops per nanosecond, i.e. GFLOP/s).
+	PeakFlopsPerNs float64
+
+	// MemBytesPerNs is the per-core sustained memory bandwidth
+	// (bytes per nanosecond, i.e. GB/s); used by memory-bound kernels.
+	MemBytesPerNs float64
+
+	// NICLatencyNs is the base one-way network latency between two nodes
+	// that are adjacent in the topology (NIC + first hop).
+	NICLatencyNs float64
+
+	// HopLatencyNs is the additional one-way latency per topological hop.
+	HopLatencyNs float64
+
+	// IntraNodeNs is the one-way latency between two ranks on the same
+	// node (shared-memory transport).
+	IntraNodeNs float64
+
+	// BytesPerNs is the per-rank injection bandwidth (bytes/ns = GB/s).
+	BytesPerNs float64
+
+	// GapNs is the LogGP g parameter: minimum interval between
+	// consecutive message injections by one rank.
+	GapNs float64
+
+	// EagerBytes is the eager/rendezvous protocol threshold used by the
+	// two-sided (MPI) baseline.
+	EagerBytes int
+
+	Topo Topology
+}
+
+// Hops returns the modeled average hop count for a job spanning the given
+// number of nodes.
+func (m Machine) Hops(nodes int) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	n := float64(nodes)
+	switch m.Topo {
+	case TopoDragonfly:
+		// Dragonfly diameter is small and nearly flat; average path
+		// length grows very slowly with machine size.
+		return 1.5 + 0.25*math.Log2(n)
+	case TopoTorus5D:
+		// Average distance in a balanced 5D torus scales with the
+		// fifth root of the node count (quarter-diameter per dim).
+		return 1.25 * math.Pow(n, 1.0/5.0)
+	default:
+		return 1
+	}
+}
+
+// OneWayNs returns the modeled one-way latency between two distinct nodes
+// in a job spanning the given number of nodes.
+func (m Machine) OneWayNs(nodes int) float64 {
+	return m.NICLatencyNs + m.HopLatencyNs*m.Hops(nodes)
+}
+
+// Nodes returns the number of nodes occupied by a job of the given rank
+// count with block rank-to-node placement.
+func (m Machine) Nodes(ranks int) int {
+	if m.CoresPerNode <= 0 {
+		return 1
+	}
+	return (ranks + m.CoresPerNode - 1) / m.CoresPerNode
+}
+
+// Node returns the node index hosting the given rank.
+func (m Machine) Node(rank int) int {
+	if m.CoresPerNode <= 0 {
+		return 0
+	}
+	return rank / m.CoresPerNode
+}
+
+// Predefined machine profiles. The constants are calibrated so that the
+// benchmark harness lands in the same decade as the paper's absolute
+// numbers (see EXPERIMENTS.md); the *shape* of every figure depends only on
+// the relative software-overhead profiles in sw.go.
+var (
+	// Edison models NERSC's Cray XC30: 2x12-core Ivy Bridge nodes
+	// (19.2 GF/s/core peak), Aries Dragonfly interconnect with ~1.3us
+	// small-message latency and ~8 GB/s per-node injection bandwidth.
+	Edison = Machine{
+		Name:           "edison",
+		CoresPerNode:   24,
+		PeakFlopsPerNs: 19.2,
+		MemBytesPerNs:  4.3,
+		NICLatencyNs:   1300,
+		HopLatencyNs:   100,
+		IntraNodeNs:    450,
+		BytesPerNs:     2.7, // per-rank share of node injection bandwidth under load
+		GapNs:          60,
+		EagerBytes:     8192,
+		Topo:           TopoDragonfly,
+	}
+
+	// Vesta models ALCF's IBM BG/Q: 16-core A2 nodes (12.8 GF/s/core),
+	// 5D torus with ~2us nearest-neighbor latency and software-heavy
+	// messaging (fine-grained remote access costs several microseconds,
+	// consistent with Table IV of the paper).
+	Vesta = Machine{
+		Name:           "vesta",
+		CoresPerNode:   16,
+		PeakFlopsPerNs: 12.8,
+		MemBytesPerNs:  1.8,
+		NICLatencyNs:   2000,
+		HopLatencyNs:   350,
+		IntraNodeNs:    900,
+		BytesPerNs:     1.7,
+		GapNs:          90,
+		EagerBytes:     4096,
+		Topo:           TopoTorus5D,
+	}
+
+	// Local is a laptop-scale profile used by unit tests and the
+	// real-time (wall-clock) mode; its constants are small so virtual
+	// and real runs have comparable magnitudes.
+	Local = Machine{
+		Name:           "local",
+		CoresPerNode:   8,
+		PeakFlopsPerNs: 4,
+		MemBytesPerNs:  8,
+		NICLatencyNs:   500,
+		HopLatencyNs:   0,
+		IntraNodeNs:    200,
+		BytesPerNs:     10,
+		GapNs:          20,
+		EagerBytes:     8192,
+		Topo:           TopoFlat,
+	}
+)
+
+// MachineByName returns the named profile, defaulting to Local.
+func MachineByName(name string) Machine {
+	switch name {
+	case "edison":
+		return Edison
+	case "vesta":
+		return Vesta
+	default:
+		return Local
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodesAndPlacement(t *testing.T) {
+	m := Edison
+	cases := []struct{ ranks, nodes int }{
+		{1, 1}, {24, 1}, {25, 2}, {48, 2}, {6144, 256},
+	}
+	for _, c := range cases {
+		if got := m.Nodes(c.ranks); got != c.nodes {
+			t.Errorf("Nodes(%d) = %d, want %d", c.ranks, got, c.nodes)
+		}
+	}
+	if m.Node(0) != 0 || m.Node(23) != 0 || m.Node(24) != 1 {
+		t.Errorf("block placement wrong: %d %d %d", m.Node(0), m.Node(23), m.Node(24))
+	}
+}
+
+func TestHopsMonotone(t *testing.T) {
+	for _, m := range []Machine{Edison, Vesta, Local} {
+		prev := -1.0
+		for nodes := 1; nodes <= 4096; nodes *= 2 {
+			h := m.Hops(nodes)
+			if h < prev {
+				t.Errorf("%s: Hops(%d)=%v < Hops(previous)=%v", m.Name, nodes, h, prev)
+			}
+			prev = h
+		}
+	}
+}
+
+func TestTorusGrowsFasterThanDragonfly(t *testing.T) {
+	// BG/Q torus diameter should grow faster with machine size than the
+	// Dragonfly: this drives the Fig 4 latency growth.
+	dfly := Edison.Hops(2048) / Edison.Hops(8)
+	torus := Vesta.Hops(2048) / Vesta.Hops(8)
+	if torus <= dfly {
+		t.Errorf("torus growth %v should exceed dragonfly growth %v", torus, dfly)
+	}
+}
+
+func TestLatIntraVsInter(t *testing.T) {
+	mo := NewModel(true, Edison, SWUPCXX, 48)
+	if l := mo.Lat(0, 0); l != 0 {
+		t.Errorf("self latency = %v, want 0", l)
+	}
+	intra := mo.Lat(0, 1)  // same node
+	inter := mo.Lat(0, 24) // different node
+	if intra != Edison.IntraNodeNs {
+		t.Errorf("intra-node latency = %v, want %v", intra, Edison.IntraNodeNs)
+	}
+	if inter <= intra {
+		t.Errorf("inter-node latency %v should exceed intra-node %v", inter, intra)
+	}
+}
+
+func TestGetPutCostsScaleWithSize(t *testing.T) {
+	mo := NewModel(true, Edison, SWUPCXX, 1024)
+	small := mo.GetCost(0, 100, 8)
+	big := mo.GetCost(0, 100, 1<<20)
+	if big <= small {
+		t.Errorf("1MiB get (%v) should cost more than 8B get (%v)", big, small)
+	}
+	// Large transfers should be bandwidth-dominated: within 2x of pure wire time.
+	wire := mo.WireNs(1 << 20)
+	if big > 2*wire {
+		t.Errorf("1MiB get %v ns should be bandwidth-bound (wire %v ns)", big, wire)
+	}
+}
+
+func TestUPCfasterThanUPCXXForSharedAccess(t *testing.T) {
+	// The Fig 4 / Table IV driver: compiled UPC shared-array access
+	// translation is cheaper than the UPC++ run-time proxy.
+	if SWUPC.SharedAccessNs >= SWUPCXX.SharedAccessNs {
+		t.Fatal("UPC shared access must be cheaper than UPC++")
+	}
+	// But the absolute gap must shrink relative to total cost at scale:
+	moSmall := NewModel(true, Vesta, SWUPCXX, 16)
+	moLarge := NewModel(true, Vesta, SWUPCXX, 8192)
+	upd := func(mo *Model, sw SW) float64 {
+		return 2*sw.SharedAccessNs + mo.GetCost(0, mo.Ranks-1, 8) + mo.PutCost(0, mo.Ranks-1, 8)
+	}
+	gapSmall := upd(moSmall, SWUPCXX) / upd(moSmall, SWUPC)
+	gapLarge := upd(moLarge, SWUPCXX) / upd(moLarge, SWUPC)
+	if gapLarge >= gapSmall {
+		t.Errorf("relative UPC++/UPC gap should shrink with scale: small=%v large=%v", gapSmall, gapLarge)
+	}
+}
+
+func TestBarrierCostLogarithmic(t *testing.T) {
+	c16 := NewModel(true, Edison, SWUPCXX, 16).BarrierCost()
+	c1k := NewModel(true, Edison, SWUPCXX, 1024).BarrierCost()
+	c32k := NewModel(true, Edison, SWUPCXX, 32768).BarrierCost()
+	if !(c16 < c1k && c1k < c32k) {
+		t.Fatalf("barrier cost should grow with P: %v %v %v", c16, c1k, c32k)
+	}
+	// log2(32768)/log2(1024) = 1.5: growth must be sub-linear.
+	if c32k/c1k > 3 {
+		t.Errorf("barrier growth should be logarithmic: %v vs %v", c32k, c1k)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", c.Now())
+	}
+	c.AdvanceTo(50) // must not go backwards
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo moved clock backwards to %v", c.Now())
+	}
+	c.AdvanceTo(250)
+	if c.Now() != 250 {
+		t.Fatalf("AdvanceTo = %v, want 250", c.Now())
+	}
+	c.Advance(-10) // negative ignored
+	if c.Now() != 250 {
+		t.Fatalf("negative Advance changed clock: %v", c.Now())
+	}
+}
+
+func TestClockPropertyMonotone(t *testing.T) {
+	f := func(steps []float64) bool {
+		var c Clock
+		prev := 0.0
+		for _, s := range steps {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				continue
+			}
+			c.Advance(s)
+			now := c.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11, 32768: 15}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if MachineByName("edison").Name != "edison" || MachineByName("vesta").Name != "vesta" ||
+		MachineByName("nope").Name != "local" {
+		t.Error("MachineByName lookup broken")
+	}
+	if SWByName("upc").Name != "upc" || SWByName("mpi").Name != "mpi" ||
+		SWByName("titanium").Name != "titanium" || SWByName("").Name != "upcxx" {
+		t.Error("SWByName lookup broken")
+	}
+}
+
+func TestFlopsAndMemCost(t *testing.T) {
+	mo := NewModel(true, Edison, SWUPCXX, 24)
+	// 19.2 flops/ns peak: 19200 flops take 1000 ns.
+	if got := mo.FlopsCost(19200); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("FlopsCost = %v, want 1000", got)
+	}
+	if mo.MemCost(4.3*1000) != 1000 {
+		t.Errorf("MemCost wrong: %v", mo.MemCost(4.3*1000))
+	}
+}

@@ -1,0 +1,261 @@
+// Package transport provides byte-level message transports — the
+// "network drivers" layer under the gasnet analog (paper Fig 2). The
+// in-process engine used by the runtime needs no serialization; this
+// package exists to demonstrate the multi-process path a real conduit
+// takes: framed active messages over TCP between separate endpoints,
+// with handler dispatch by registered index.
+//
+// The core runtime intentionally does not run over this transport (its
+// asyncs carry Go closures, which do not serialize); it is the substrate
+// a future wire-format runtime would plug into, and is exercised by its
+// own tests over localhost sockets.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Message is one framed active message.
+type Message struct {
+	From    int32
+	To      int32
+	Handler uint16
+	Arg     uint64
+	Payload []byte
+}
+
+// maxPayload bounds a frame (sanity limit against corrupt streams).
+const maxPayload = 16 << 20
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Handler processes one delivered message on the receiving endpoint's
+// polling goroutine.
+type Handler func(ep *TCPEndpoint, m Message)
+
+// TCPEndpoint is one rank's attachment to a full-mesh TCP fabric.
+type TCPEndpoint struct {
+	rank     int32
+	n        int32
+	ln       net.Listener
+	handlers []Handler
+
+	mu    sync.Mutex
+	conns []net.Conn // by peer rank; nil for self
+
+	inbox     chan Message
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// writeFrame serializes a message: [to][from][handler][arg][len][payload].
+func writeFrame(w io.Writer, m Message) error {
+	var hdr [26]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.To))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.From))
+	binary.LittleEndian.PutUint16(hdr[8:], m.Handler)
+	binary.LittleEndian.PutUint64(hdr[10:], m.Arg)
+	binary.LittleEndian.PutUint64(hdr[18:], uint64(len(m.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Payload)
+	return err
+}
+
+// readFrame deserializes one message.
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [26]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	m := Message{
+		To:      int32(binary.LittleEndian.Uint32(hdr[0:])),
+		From:    int32(binary.LittleEndian.Uint32(hdr[4:])),
+		Handler: binary.LittleEndian.Uint16(hdr[8:]),
+		Arg:     binary.LittleEndian.Uint64(hdr[10:]),
+	}
+	n := binary.LittleEndian.Uint64(hdr[18:])
+	if n > maxPayload {
+		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return Message{}, err
+		}
+	}
+	return m, nil
+}
+
+// ListenTCP creates an endpoint for the given rank of an n-rank job,
+// listening on addr (use "127.0.0.1:0" to pick a free port). Connect must
+// be called with everyone's advertised addresses before sending.
+func ListenTCP(rank, n int, addr string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ep := &TCPEndpoint{
+		rank:     int32(rank),
+		n:        int32(n),
+		ln:       ln,
+		handlers: make([]Handler, 256),
+		conns:    make([]net.Conn, n),
+		inbox:    make(chan Message, 1024),
+		done:     make(chan struct{}),
+	}
+	return ep, nil
+}
+
+// Addr returns the endpoint's advertised listen address.
+func (ep *TCPEndpoint) Addr() string { return ep.ln.Addr().String() }
+
+// Register installs a handler at the given index (all endpoints must
+// agree on the mapping, as with GASNet handler tables).
+func (ep *TCPEndpoint) Register(idx uint16, h Handler) { ep.handlers[idx] = h }
+
+// Connect wires the full mesh: ranks below us dial in, we dial ranks
+// above us (a deterministic pairing that avoids duplicate connections).
+// addrs is indexed by rank.
+func (ep *TCPEndpoint) Connect(addrs []string) error {
+	var wg sync.WaitGroup
+	var acceptErr error
+	expect := int(ep.rank) // ranks 0..rank-1 dial us
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < expect; i++ {
+			c, err := ep.ln.Accept()
+			if err != nil {
+				acceptErr = err
+				return
+			}
+			// The dialer announces itself with one frame.
+			m, err := readFrame(c)
+			if err != nil {
+				acceptErr = err
+				return
+			}
+			ep.mu.Lock()
+			ep.conns[m.From] = c
+			ep.mu.Unlock()
+		}
+	}()
+	for r := int(ep.rank) + 1; r < int(ep.n); r++ {
+		c, err := net.Dial("tcp", addrs[r])
+		if err != nil {
+			return fmt.Errorf("transport: rank %d dialing %d: %w", ep.rank, r, err)
+		}
+		if err := writeFrame(c, Message{From: ep.rank, To: int32(r), Handler: 0xFFFF}); err != nil {
+			return err
+		}
+		ep.mu.Lock()
+		ep.conns[r] = c
+		ep.mu.Unlock()
+	}
+	wg.Wait()
+	if acceptErr != nil {
+		return acceptErr
+	}
+	// One reader goroutine per peer feeds the inbox.
+	for r := int32(0); r < ep.n; r++ {
+		if r == ep.rank {
+			continue
+		}
+		conn := ep.conns[r]
+		ep.wg.Add(1)
+		go func(c net.Conn) {
+			defer ep.wg.Done()
+			for {
+				m, err := readFrame(c)
+				if err != nil {
+					return // connection closed
+				}
+				select {
+				case ep.inbox <- m:
+				case <-ep.done:
+					return
+				}
+			}
+		}(conn)
+	}
+	return nil
+}
+
+// Send delivers a message to the target rank (loopback is delivered
+// through the inbox like any other message).
+func (ep *TCPEndpoint) Send(m Message) error {
+	m.From = ep.rank
+	if m.To == ep.rank {
+		select {
+		case ep.inbox <- m:
+			return nil
+		case <-ep.done:
+			return ErrClosed
+		}
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	c := ep.conns[m.To]
+	if c == nil {
+		return fmt.Errorf("transport: no connection to rank %d", m.To)
+	}
+	return writeFrame(c, m)
+}
+
+// Poll dispatches queued messages to their handlers without blocking and
+// reports how many ran.
+func (ep *TCPEndpoint) Poll() int {
+	n := 0
+	for {
+		select {
+		case m := <-ep.inbox:
+			if h := ep.handlers[m.Handler]; h != nil {
+				h(ep, m)
+			}
+			n++
+		default:
+			return n
+		}
+	}
+}
+
+// WaitFor polls (blocking) until pred() is true.
+func (ep *TCPEndpoint) WaitFor(pred func() bool) error {
+	for !pred() {
+		select {
+		case m := <-ep.inbox:
+			if h := ep.handlers[m.Handler]; h != nil {
+				h(ep, m)
+			}
+		case <-ep.done:
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// Close tears the endpoint down; safe to call more than once.
+func (ep *TCPEndpoint) Close() error {
+	ep.closeOnce.Do(func() {
+		close(ep.done)
+		ep.ln.Close()
+		ep.mu.Lock()
+		for _, c := range ep.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		ep.mu.Unlock()
+		ep.wg.Wait()
+	})
+	return nil
+}

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// mesh spins up n endpoints over localhost and wires the full mesh.
+func mesh(t *testing.T, n int) []*TCPEndpoint {
+	t.Helper()
+	eps := make([]*TCPEndpoint, n)
+	addrs := make([]string, n)
+	for i := range eps {
+		ep, err := ListenTCP(i, n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep *TCPEndpoint) {
+			defer wg.Done()
+			errs[i] = ep.Connect(addrs)
+		}(i, ep)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d connect: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	})
+	return eps
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(to, from int32, h uint16, arg uint64, payload []byte) bool {
+		var buf bytes.Buffer
+		in := Message{To: to, From: from, Handler: h, Arg: arg, Payload: payload}
+		if err := writeFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.To == to && out.From == from && out.Handler == h &&
+			out.Arg == arg && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingOverTCP(t *testing.T) {
+	const n = 4
+	eps := mesh(t, n)
+	var received [n]atomic.Uint64
+	for i, ep := range eps {
+		i := i
+		ep.Register(1, func(_ *TCPEndpoint, m Message) {
+			received[i].Store(m.Arg)
+		})
+	}
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep *TCPEndpoint) {
+			defer wg.Done()
+			next := int32((i + 1) % n)
+			if err := ep.Send(Message{To: next, Handler: 1, Arg: uint64(100 + i)}); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			if err := ep.WaitFor(func() bool { return received[i].Load() != 0 }); err != nil {
+				t.Errorf("wait: %v", err)
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+	for i := range eps {
+		prev := (i + n - 1) % n
+		if got := received[i].Load(); got != uint64(100+prev) {
+			t.Errorf("rank %d received %d, want %d", i, got, 100+prev)
+		}
+	}
+}
+
+func TestPayloadIntegrity(t *testing.T) {
+	eps := mesh(t, 2)
+	var got atomic.Pointer[[]byte]
+	eps[1].Register(2, func(_ *TCPEndpoint, m Message) {
+		p := append([]byte(nil), m.Payload...)
+		got.Store(&p)
+	})
+	payload := make([]byte, 1<<16)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := eps[0].Send(Message{To: 1, Handler: 2, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[1].WaitFor(func() bool { return got.Load() != nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(*got.Load(), payload) {
+		t.Fatal("payload corrupted in flight")
+	}
+}
+
+func TestReplyChain(t *testing.T) {
+	// Request/reply over the wire: the active-message shape the runtime
+	// would use for remote allocation.
+	eps := mesh(t, 2)
+	var answer atomic.Uint64
+	eps[1].Register(3, func(ep *TCPEndpoint, m Message) {
+		_ = ep.Send(Message{To: m.From, Handler: 4, Arg: m.Arg * m.Arg})
+	})
+	eps[0].Register(4, func(_ *TCPEndpoint, m Message) { answer.Store(m.Arg) })
+
+	done := make(chan error, 1)
+	go func() {
+		done <- eps[1].WaitFor(func() bool { return false }) // serve until closed
+	}()
+	if err := eps[0].Send(Message{To: 1, Handler: 3, Arg: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].WaitFor(func() bool { return answer.Load() != 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if answer.Load() != 144 {
+		t.Fatalf("reply = %d, want 144", answer.Load())
+	}
+	eps[1].Close()
+	if err := <-done; err != ErrClosed {
+		t.Errorf("server exit = %v, want ErrClosed", err)
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	eps := mesh(t, 2)
+	hit := false
+	eps[0].Register(5, func(_ *TCPEndpoint, m Message) { hit = m.Arg == 7 })
+	if err := eps[0].Send(Message{To: 0, Handler: 5, Arg: 7}); err != nil {
+		t.Fatal(err)
+	}
+	eps[0].Poll()
+	if !hit {
+		t.Fatal("loopback message not delivered")
+	}
+}
+
+func TestManyMessagesOrdered(t *testing.T) {
+	// Point-to-point ordering over one TCP stream.
+	eps := mesh(t, 2)
+	var last atomic.Int64
+	var bad atomic.Bool
+	eps[1].Register(6, func(_ *TCPEndpoint, m Message) {
+		if int64(m.Arg) != last.Load()+1 {
+			bad.Store(true)
+		}
+		last.Store(int64(m.Arg))
+	})
+	const msgs = 500
+	go func() {
+		for i := 1; i <= msgs; i++ {
+			if err := eps[0].Send(Message{To: 1, Handler: 6, Arg: uint64(i)}); err != nil {
+				fmt.Println("send error:", err)
+				return
+			}
+		}
+	}()
+	if err := eps[1].WaitFor(func() bool { return last.Load() == msgs }); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Fatal("messages reordered on one stream")
+	}
+}

@@ -1,0 +1,241 @@
+package upcxx
+
+import (
+	"upcxx/internal/core"
+	"upcxx/internal/ndarray"
+	"upcxx/internal/sim"
+)
+
+// Execution model (paper §II, §IV): SPMD ranks, one goroutine each.
+type (
+	// Config describes a job: rank count, segment size, machine and
+	// software profiles, thread-support mode.
+	Config = core.Config
+	// Rank is one SPMD execution unit's handle (MYTHREAD/THREADS live
+	// here as ID()/Ranks()).
+	Rank = core.Rank
+	// Stats reports a finished job's wall/virtual time and counters.
+	Stats = core.Stats
+	// ThreadMode selects Serialized or Concurrent runtime locking.
+	ThreadMode = core.ThreadMode
+	// AccessPath selects Direct (RDMA analog) or AMMediated transfers.
+	AccessPath = core.AccessPath
+)
+
+// Thread-support modes and access paths (paper §IV).
+const (
+	Serialized = core.Serialized
+	Concurrent = core.Concurrent
+	Direct     = core.Direct
+	AMMediated = core.AMMediated
+)
+
+// Run executes main as an SPMD job (the analog of launching a UPC++
+// program over N processes).
+func Run(cfg Config, main func(me *Rank)) Stats { return core.Run(cfg, main) }
+
+// Shared objects (paper §III-A) and global pointers (§III-B).
+type (
+	// GlobalPtr is global_ptr<T>: {rank, address}, phase-free arithmetic.
+	GlobalPtr[T any] = core.GlobalPtr[T]
+	// SharedVar is shared_var<T>: a scalar on rank 0.
+	SharedVar[T any] = core.SharedVar[T]
+	// SharedArray is shared_array<T, BS>: block-cyclic distribution.
+	SharedArray[T any] = core.SharedArray[T]
+)
+
+// Null returns the null global pointer.
+func Null[T any]() GlobalPtr[T] { return core.Null[T]() }
+
+// NewSharedVar collectively creates a shared scalar.
+func NewSharedVar[T any](me *Rank) SharedVar[T] { return core.NewSharedVar[T](me) }
+
+// NewSharedArray collectively creates a block-cyclic shared array
+// (shared_array<T, BS> A(size); use blockSize 1 for UPC's cyclic default).
+func NewSharedArray[T any](me *Rank, size, blockSize int) *SharedArray[T] {
+	return core.NewSharedArray[T](me, size, blockSize)
+}
+
+// Dynamic global memory management (paper §III-C).
+
+// Allocate reserves count elements of T on the given rank — local or
+// remote, the capability UPC and MPI lack; panics on exhaustion.
+func Allocate[T any](me *Rank, rank, count int) GlobalPtr[T] {
+	return core.Allocate[T](me, rank, count)
+}
+
+// TryAllocate is Allocate returning an error instead of panicking.
+func TryAllocate[T any](me *Rank, rank, count int) (GlobalPtr[T], error) {
+	return core.TryAllocate[T](me, rank, count)
+}
+
+// Deallocate frees an allocation from any rank.
+func Deallocate[T any](me *Rank, p GlobalPtr[T]) error { return core.Deallocate(me, p) }
+
+// Local casts a global pointer with local affinity to a raw pointer.
+func Local[T any](me *Rank, p GlobalPtr[T]) *T { return core.Local(me, p) }
+
+// LocalSlice views count local elements as a slice.
+func LocalSlice[T any](me *Rank, p GlobalPtr[T], count int) []T {
+	return core.LocalSlice(me, p, count)
+}
+
+// One-sided access and bulk transfer (paper §III-D).
+
+// Read performs a blocking one-sided read (rvalue use of a shared object).
+func Read[T any](me *Rank, p GlobalPtr[T]) T { return core.Read(me, p) }
+
+// Write performs a blocking one-sided write (lvalue use).
+func Write[T any](me *Rank, p GlobalPtr[T], v T) { core.Write(me, p, v) }
+
+// RMW applies f atomically under the owner's segment lock.
+func RMW[T any](me *Rank, p GlobalPtr[T], f func(T) T) T { return core.RMW(me, p, f) }
+
+// Copy is the blocking bulk transfer copy(src, dst, count).
+func Copy[T any](me *Rank, src, dst GlobalPtr[T], count int) { core.Copy(me, src, dst, count) }
+
+// AsyncCopy is the non-blocking bulk transfer async_copy, completing into
+// ev (or the implicit handle set when ev is nil).
+func AsyncCopy[T any](me *Rank, src, dst GlobalPtr[T], count int, ev *Event) {
+	core.AsyncCopy(me, src, dst, count, ev)
+}
+
+// ReadSlice stages shared memory into a private slice.
+func ReadSlice[T any](me *Rank, src GlobalPtr[T], dst []T) { core.ReadSlice(me, src, dst) }
+
+// WriteSlice stages a private slice into shared memory.
+func WriteSlice[T any](me *Rank, dst GlobalPtr[T], src []T) { core.WriteSlice(me, dst, src) }
+
+// WriteSliceAsync is the non-blocking WriteSlice.
+func WriteSliceAsync[T any](me *Rank, dst GlobalPtr[T], src []T, ev *Event) {
+	core.WriteSliceAsync(me, dst, src, ev)
+}
+
+// AsyncCopyFence completes all implicit-handle async copies (the
+// "handle-less" synchronization of paper §V-E).
+func AsyncCopyFence(me *Rank) { core.AsyncCopyFence(me) }
+
+// Fence orders outstanding shared-memory operations (upc_fence).
+func Fence(me *Rank) { core.Fence(me) }
+
+// Synchronization (paper §III-F) and remote function invocation (§III-G).
+type (
+	// Event synchronizes non-blocking operations and async tasks.
+	Event = core.Event
+	// Future holds an async's eventual return value.
+	Future[T any] = core.Future[T]
+	// Place designates async targets (a rank or group).
+	Place = core.Place
+	// TaskFn is an async task body.
+	TaskFn = core.TaskFn
+	// AsyncOpt configures Async (Payload, After, Signal, TaskFlops).
+	AsyncOpt = core.AsyncOpt
+	// Lock is a global mutual-exclusion lock (upc_lock).
+	Lock = core.Lock
+)
+
+// NewEvent returns a fresh event.
+func NewEvent() *Event { return core.NewEvent() }
+
+// On places an async on a single rank; OnRanks on a group; Everywhere on
+// all ranks.
+func On(rank int) Place          { return core.On(rank) }
+func OnRanks(ranks ...int) Place { return core.OnRanks(ranks...) }
+func Everywhere(me *Rank) Place  { return core.Everywhere(me) }
+
+// Async launches fn on every rank of place: async(place)(function, args).
+func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) { core.Async(me, place, fn, opts...) }
+
+// AsyncFuture launches fn and returns a future for its result.
+func AsyncFuture[T any](me *Rank, target int, fn func(me *Rank) T, opts ...AsyncOpt) *Future[T] {
+	return core.AsyncFuture(me, target, fn, opts...)
+}
+
+// AsyncAfter launches fn when `after` fires, optionally signaling
+// `signal` on completion: async_after(place, after, signal)(task).
+func AsyncAfter(me *Rank, place Place, after, signal *Event, fn TaskFn, opts ...AsyncOpt) {
+	core.AsyncAfter(me, place, after, signal, fn, opts...)
+}
+
+// Async options.
+func Payload(bytes int) AsyncOpt   { return core.Payload(bytes) }
+func After(ev *Event) AsyncOpt     { return core.After(ev) }
+func Signal(ev *Event) AsyncOpt    { return core.Signal(ev) }
+func TaskFlops(f float64) AsyncOpt { return core.TaskFlops(f) }
+
+// Finish waits for every async launched in body's dynamic scope (the
+// paper's finish construct; a higher-order function replaces C++ RAII).
+func Finish(me *Rank, body func()) { core.Finish(me, body) }
+
+// NewLock creates a global lock homed on the calling rank.
+func NewLock(me *Rank) Lock { return core.NewLock(me) }
+
+// Collectives.
+
+// Broadcast distributes root's value to every rank.
+func Broadcast[T any](me *Rank, v T, root int) T { return core.Broadcast(me, v, root) }
+
+// AllGather collects one value per rank (shared read-only result).
+func AllGather[T any](me *Rank, v T) []T { return core.AllGather(me, v) }
+
+// Reduce combines one value per rank on every rank.
+func Reduce[T any](me *Rank, v T, op func(a, b T) T) T { return core.Reduce(me, v, op) }
+
+// ReduceSlices element-wise combines slices onto root.
+func ReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int) []T {
+	return core.ReduceSlices(me, contrib, op, root)
+}
+
+// ExclusiveScan returns the exclusive prefix combination across ranks.
+func ExclusiveScan[T any](me *Rank, v T, op func(a, b T) T, identity T) T {
+	return core.ExclusiveScan(me, v, op, identity)
+}
+
+// Multidimensional domains and arrays (paper §III-E), modeled on
+// Titanium's; see internal/ndarray for the full API.
+type (
+	// Point is a coordinate in N-space.
+	Point = ndarray.Point
+	// RectDomain is a strided rectangular index box (exclusive upper
+	// bound).
+	RectDomain = ndarray.RectDomain
+	// Domain is a union of disjoint rectangles.
+	Domain = ndarray.Domain
+	// NDArray is the multidimensional array over a RectDomain.
+	NDArray[T any] = ndarray.Array[T]
+	// NDRef is a POD handle to an NDArray, storable in shared arrays
+	// (the paper's directory idiom).
+	NDRef[T any] = ndarray.Ref[T]
+)
+
+// P builds a point: P(1,2,3) is the paper's POINT(1,2,3).
+func P(coords ...int) Point { return ndarray.P(coords...) }
+
+// RD builds a unit-stride domain [lo, hi).
+func RD(lo, hi Point) RectDomain { return ndarray.RD(lo, hi) }
+
+// RDS builds a strided domain: RECTDOMAIN((lo), (hi), (stride)).
+func RDS(lo, hi, stride Point) RectDomain { return ndarray.RDS(lo, hi, stride) }
+
+// RD3 is the 3-D unit-stride convenience constructor.
+func RD3(lox, loy, loz, hix, hiy, hiz int) RectDomain {
+	return ndarray.RD3(lox, loy, loz, hix, hiy, hiz)
+}
+
+// NewNDArray allocates an array over dom in the caller's shared segment:
+// ARRAY(T, dom).
+func NewNDArray[T any](me *Rank, dom RectDomain) *NDArray[T] {
+	return ndarray.New[T](me, dom)
+}
+
+// NDFromRef reconstructs an array view from its POD handle.
+func NDFromRef[T any](ref NDRef[T]) *NDArray[T] { return ndarray.FromRef(ref) }
+
+// Machine and software profiles for the performance model (DESIGN.md §4).
+var (
+	// Edison models the paper's Cray XC30; Vesta its IBM BG/Q; LocalMachine
+	// a laptop-scale profile for tests and wall-clock runs.
+	Edison       = sim.Edison
+	Vesta        = sim.Vesta
+	LocalMachine = sim.Local
+)
