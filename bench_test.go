@@ -11,6 +11,7 @@ import (
 
 	"upcxx"
 	"upcxx/internal/bench/gups"
+	"upcxx/internal/bench/harness"
 	"upcxx/internal/bench/lulesh"
 	"upcxx/internal/bench/raytrace"
 	"upcxx/internal/bench/samplesort"
@@ -101,6 +102,27 @@ func BenchmarkFig8LULESH(b *testing.B) {
 			}
 			b.ReportMetric(last.FOM/1e6, "Mzones/s")
 		})
+	}
+}
+
+// BenchmarkHarnessTableIV drives the experiment registry end to end on
+// its smallest sweep and reports metrics straight from the typed Result
+// the JSON artifact carries — the same path `upcxx-bench -json` takes.
+func BenchmarkHarnessTableIV(b *testing.B) {
+	e, ok := harness.Lookup("tableiv")
+	if !ok {
+		b.Fatal("tableiv not registered")
+	}
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		last = e.Run(harness.Options{Quick: true})
+	}
+	for _, s := range last.Series {
+		p := s.Points[len(s.Points)-1]
+		b.ReportMetric(p.Value, s.System+"-"+last.Unit)
+		if p.Counters["updates_per_sec"] <= 0 {
+			b.Fatalf("series %q missing updates_per_sec counter", s.Name)
+		}
 	}
 }
 

@@ -1,57 +1,108 @@
 // Command upcxx-bench regenerates the tables and figures of the paper's
 // evaluation section (§V). Each experiment runs the real benchmark code
 // over the virtual-time machine model at the paper's rank counts and
-// prints the corresponding series.
+// emits the corresponding series — as aligned text, markdown, or a
+// machine-readable JSON report (the BENCH_*.json perf-trajectory
+// artifact).
 //
 // Usage:
 //
-//	upcxx-bench -exp all            # every table and figure (full scale)
-//	upcxx-bench -exp fig4 -quick    # one experiment, reduced sweep
-//	upcxx-bench -exp fig8 -markdown # emit a markdown table
+//	upcxx-bench -exp all                         # every table and figure (full scale)
+//	upcxx-bench -exp fig4 -quick                 # one experiment, reduced sweep
+//	upcxx-bench -exp fig8 -markdown              # emit a markdown table
+//	upcxx-bench -exp all -quick -json -out BENCH_upcxx.json
 //
-// Experiments: fig4, tab4, fig5, fig6, fig7, fig8, all.
+// Experiments: fig4, tableiv (alias tab4), fig5, fig6, fig7, fig8, all.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"upcxx/internal/bench/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4, tab4, fig5, fig6, fig7, fig8, all")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(harness.Names(), ", "))
 	quick := flag.Bool("quick", false, "reduced sweeps for fast runs")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
+	out := flag.String("out", "", "write output to this file instead of stdout")
 	flag.Parse()
 
-	o := harness.Options{Quick: *quick}
-	emit := func(t *harness.Table) {
-		if *markdown {
-			t.Markdown(os.Stdout)
-		} else {
-			t.Fprint(os.Stdout)
-		}
-	}
-	runs := map[string][]func(harness.Options) *harness.Table{
-		"fig4":    {harness.Fig4},
-		"tab4":    {harness.TableIV},
-		"tableiv": {harness.TableIV},
-		"fig5":    {harness.Fig5},
-		"fig6":    {harness.Fig6},
-		"fig7":    {harness.Fig7},
-		"fig8":    {harness.Fig8},
-		"all":     {harness.Fig4, harness.TableIV, harness.Fig5, harness.Fig6, harness.Fig7, harness.Fig8},
-	}
-	fns, ok := runs[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
+	if *markdown && *jsonOut {
+		fmt.Fprintln(os.Stderr, "-markdown and -json are mutually exclusive")
 		os.Exit(2)
 	}
-	// Experiments stream as they complete: the full sweeps run minutes.
-	for _, fn := range fns {
-		emit(fn(o))
+	format := "text"
+	if *markdown {
+		format = "markdown"
+	}
+	if *jsonOut {
+		format = "json"
+	}
+	renderer, err := harness.RendererFor(format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var exps []harness.Experiment
+	if strings.EqualFold(*exp, "all") {
+		exps = harness.Experiments()
+	} else {
+		e, ok := harness.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want %s)\n",
+				*exp, strings.Join(harness.Names(), ", "))
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	o := harness.Options{Quick: *quick}
+	// Text/markdown on stdout stream experiment by experiment (the full
+	// sweeps run minutes); JSON and file output collect the whole report.
+	stream := *out == "" && format != "json"
+	var results []harness.Result
+	for _, e := range exps {
+		r := e.Run(o)
+		if stream {
+			if err := renderer.Render(os.Stdout, harness.Report{Results: []harness.Result{r}}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		results = append(results, r)
+	}
+	if stream {
+		return
+	}
+
+	w := io.Writer(os.Stdout)
+	var f *os.File
+	if *out != "" {
+		var err error
+		if f, err = os.Create(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w = f
+	}
+	err = renderer.Render(w, harness.NewReport(o, results))
+	if f != nil {
+		// Surface close-time write errors: a truncated artifact must
+		// not exit 0.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -37,6 +37,21 @@ type Result struct {
 	Errors        int64   // verification mismatches (Atomic runs: must be 0)
 }
 
+// Counters reports the run's metrics as named counters for the benchmark
+// harness (units in the names; "updates_per_sec" is GUPS*1e9).
+func (r Result) Counters() map[string]float64 {
+	c := map[string]float64{
+		"updates":         float64(r.Updates),
+		"updates_per_sec": r.GUPS * 1e9,
+		"gups":            r.GUPS,
+		"usec_per_update": r.UsecPerUpdate,
+	}
+	if r.Errors > 0 {
+		c["errors"] = float64(r.Errors)
+	}
+	return c
+}
+
 // nextRan advances the HPCC LFSR.
 func nextRan(ran uint64) uint64 {
 	if int64(ran) < 0 {

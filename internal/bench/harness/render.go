@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Renderer turns a Report into one output format. Renderers are pluggable
+// so cmd/upcxx-bench (and future tooling) can emit aligned text for
+// humans, markdown for EXPERIMENTS-style docs, and JSON for the
+// BENCH_*.json perf-trajectory artifacts — all from the same typed
+// results.
+type Renderer interface {
+	Render(w io.Writer, rep Report) error
+}
+
+// RendererFor maps a format name ("text", "markdown", "json") to its
+// renderer.
+func RendererFor(format string) (Renderer, error) {
+	switch format {
+	case "", "text":
+		return TextRenderer{}, nil
+	case "markdown", "md":
+		return MarkdownRenderer{}, nil
+	case "json":
+		return JSONRenderer{Indent: true}, nil
+	default:
+		return nil, fmt.Errorf("unknown output format %q (want text, markdown or json)", format)
+	}
+}
+
+// Table is the row/column intermediate the text and markdown renderers
+// share; Result.Table derives one from the typed series.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Table lowers the typed result to the paper's table shape: one row per
+// rank count, one column per series, plus a derived last/first ratio
+// column when Ratio is set (e.g. "UPC++/UPC").
+func (r Result) Table() *Table {
+	t := &Table{Title: r.Title}
+	label := r.SweepLabel
+	if label == "" {
+		label = "ranks"
+	}
+	t.Headers = append(t.Headers, label)
+	for _, s := range r.Series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	if len(r.Series) == 0 {
+		return t
+	}
+	first, last := r.Series[0], r.Series[len(r.Series)-1]
+	ratio := r.Ratio && len(r.Series) >= 2
+	if ratio {
+		t.Headers = append(t.Headers, last.Name+"/"+first.Name)
+	}
+	for _, ranks := range r.Ranks() {
+		row := []string{fmt.Sprintf("%d", ranks)}
+		for _, s := range r.Series {
+			if p, ok := s.point(ranks); ok {
+				row = append(row, fv(r.Format, p.Value))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if ratio {
+			a, aok := first.point(ranks)
+			b, bok := last.point(ranks)
+			if aok && bok && a.Value != 0 {
+				row = append(row, fmt.Sprintf("%.2f", b.Value/a.Value))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Headers)
+	seps := make([]string, len(t.Headers))
+	for i, wd := range widths {
+		seps[i] = strings.Repeat("-", wd)
+	}
+	line(seps)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "\n**%s**\n\n", t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+}
+
+// TextRenderer emits one aligned text table per result.
+type TextRenderer struct{}
+
+// Render implements Renderer.
+func (TextRenderer) Render(w io.Writer, rep Report) error {
+	for _, r := range rep.Results {
+		r.Table().Fprint(w)
+	}
+	return nil
+}
+
+// MarkdownRenderer emits one markdown table per result.
+type MarkdownRenderer struct{}
+
+// Render implements Renderer.
+func (MarkdownRenderer) Render(w io.Writer, rep Report) error {
+	for _, r := range rep.Results {
+		r.Table().Markdown(w)
+	}
+	return nil
+}
+
+// JSONRenderer emits the full Report as one JSON document — the
+// BENCH_*.json artifact format.
+type JSONRenderer struct {
+	Indent bool
+}
+
+// Render implements Renderer.
+func (jr JSONRenderer) Render(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	if jr.Indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(rep)
+}

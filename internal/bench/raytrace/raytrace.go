@@ -40,6 +40,21 @@ type Result struct {
 	Image    []float64
 }
 
+// Counters reports the run's metrics as named counters for the benchmark
+// harness.
+func (r Result) Counters() map[string]float64 {
+	c := map[string]float64{
+		"checksum": r.Checksum,
+	}
+	if r.Seconds > 0 {
+		c["pixels_per_sec"] = float64(len(r.Image)) / r.Seconds
+	}
+	if r.Steals > 0 {
+		c["steals"] = float64(r.Steals)
+	}
+	return c
+}
+
 // Run renders the scene with a static cyclic tile distribution and a
 // sum-reduction of partial images (paper §V-D). With p.Steal it uses the
 // distributed work-stealing extension instead (see steal.go).

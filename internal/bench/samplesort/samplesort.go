@@ -40,6 +40,26 @@ type Result struct {
 	Balance  float64 // max rank load / mean load after redistribution
 }
 
+// Counters reports the run's metrics as named counters for the benchmark
+// harness; "sorted" is 1 when global order verified.
+func (r Result) Counters() map[string]float64 {
+	sorted := 0.0
+	if r.Sorted {
+		sorted = 1
+	}
+	keysPerSec := 0.0
+	if r.Seconds > 0 {
+		keysPerSec = float64(r.Keys) / r.Seconds
+	}
+	return map[string]float64{
+		"keys_sorted":  float64(r.Keys),
+		"keys_per_sec": keysPerSec,
+		"tb_per_min":   r.TBPerMin,
+		"sorted":       sorted,
+		"balance":      r.Balance,
+	}
+}
+
 // Run executes the benchmark.
 func Run(p Params) Result {
 	if p.Oversample <= 0 {

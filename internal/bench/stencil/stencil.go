@@ -35,6 +35,16 @@ type Result struct {
 	Checksum float64 // deterministic across rank counts for a fixed global grid
 }
 
+// Counters reports the run's metrics as named counters for the benchmark
+// harness.
+func (r Result) Counters() map[string]float64 {
+	return map[string]float64{
+		"gflops":        r.GFLOPS,
+		"flops_per_sec": r.GFLOPS * 1e9,
+		"checksum":      r.Checksum,
+	}
+}
+
 // Factor3 splits p into three near-equal factors px >= py >= pz with
 // px*py*pz = p (the rank grid).
 func Factor3(p int) (int, int, int) {

@@ -10,7 +10,10 @@
 // only *time* is modeled. See DESIGN.md §4 for the substitution argument.
 package sim
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Topology selects the network-diameter model used to derive the one-way
 // latency as a function of job size.
@@ -27,44 +30,81 @@ const (
 	TopoTorus5D
 )
 
+// String names the topology for profile metadata and JSON artifacts.
+func (t Topology) String() string {
+	switch t {
+	case TopoDragonfly:
+		return "dragonfly"
+	case TopoTorus5D:
+		return "torus5d"
+	default:
+		return "flat"
+	}
+}
+
+// MarshalJSON emits the topology by name so benchmark artifacts stay
+// readable and stable if the enum is reordered.
+func (t Topology) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the names emitted by MarshalJSON; an unknown
+// name is an error rather than a silent default so edited or
+// future-version artifacts cannot misattribute results to the wrong
+// network model.
+func (t *Topology) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"flat"`:
+		*t = TopoFlat
+	case `"dragonfly"`:
+		*t = TopoDragonfly
+	case `"torus5d"`:
+		*t = TopoTorus5D
+	default:
+		return fmt.Errorf("unknown topology %s", b)
+	}
+	return nil
+}
+
 // Machine describes the hardware half of the performance model: node
 // geometry, compute rates and LogGP network parameters. All times are in
-// nanoseconds, all rates in units per nanosecond.
+// nanoseconds, all rates in units per nanosecond. The JSON form is part
+// of the upcxx-bench artifact schema (see internal/bench/harness).
 type Machine struct {
-	Name         string
-	CoresPerNode int
+	Name         string `json:"name"`
+	CoresPerNode int    `json:"cores_per_node"`
 
 	// PeakFlopsPerNs is the per-core peak floating-point rate
 	// (flops per nanosecond, i.e. GFLOP/s).
-	PeakFlopsPerNs float64
+	PeakFlopsPerNs float64 `json:"peak_flops_per_ns"`
 
 	// MemBytesPerNs is the per-core sustained memory bandwidth
 	// (bytes per nanosecond, i.e. GB/s); used by memory-bound kernels.
-	MemBytesPerNs float64
+	MemBytesPerNs float64 `json:"mem_bytes_per_ns"`
 
 	// NICLatencyNs is the base one-way network latency between two nodes
 	// that are adjacent in the topology (NIC + first hop).
-	NICLatencyNs float64
+	NICLatencyNs float64 `json:"nic_latency_ns"`
 
 	// HopLatencyNs is the additional one-way latency per topological hop.
-	HopLatencyNs float64
+	HopLatencyNs float64 `json:"hop_latency_ns"`
 
 	// IntraNodeNs is the one-way latency between two ranks on the same
 	// node (shared-memory transport).
-	IntraNodeNs float64
+	IntraNodeNs float64 `json:"intra_node_ns"`
 
 	// BytesPerNs is the per-rank injection bandwidth (bytes/ns = GB/s).
-	BytesPerNs float64
+	BytesPerNs float64 `json:"bytes_per_ns"`
 
 	// GapNs is the LogGP g parameter: minimum interval between
 	// consecutive message injections by one rank.
-	GapNs float64
+	GapNs float64 `json:"gap_ns"`
 
 	// EagerBytes is the eager/rendezvous protocol threshold used by the
 	// two-sided (MPI) baseline.
-	EagerBytes int
+	EagerBytes int `json:"eager_bytes"`
 
-	Topo Topology
+	Topo Topology `json:"topology"`
 }
 
 // Hops returns the modeled average hop count for a job spanning the given

@@ -8,7 +8,7 @@ package sim
 // latency dominates; the figures are reproduced by giving each system its
 // own SW profile on a shared Machine. All times in nanoseconds.
 type SW struct {
-	Name string
+	Name string `json:"name"`
 
 	// SharedAccessNs is the address-translation cost of one shared-array
 	// element access (index -> owner + local address). Berkeley UPC
@@ -16,28 +16,28 @@ type SW struct {
 	// run time through the shared_array proxy (paper §V-A: "the Berkeley
 	// UPC compiler and runtime are heavily optimized for shared array
 	// accesses", UPC ~10% faster at 128 cores).
-	SharedAccessNs float64
+	SharedAccessNs float64 `json:"shared_access_ns"`
 
 	// GetNs / PutNs are the per-operation initiator overheads of
 	// one-sided remote reads and writes (on top of network time).
-	GetNs float64
-	PutNs float64
+	GetNs float64 `json:"get_ns"`
+	PutNs float64 `json:"put_ns"`
 
 	// AMNs is the send-side overhead of one active message (async task
 	// injection, remote allocation, lock traffic, ...).
-	AMNs float64
+	AMNs float64 `json:"am_ns"`
 
 	// TaskNs is the cost of enqueueing/dispatching one async task on the
 	// target (paper §IV: task queue managed by advance()).
-	TaskNs float64
+	TaskNs float64 `json:"task_ns"`
 
 	// TwoSidedNs is the per-message matching overhead of the two-sided
 	// (MPI) baseline: tag matching, request bookkeeping.
-	TwoSidedNs float64
+	TwoSidedNs float64 `json:"two_sided_ns"`
 
 	// BarrierPerStageNs is the software cost per stage of the
 	// log2(P)-stage dissemination barrier.
-	BarrierPerStageNs float64
+	BarrierPerStageNs float64 `json:"barrier_per_stage_ns"`
 }
 
 // Predefined software-overhead profiles. Relative ordering is what the
