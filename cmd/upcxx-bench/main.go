@@ -11,6 +11,12 @@
 //	upcxx-bench -exp fig4 -quick                 # one experiment, reduced sweep
 //	upcxx-bench -exp fig8 -markdown              # emit a markdown table
 //	upcxx-bench -exp all -quick -json -out BENCH_upcxx.json
+//	upcxx-bench -quick -diff BENCH_upcxx.json    # regression gate vs the baseline
+//
+// With -diff the sweep is regenerated and every headline metric point is
+// compared against the given baseline artifact within -tol relative
+// drift; any violation (or vanished point) exits non-zero. This is the
+// CI bench-regression gate.
 //
 // Experiments: fig4, tableiv (alias tab4), fig5, fig6, fig7, fig8, all.
 package main
@@ -31,6 +37,8 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	out := flag.String("out", "", "write output to this file instead of stdout")
+	diff := flag.String("diff", "", "regenerate the sweep and diff headline metrics against this baseline JSON artifact")
+	tol := flag.Float64("tol", harness.DefaultTolerance, "relative drift tolerance for -diff")
 	flag.Parse()
 
 	if *markdown && *jsonOut {
@@ -64,6 +72,46 @@ func main() {
 	}
 
 	o := harness.Options{Quick: *quick}
+
+	if *diff != "" {
+		baseline, err := harness.LoadReport(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Compare only the experiments being regenerated, so
+		// `-exp fig4 -diff` checks fig4 without flagging the rest of the
+		// baseline as missing.
+		selected := map[string]bool{}
+		for _, e := range exps {
+			selected[e.ID] = true
+		}
+		var kept []harness.Result
+		for _, r := range baseline.Results {
+			if selected[r.ID] {
+				kept = append(kept, r)
+			}
+		}
+		baseline.Results = kept
+		var results []harness.Result
+		for _, e := range exps {
+			results = append(results, e.Run(o))
+		}
+		entries := harness.DiffReports(baseline, harness.NewReport(o, results), *tol)
+		if len(entries) == 0 {
+			fmt.Fprintf(os.Stderr, "no comparable points between %s and the regenerated sweep\n", *diff)
+			os.Exit(1)
+		}
+		failures := harness.RenderDiff(os.Stdout, entries, *tol)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "upcxx-bench: %d of %d points regressed beyond %.0f%% of %s\n",
+				failures, len(entries), *tol*100, *diff)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d points within %.0f%% of %s\n", len(entries), *tol*100, *diff)
+		return
+	}
+
 	// Text/markdown on stdout stream experiment by experiment (the full
 	// sweeps run minutes); JSON and file output collect the whole report.
 	stream := *out == "" && format != "json"

@@ -1,0 +1,185 @@
+// Command upcxx-run launches a registered SPMD program (internal/spmd)
+// over a chosen conduit backend — the analog of the upcxx-run launcher
+// that real UPC++ installations wrap around GASNet's conduit spawners:
+//
+//	upcxx-run -n 4 gups                 # in-process backend (goroutine ranks)
+//	upcxx-run -n 4 -backend tcp gups    # wire backend: 4 OS processes over localhost TCP
+//	upcxx-run -list                     # registered programs
+//
+// With -backend tcp the command re-executes itself once per rank; the
+// children listen for active messages on private TCP ports, rendezvous
+// with the parent to exchange addresses, connect a full mesh, and run
+// the program over the wire conduit. Rank 0 prints one line:
+//
+//	<prog> ranks=<n> scale=<s> checksum=<hex>
+//
+// The line is backend-independent — the same program at the same size
+// must produce the same checksum on both backends — which is what the
+// CI smoke job asserts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"upcxx/internal/core"
+	"upcxx/internal/spmd"
+)
+
+// Children find their identity and the parent's rendezvous address in
+// these environment variables.
+const (
+	envRank       = "UPCXX_RUN_RANK"
+	envRanks      = "UPCXX_RUN_RANKS"
+	envRendezvous = "UPCXX_RUN_RENDEZVOUS"
+)
+
+func main() {
+	n := flag.Int("n", 4, "SPMD ranks")
+	backend := flag.String("backend", "proc", "conduit backend: proc (in-process) or tcp (one OS process per rank)")
+	scale := flag.Int("scale", 0, "program size knob (0 = program default)")
+	list := flag.Bool("list", false, "list registered programs")
+	flag.Parse()
+
+	if *list {
+		for _, p := range spmd.Progs() {
+			fmt.Printf("%-8s (scale %d) %s\n", p.Name, p.DefaultScale, p.Desc)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: upcxx-run [-n ranks] [-backend proc|tcp] [-scale k] <prog>\nprograms: %v\n", spmd.Names())
+		os.Exit(2)
+	}
+	prog, ok := spmd.Lookup(flag.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "upcxx-run: unknown program %q (want one of %v)\n", flag.Arg(0), spmd.Names())
+		os.Exit(2)
+	}
+	if *scale == 0 {
+		*scale = prog.DefaultScale
+	}
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "upcxx-run: -n must be >= 1")
+		os.Exit(2)
+	}
+
+	if rankStr := os.Getenv(envRank); rankStr != "" {
+		runChild(prog, *scale, rankStr)
+		return
+	}
+
+	switch *backend {
+	case "proc":
+		runProc(prog, *n, *scale)
+	case "tcp":
+		runTCP(prog, *n, *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "upcxx-run: unknown backend %q (want proc or tcp)\n", *backend)
+		os.Exit(2)
+	}
+}
+
+func report(prog spmd.Prog, n, scale int, sum uint64) {
+	fmt.Printf("%s ranks=%d scale=%d checksum=%016x\n", prog.Name, n, scale, sum)
+}
+
+// runProc executes the program on the in-process backend: one goroutine
+// per rank over the virtual-time engine, as upcxx.Run does.
+func runProc(prog spmd.Prog, n, scale int) {
+	var sum uint64
+	core.Run(core.Config{Ranks: n, SegmentBytes: prog.SegBytes(n, scale)}, func(me *core.Rank) {
+		s := prog.Run(me, scale)
+		if me.ID() == 0 {
+			sum = s
+		}
+	})
+	report(prog, n, scale, sum)
+}
+
+// runTCP is the parent side of the wire launch: spawn one child process
+// per rank, serve the address rendezvous, and propagate failures.
+func runTCP(prog spmd.Prog, n, scale int) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
+		os.Exit(1)
+	}
+	rdvErr := make(chan error, 1)
+	go func() { rdvErr <- spmd.Rendezvous(ln, n) }()
+
+	children := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		c := exec.Command(exe, os.Args[1:]...)
+		c.Stdout = os.Stdout
+		c.Stderr = os.Stderr
+		c.Env = append(os.Environ(),
+			envRank+"="+strconv.Itoa(i),
+			envRanks+"="+strconv.Itoa(n),
+			envRendezvous+"="+ln.Addr().String(),
+		)
+		if err := c.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "upcxx-run: spawning rank %d: %v\n", i, err)
+			for _, prev := range children[:i] {
+				prev.Process.Kill()
+			}
+			os.Exit(1)
+		}
+		children[i] = c
+	}
+
+	failed := false
+	for i, c := range children {
+		if err := c.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", i, err)
+			failed = true
+		}
+	}
+	if err := <-rdvErr; err != nil && !failed {
+		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runChild is one rank of the wire job (re-executed by runTCP).
+func runChild(prog spmd.Prog, scale int, rankStr string) {
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "upcxx-run: bad %s=%q\n", envRank, rankStr)
+		os.Exit(1)
+	}
+	n, err := strconv.Atoi(os.Getenv(envRanks))
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "upcxx-run: bad %s=%q\n", envRanks, os.Getenv(envRanks))
+		os.Exit(1)
+	}
+	rdv := os.Getenv(envRendezvous)
+	var sum uint64
+	_, err = spmd.RunWireChild(rdv, rank, n, prog.SegBytes(n, scale), core.Config{}, func(me *core.Rank) {
+		s := prog.Run(me, scale)
+		if me.ID() == 0 {
+			sum = s
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	if rank == 0 {
+		report(prog, n, scale, sum)
+	}
+}

@@ -3,6 +3,12 @@
 // async remote function invocation with finish, and collectives.
 //
 //	go run ./examples/quickstart -ranks 8
+//
+// This runs on the in-process conduit backend (ranks are goroutines).
+// To see the same programming model execute as separate OS processes
+// over the TCP wire conduit, use the launcher's ring walkthrough:
+//
+//	go run ./cmd/upcxx-run -n 4 -backend tcp ring
 package main
 
 import (

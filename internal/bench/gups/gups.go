@@ -52,6 +52,69 @@ func (r Result) Counters() map[string]float64 {
 	return c
 }
 
+// SPMD is the benchmark's conduit-portable body: the HPCC update loop
+// with atomic xor updates, run on an already-running rank (either an
+// in-process job or one OS process of a wire job), followed by the
+// involution verification (replaying the updates must restore the
+// table). It returns a table checksum folded in global index order —
+// atomic xor updates commute, so for a given rank count and update
+// budget the checksum is identical on every conduit backend — and the
+// count of verification mismatches, which must be zero.
+func SPMD(me *core.Rank, logTableSize, updatesPerRank int) (checksum uint64, errors int64) {
+	tableSize := uint64(1) << logTableSize
+	table := core.NewSharedArray[uint64](me, int(tableSize), 1)
+	local := table.LocalSlice(me)
+	for k := range local {
+		local[k] = uint64(k*me.Ranks() + me.ID())
+	}
+	me.Barrier()
+
+	mask := tableSize - 1
+	ran := seedFor(me.ID())
+	for i := 0; i < updatesPerRank; i++ {
+		ran = nextRan(ran)
+		core.AtomicXor(me, table.Ptr(int(ran&mask)), ran)
+	}
+	me.Barrier()
+
+	// Checksum the updated table: mix each (global index, value) pair and
+	// xor-fold, so the result is independent of rank count partitioning
+	// only through the table contents themselves.
+	var sum uint64
+	for k, v := range table.LocalSlice(me) {
+		idx := uint64(k*me.Ranks() + me.ID())
+		sum ^= Mix64(idx*0x9E3779B97F4A7C15 + v)
+	}
+	checksum = core.Reduce(me, sum, func(a, b uint64) uint64 { return a ^ b })
+
+	// Replay: xor is an involution, so the table must return to its
+	// initial state, conflict-free because the updates are atomic.
+	ran = seedFor(me.ID())
+	for i := 0; i < updatesPerRank; i++ {
+		ran = nextRan(ran)
+		core.AtomicXor(me, table.Ptr(int(ran&mask)), ran)
+	}
+	me.Barrier()
+	var bad int64
+	for k, v := range table.LocalSlice(me) {
+		if v != uint64(k*me.Ranks()+me.ID()) {
+			bad++
+		}
+	}
+	errors = core.Reduce(me, bad, func(a, b int64) int64 { return a + b })
+	return checksum, errors
+}
+
+// Mix64 is the splitmix64 finalizer, used to hash checksum terms (and
+// by internal/spmd to derive test patterns).
+func Mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // nextRan advances the HPCC LFSR.
 func nextRan(ran uint64) uint64 {
 	if int64(ran) < 0 {
@@ -108,8 +171,7 @@ func Run(p Params) Result {
 			ran = nextRan(ran)
 			idx := int(ran & mask)
 			if p.Atomic {
-				v := ran
-				core.RMW(me, table.Ptr(idx), func(x uint64) uint64 { return x ^ v })
+				core.AtomicXor(me, table.Ptr(idx), ran)
 				me.Lapse(me.Model().SharedAccessCost())
 			} else {
 				// The paper's Table[ran & (TableSize-1)] ^= ran: a
@@ -130,8 +192,7 @@ func Run(p Params) Result {
 			for i := 0; i < p.UpdatesPerRank; i++ {
 				ran = nextRan(ran)
 				idx := int(ran & mask)
-				v := ran
-				core.RMW(me, table.Ptr(idx), func(x uint64) uint64 { return x ^ v })
+				core.AtomicXor(me, table.Ptr(idx), ran)
 			}
 			me.Barrier()
 			bad := int64(0)

@@ -73,6 +73,11 @@ func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// Asyncs ship Go closures, which do not serialize: on a wire-backed
+	// job only self-targeted tasks are allowed.
+	for _, t := range place.ranks {
+		me.noWire("Async", t)
+	}
 	me.enter()
 	fs := me.currentFinish()
 	if fs != nil {
@@ -153,6 +158,7 @@ func AsyncFuture[T any](me *Rank, target int, fn func(me *Rank) T, opts ...Async
 	for _, o := range opts {
 		o(&cfg)
 	}
+	me.noWire("AsyncFuture", target)
 	f := &Future[T]{owner: me}
 	me.enter()
 	fs := me.currentFinish()

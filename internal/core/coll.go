@@ -10,6 +10,11 @@ package core
 // Broadcast distributes root's value to every rank and returns it.
 func Broadcast[T any](me *Rank, v T, root int) T {
 	bytes := int(sizeOf[T]())
+	if me.onWire() {
+		out := wireBroadcast(me, v, root)
+		me.ep.Clock.Advance(float64(me.job.model.CollStages()) * me.job.model.CollStageCost(bytes))
+		return out
+	}
 	slot := me.ep.Collective(
 		func(int) any { return new(T) },
 		func(s any) {
@@ -29,6 +34,13 @@ func Broadcast[T any](me *Rank, v T, root int) T {
 // rank and shared read-only by all ranks (do not mutate it).
 func AllGather[T any](me *Rank, v T) []T {
 	bytes := int(sizeOf[T]())
+	if me.onWire() {
+		out := wireExchange(me, v)
+		mo := me.job.model
+		me.ep.Clock.Advance(float64(mo.CollStages())*mo.CollStageCost(bytes) +
+			float64(me.Ranks()-1)*mo.WireNs(bytes))
+		return out
+	}
 	slot := me.ep.Collective(
 		func(n int) any { return make([]T, n) },
 		func(s any) { s.([]T)[me.id] = v },
@@ -48,6 +60,11 @@ func AllGather[T any](me *Rank, v T) []T {
 // and floating-point sums are deterministic across runs and rank counts.
 func Reduce[T any](me *Rank, v T, op func(a, b T) T) T {
 	bytes := int(sizeOf[T]())
+	if me.onWire() {
+		out := wireReduce(me, v, op)
+		me.ep.Clock.Advance(2 * float64(me.job.model.CollStages()) * me.job.model.CollStageCost(bytes))
+		return out
+	}
 	type box struct {
 		vals   []T
 		result T
@@ -78,6 +95,14 @@ func Reduce[T any](me *Rank, v T, op func(a, b T) T) T {
 // pipelined large-payload reduction: log(P) latency stages plus twice the
 // payload's wire time.
 func ReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int) []T {
+	if me.onWire() {
+		out := wireReduceSlices(me, contrib, op, root)
+		bytes := len(contrib) * int(sizeOf[T]())
+		mo := me.job.model
+		me.ep.Clock.Advance(float64(mo.CollStages())*mo.CollStageCost(0) + 2*mo.WireNs(bytes))
+		me.Work(float64(len(contrib)))
+		return out
+	}
 	type box struct {
 		parts [][]T
 		out   []T

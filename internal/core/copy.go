@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"sync"
-
-	"upcxx/internal/segment"
 )
 
 // Event synchronizes individual non-blocking operations and async tasks,
@@ -158,14 +156,16 @@ func Copy[T any](me *Rank, src, dst GlobalPtr[T], count int) {
 	moveBytes(me, src, dst, bytes)
 }
 
-// moveBytes performs the actual data movement between segments, staged
-// through a private buffer so that at most one segment lock is held at a
-// time (no lock-ordering deadlocks, and overlapping same-segment ranges
-// behave like memmove).
+// moveBytes performs the actual data movement between segments through
+// the conduit's one-sided data plane, staged through a private buffer so
+// that at most one segment lock is held at a time (no lock-ordering
+// deadlocks, and overlapping same-segment ranges behave like memmove).
+// On a wire conduit this is a get off the source followed by a put to
+// the destination, both initiated here.
 func moveBytes[T any](me *Rank, src, dst GlobalPtr[T], bytes int) {
 	tmp := make([]byte, bytes)
-	me.job.segs[src.rank].Read(src.Offset(), tmp)
-	me.job.segs[dst.rank].Write(dst.Offset(), tmp)
+	me.mustCd(me.cd.Get(int(src.rank), src.Offset(), tmp))
+	me.mustCd(me.cd.Put(int(dst.rank), dst.Offset(), tmp))
 }
 
 // AsyncCopy initiates a non-blocking one-sided bulk transfer (the paper's
@@ -242,10 +242,7 @@ func ReadSlice[T any](me *Rank, src GlobalPtr[T], dst []T) {
 	me.ep.Stats.Gets.Add(1)
 	me.ep.Stats.GetBytes.Add(int64(bytes))
 	me.ep.Clock.Advance(me.job.model.GetCost(me.id, int(src.rank), bytes))
-	seg := me.job.segs[src.rank]
-	seg.Lock()
-	copy(dst, segment.Slice[T](seg, src.Offset(), len(dst)))
-	seg.Unlock()
+	me.mustCd(me.cd.Get(int(src.rank), src.Offset(), sliceBytes(dst)))
 }
 
 // WriteSlice copies the local slice src into shared memory at dst.
@@ -259,10 +256,7 @@ func WriteSlice[T any](me *Rank, dst GlobalPtr[T], src []T) {
 	me.ep.Stats.Puts.Add(1)
 	me.ep.Stats.PutBytes.Add(int64(bytes))
 	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(dst.rank), bytes))
-	seg := me.job.segs[dst.rank]
-	seg.Lock()
-	copy(segment.Slice[T](seg, dst.Offset(), len(src)), src)
-	seg.Unlock()
+	me.mustCd(me.cd.Put(int(dst.rank), dst.Offset(), sliceBytes(src)))
 }
 
 // WriteSliceAsync is the non-blocking WriteSlice: initiation is charged
@@ -275,10 +269,7 @@ func WriteSliceAsync[T any](me *Rank, dst GlobalPtr[T], src []T, ev *Event) {
 	me.ep.Stats.PutBytes.Add(int64(bytes))
 	me.ep.Clock.Advance(mo.NBInitCost())
 	completion := me.Clock() + mo.NBCompleteCost(me.id, int(dst.rank), bytes)
-	seg := me.job.segs[dst.rank]
-	seg.Lock()
-	copy(segment.Slice[T](seg, dst.Offset(), len(src)), src)
-	seg.Unlock()
+	me.mustCd(me.cd.Put(int(dst.rank), dst.Offset(), sliceBytes(src)))
 	me.exit()
 	if ev != nil {
 		ev.register(1)

@@ -101,18 +101,11 @@ func TryAllocate[T any](me *Rank, rank, count int) (GlobalPtr[T], error) {
 		}
 		return gptrAt[T](rank, off), nil
 	}
-	const failed = ^uint64(0)
-	v := me.call(rank, 16, 16, func(tgt *Rank) uint64 {
-		off, err := tgt.seg.Alloc(size)
-		if err != nil {
-			return failed
-		}
-		return off + 1
-	})
-	if v == failed {
+	off, err := me.cd.Alloc(rank, size)
+	if err != nil {
 		return Null[T](), fmt.Errorf("upcxx: remote allocate of %d bytes on rank %d: %w", size, rank, segment.ErrOutOfMemory)
 	}
-	return gptrAt[T](rank, v-1), nil
+	return gptrAt[T](rank, off), nil
 }
 
 // Allocate is like TryAllocate but panics on failure (the bad_alloc
@@ -136,13 +129,7 @@ func Deallocate[T any](me *Rank, p GlobalPtr[T]) error {
 	if int(p.rank) == me.id {
 		return me.seg.Free(p.Offset())
 	}
-	ok := me.call(int(p.rank), 16, 8, func(tgt *Rank) uint64 {
-		if tgt.seg.Free(p.Offset()) != nil {
-			return 0
-		}
-		return 1
-	})
-	if ok == 0 {
+	if err := me.cd.Free(int(p.rank), p.Offset()); err != nil {
 		return fmt.Errorf("upcxx: remote free of %v failed", p)
 	}
 	return nil
@@ -195,7 +182,7 @@ func Read[T any](me *Rank, p GlobalPtr[T]) T {
 		me.seg.Unlock()
 		return v
 	}
-	if me.job.cfg.Access == AMMediated {
+	if me.job.cfg.Access == AMMediated && !me.onWire() {
 		var v T
 		var done bool
 		me.ep.Send(int(p.rank), 16, func(tep *gasnet.Endpoint) {
@@ -206,11 +193,24 @@ func Read[T any](me *Rank, p GlobalPtr[T]) T {
 		me.ep.WaitFor(func() bool { return done })
 		return v
 	}
-	tseg := me.job.segs[p.rank]
-	tseg.Lock()
-	v := *segment.At[T](tseg, p.Offset())
-	tseg.Unlock()
+	var v T
+	me.mustCd(me.cd.Get(int(p.rank), p.Offset(), valueBytes(&v)))
 	return v
+}
+
+// valueBytes views a POD value's storage as bytes, the form the conduit
+// data plane moves. Safe for exactly the types the segment accepts
+// (pointer-free), which checkPOD enforces at allocation time.
+func valueBytes[T any](v *T) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(v)), sizeOf[T]())
+}
+
+// sliceBytes views a POD slice's backing storage as bytes.
+func sliceBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), uint64(len(s))*sizeOf[T]())
 }
 
 // Write performs a blocking one-sided write of the element referenced by
@@ -228,7 +228,7 @@ func Write[T any](me *Rank, p GlobalPtr[T], v T) {
 		me.seg.Unlock()
 		return
 	}
-	if me.job.cfg.Access == AMMediated {
+	if me.job.cfg.Access == AMMediated && !me.onWire() {
 		var done bool
 		me.ep.Send(int(p.rank), 16+n, func(tep *gasnet.Endpoint) {
 			tgt := me.job.ranks[tep.Rank]
@@ -238,19 +238,22 @@ func Write[T any](me *Rank, p GlobalPtr[T], v T) {
 		me.ep.WaitFor(func() bool { return done })
 		return
 	}
-	tseg := me.job.segs[p.rank]
-	tseg.Lock()
-	*segment.At[T](tseg, p.Offset()) = v
-	tseg.Unlock()
+	me.mustCd(me.cd.Put(int(p.rank), p.Offset(), valueBytes(&v)))
 }
 
 // RMW atomically applies f to the referenced element under the owner's
 // segment lock and returns the new value — the network-atomic analog used
 // by verification paths (e.g. conflict-free GUPS checking). It is charged
 // as one round trip.
+//
+// RMW carries a Go closure, so on a wire-backed job it works only on
+// elements local to the calling rank; remote wire RMW panics with
+// gasnet.ErrNotWireCapable. The wire-capable fixed-function atomic is
+// AtomicXor.
 func RMW[T any](me *Rank, p GlobalPtr[T], f func(T) T) T {
 	me.enter()
 	defer me.exit()
+	me.noWire("RMW", int(p.rank))
 	n := int(sizeOf[T]())
 	me.ep.Stats.Puts.Add(1)
 	me.ep.Stats.PutBytes.Add(int64(n))
@@ -261,5 +264,21 @@ func RMW[T any](me *Rank, p GlobalPtr[T], f func(T) T) T {
 	*ptr = f(*ptr)
 	v := *ptr
 	tseg.Unlock()
+	return v
+}
+
+// AtomicXor atomically xors val into the referenced word and returns
+// the new value — the HPCC Random Access update as a fixed-function
+// network atomic. Unlike RMW it ships no closure, so it is wire-capable
+// and runs identically on both conduit backends. Charged as one round
+// trip, like RMW.
+func AtomicXor(me *Rank, p GlobalPtr[uint64], val uint64) uint64 {
+	me.enter()
+	defer me.exit()
+	me.ep.Stats.Puts.Add(1)
+	me.ep.Stats.PutBytes.Add(8)
+	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(p.rank), 8))
+	v, err := me.cd.Xor64(int(p.rank), p.Offset(), val)
+	me.mustCd(err)
 	return v
 }

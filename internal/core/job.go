@@ -112,7 +112,10 @@ func (s Stats) Seconds(virtual bool) float64 {
 	return s.Wall.Seconds()
 }
 
-// Job is the shared state of one SPMD run.
+// Job is the shared state of one SPMD run. On a wire-backed job (one
+// rank per OS process, see RunWire) only this process's slots of segs
+// and ranks are populated; everything cross-rank goes through the
+// conduit.
 type Job struct {
 	cfg   Config
 	model *sim.Model
@@ -130,6 +133,12 @@ type Rank struct {
 	ep  *gasnet.Endpoint
 	seg *segment.Segment
 
+	// cd is the communication backend every cross-rank operation of the
+	// serializable vocabulary (Read/Write/Copy, AtomicXor, allocation,
+	// barriers, collectives, locks) dispatches through: a ProcConduit
+	// for in-process jobs, a WireConduit for multi-process ones.
+	cd gasnet.Conduit
+
 	mu sync.Mutex // Concurrent-mode serialization
 
 	finish []*finishScope
@@ -138,11 +147,19 @@ type Rank struct {
 	// event; completed by Fence / AsyncCopyFence).
 	implicitMax float64
 	implicitN   int
+}
 
-	// Lock manager state, touched only by this rank's goroutine (AM
-	// handlers run there), so no mutex is needed.
-	locks      map[uint64]*lockState
-	nextLockID uint64
+// onWire reports whether this rank belongs to a wire-backed job, where
+// peers live in other address spaces and closures cannot travel.
+func (r *Rank) onWire() bool { return r.cd.WireCapable() }
+
+// noWire panics if op — an operation that ships Go closures — targets a
+// remote rank of a wire-backed job.
+func (r *Rank) noWire(op string, target int) {
+	if target != r.id && r.onWire() {
+		panic(fmt.Errorf("upcxx: %s targeting rank %d from rank %d: %w",
+			op, target, r.id, gasnet.ErrNotWireCapable))
+	}
 }
 
 func newJob(cfg Config) *Job {
@@ -154,14 +171,19 @@ func newJob(cfg Config) *Job {
 	j.eng = gasnet.New(j.model, cfg.Ranks)
 	j.segs = make([]*segment.Segment, cfg.Ranks)
 	j.ranks = make([]*Rank, cfg.Ranks)
+	mems := make([]gasnet.Memory, cfg.Ranks)
 	for i := 0; i < cfg.Ranks; i++ {
 		j.segs[i] = segment.New(cfg.SegmentBytes)
+		mems[i] = j.segs[i]
+	}
+	conduits := gasnet.NewProcGroup(j.eng, mems)
+	for i := 0; i < cfg.Ranks; i++ {
 		j.ranks[i] = &Rank{
-			id:    i,
-			job:   j,
-			ep:    j.eng.Endpoint(i),
-			seg:   j.segs[i],
-			locks: make(map[uint64]*lockState),
+			id:  i,
+			job: j,
+			ep:  j.eng.Endpoint(i),
+			seg: j.segs[i],
+			cd:  conduits[i],
 		}
 	}
 	return j
@@ -197,13 +219,71 @@ func Run(cfg Config, main func(me *Rank)) Stats {
 	return st
 }
 
+// RunWire executes main as THIS process's single rank of an n-rank
+// multi-process job communicating through cd (normally a
+// gasnet.WireConduit over TCP; see cmd/upcxx-run for the launcher).
+// seg must be the same segment cd serves remote requests against.
+// The rank count comes from the conduit; cfg.Ranks is ignored.
+//
+// All operations of the serializable vocabulary work exactly as
+// in-process: one-sided Read/Write/Copy/AsyncCopy, AtomicXor, remote
+// Allocate/Deallocate, Barrier, the typed collectives, shared
+// variables/arrays, and locks. Closure-carrying operations (Async,
+// AsyncFuture, RMW, raw AMs) work only when targeting this rank itself
+// and panic with gasnet.ErrNotWireCapable otherwise. Reported time is
+// wall-clock; the virtual-time model does not span address spaces.
+func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *Rank)) Stats {
+	cfg.Ranks = cd.Ranks()
+	cfg = cfg.withDefaults()
+	id := cd.Rank()
+	j := &Job{
+		cfg:   cfg,
+		model: sim.NewModel(cfg.Virtual, cfg.Machine, cfg.SW, cfg.Ranks),
+	}
+	// The local engine provides this rank's clock, counters and
+	// loopback task queue (self-targeted asyncs, events); cross-rank
+	// traffic never touches it.
+	j.eng = gasnet.New(j.model, cfg.Ranks)
+	j.segs = make([]*segment.Segment, cfg.Ranks)
+	j.segs[id] = seg
+	j.ranks = make([]*Rank, cfg.Ranks)
+	r := &Rank{id: id, job: j, ep: j.eng.Endpoint(id), seg: seg, cd: cd}
+	j.ranks[id] = r
+
+	start := time.Now()
+	main(r)
+	r.quiesce()
+	wall := time.Since(start)
+
+	st := Stats{Ranks: cfg.Ranks, Wall: wall, VirtualNs: r.ep.Clock.Now()}
+	st.AMs = r.ep.Stats.AMs.Load()
+	st.Tasks = r.ep.Stats.Tasks.Load()
+	st.Puts = r.ep.Stats.Puts.Load()
+	st.Gets = r.ep.Stats.Gets.Load()
+	st.PutBytes = r.ep.Stats.PutBytes.Load()
+	st.GetBytes = r.ep.Stats.GetBytes.Load()
+	st.SegPeak = seg.Peak()
+	return st
+}
+
 // quiesce drains in-flight messages after main returns: two barrier rounds
 // guarantee that any task injected before the first barrier has executed
 // before any rank tears down.
 func (r *Rank) quiesce() {
-	r.ep.Barrier()
+	r.mustCd(r.cd.Barrier())
 	r.ep.Poll()
-	r.ep.Barrier()
+	if r.onWire() {
+		r.cd.Poll()
+	}
+	r.mustCd(r.cd.Barrier())
+}
+
+// mustCd converts a conduit failure into a job abort, following the
+// paper's process model (a failed process aborts the SPMD job).
+func (r *Rank) mustCd(err error) {
+	if err != nil {
+		panic(fmt.Errorf("upcxx: rank %d conduit failure: %w", r.id, err))
+	}
 }
 
 // ID returns this rank's index (MYTHREAD in UPC terms, myrank() in UPC++).
@@ -224,15 +304,20 @@ func (r *Rank) Clock() float64 { return r.ep.Clock.Now() }
 func (r *Rank) Barrier() {
 	r.enter()
 	defer r.exit()
-	r.ep.Barrier()
+	r.mustCd(r.cd.Barrier())
 }
 
 // Advance services queued async tasks and returns how many ran. It is the
-// paper's advance() progress call.
+// paper's advance() progress call. On a wire-backed job it also services
+// the conduit's incoming requests.
 func (r *Rank) Advance() int {
 	r.enter()
 	defer r.exit()
-	return r.ep.Poll()
+	n := r.ep.Poll()
+	if r.onWire() {
+		n += r.cd.Poll()
+	}
+	return n
 }
 
 // Work charges n floating-point operations of modeled compute time to this
@@ -268,27 +353,6 @@ func (r *Rank) exit() {
 	if r.job.cfg.Threads == Concurrent {
 		r.mu.Unlock()
 	}
-}
-
-// call executes fn on the target rank's goroutine and blocks until fn's
-// reply value arrives back, charging AM costs both ways. It is the
-// building block for remote allocation, lock traffic and other control
-// RPCs. fn must not block.
-func (r *Rank) call(target int, reqBytes, repBytes int, fn func(tgt *Rank) uint64) uint64 {
-	var (
-		reply uint64
-		done  bool
-	)
-	r.ep.Send(target, reqBytes, func(tep *gasnet.Endpoint) {
-		tgt := r.job.ranks[tep.Rank]
-		v := fn(tgt)
-		tep.Send(r.id, repBytes, func(*gasnet.Endpoint) {
-			reply = v
-			done = true
-		})
-	})
-	r.ep.WaitFor(func() bool { return done })
-	return reply
 }
 
 func (r *Rank) String() string {

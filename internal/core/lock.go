@@ -1,94 +1,41 @@
 package core
 
-import "upcxx/internal/gasnet"
-
 // Lock is a global mutual-exclusion lock (upc_lock analog). The lock's
-// state lives on its home rank (the creator) and is manipulated only by
-// active messages executed on the home's goroutine, so the manager needs
-// no internal locking. Grant and release each cost one round trip, like a
-// network lock service.
+// state lives on its home rank (the creator) inside that rank's conduit
+// and is manipulated only by messages executed on the home's goroutine,
+// so the manager needs no internal locking. Grant and release each cost
+// one round trip, like a network lock service. Lock traffic is part of
+// the serializable conduit vocabulary, so locks work identically on the
+// in-process and wire backends.
 type Lock struct {
 	home int
 	id   uint64
-}
-
-type lockState struct {
-	held  bool
-	queue []lockWaiter
-}
-
-type lockWaiter struct {
-	rank    int
-	granted *bool
 }
 
 // NewLock creates a lock homed on the calling rank. The Lock value is POD
 // and may be shared with other ranks (e.g. through a shared variable or a
 // closure).
 func NewLock(me *Rank) Lock {
-	me.nextLockID++
-	id := me.nextLockID
-	me.locks[id] = &lockState{}
-	return Lock{home: me.id, id: id}
+	return Lock{home: me.id, id: me.cd.LockNew()}
 }
 
 // Acquire blocks until the calling rank holds the lock, servicing async
 // tasks while waiting.
 func (l Lock) Acquire(me *Rank) {
-	granted := false
-	me.ep.Send(l.home, 16, func(tep *gasnet.Endpoint) {
-		home := me.job.ranks[tep.Rank]
-		st := home.locks[l.id]
-		if st == nil {
-			panic("upcxx: Acquire on unknown lock")
-		}
-		if st.held {
-			st.queue = append(st.queue, lockWaiter{rank: me.id, granted: &granted})
-			return
-		}
-		st.held = true
-		tep.Send(me.id, 8, func(*gasnet.Endpoint) { granted = true })
-	})
-	me.ep.WaitFor(func() bool { return granted })
+	_, err := me.cd.LockAcquire(l.home, l.id, false)
+	me.mustCd(err)
 }
 
 // TryAcquire attempts to take the lock without queueing; it reports
 // whether the lock was obtained.
 func (l Lock) TryAcquire(me *Rank) bool {
-	got := me.call(l.home, 16, 8, func(home *Rank) uint64 {
-		st := home.locks[l.id]
-		if st == nil {
-			panic("upcxx: TryAcquire on unknown lock")
-		}
-		if st.held {
-			return 0
-		}
-		st.held = true
-		return 1
-	})
-	return got == 1
+	got, err := me.cd.LockAcquire(l.home, l.id, true)
+	me.mustCd(err)
+	return got
 }
 
 // Release releases the lock, handing it to the oldest queued waiter if
 // any. The caller must hold the lock.
 func (l Lock) Release(me *Rank) {
-	done := false
-	me.ep.Send(l.home, 16, func(tep *gasnet.Endpoint) {
-		home := me.job.ranks[tep.Rank]
-		st := home.locks[l.id]
-		if st == nil || !st.held {
-			panic("upcxx: Release of unheld lock")
-		}
-		if len(st.queue) > 0 {
-			next := st.queue[0]
-			st.queue = st.queue[1:]
-			// Hand off directly: the lock stays held, the waiter wakes.
-			g := next.granted
-			tep.Send(next.rank, 8, func(*gasnet.Endpoint) { *g = true })
-		} else {
-			st.held = false
-		}
-		tep.Send(me.id, 8, func(*gasnet.Endpoint) { done = true })
-	})
-	me.ep.WaitFor(func() bool { return done })
+	me.mustCd(me.cd.LockRelease(l.home, l.id))
 }

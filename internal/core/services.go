@@ -11,6 +11,7 @@ import "upcxx/internal/gasnet"
 // goroutine, charging standard AM costs for a payload of the given size.
 // fn must not block (it may send further messages).
 func (r *Rank) AM(target, bytes int, fn func(tgt *Rank)) {
+	r.noWire("AM", target)
 	job := r.job
 	r.ep.Send(target, bytes, func(tep *gasnet.Endpoint) {
 		fn(job.ranks[tep.Rank])
@@ -21,6 +22,7 @@ func (r *Rank) AM(target, bytes int, fn func(tgt *Rank)) {
 // for substrates that account their own protocol costs (e.g. the
 // two-sided MPI baseline's eager/rendezvous protocols).
 func (r *Rank) AMAt(target int, arrival float64, bytes int, fn func(tgt *Rank)) {
+	r.noWire("AMAt", target)
 	job := r.job
 	r.ep.SendAt(target, arrival, bytes, func(tep *gasnet.Endpoint) {
 		fn(job.ranks[tep.Rank])

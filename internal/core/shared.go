@@ -12,6 +12,13 @@ type SharedVar[T any] struct {
 // collectives.
 func NewSharedVar[T any](me *Rank) SharedVar[T] {
 	checkPOD[T]()
+	if me.onWire() {
+		var p GlobalPtr[T]
+		if me.id == 0 {
+			p = Allocate[T](me, 0, 1)
+		}
+		return SharedVar[T]{ptr: wireExchange(me, p)[0]}
+	}
 	slot := me.ep.Collective(
 		func(int) any { return new(GlobalPtr[T]) },
 		func(s any) {
@@ -79,6 +86,12 @@ func NewSharedArray[T any](me *Rank, size, blockSize int) *SharedArray[T] {
 	var base uint64
 	if local > 0 {
 		base = Allocate[T](me, me.id, int(local)).Offset()
+	}
+	if me.onWire() {
+		// No shared slot across address spaces: allgather the base
+		// directory over the conduit (each process keeps its own copy).
+		sa.bases = wireExchange(me, base)
+		return sa
 	}
 	slot := me.ep.Collective(
 		func(n int) any { return make([]uint64, n) },

@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// Wire-backend collectives. The in-process typed collectives rendezvous
+// through a shared slot (one allocation per collective, shared
+// read-only by all ranks — what keeps 32K-rank metadata exchanges
+// linear in memory); across address spaces there is no shared slot, so
+// every collective reduces to the conduit's byte-level AllGather and a
+// local fold. Element types must be POD (pointer-free), the same
+// contract the segment enforces — which is exactly what makes every
+// shared value byte-serializable.
+
+// wireAllGather performs the conduit allgather, aborting on failure.
+func wireAllGather(me *Rank, contrib []byte) [][]byte {
+	parts, err := me.cd.AllGather(contrib)
+	me.mustCd(err)
+	return parts
+}
+
+// wireExchange allgathers one POD value per rank.
+func wireExchange[T any](me *Rank, v T) []T {
+	checkPOD[T]()
+	parts := wireAllGather(me, valueBytes(&v))
+	out := make([]T, len(parts))
+	for i, p := range parts {
+		if uint64(len(p)) != sizeOf[T]() {
+			panic(fmt.Sprintf("upcxx: wire collective: rank %d contributed %d bytes, want %d",
+				i, len(p), sizeOf[T]()))
+		}
+		copy(valueBytes(&out[i]), p)
+	}
+	return out
+}
+
+func wireBroadcast[T any](me *Rank, v T, root int) T {
+	checkPOD[T]()
+	var contrib []byte
+	if me.id == root {
+		contrib = valueBytes(&v)
+	}
+	parts := wireAllGather(me, contrib)
+	var out T
+	if uint64(len(parts[root])) != sizeOf[T]() {
+		panic(fmt.Sprintf("upcxx: wire broadcast: root contributed %d bytes, want %d",
+			len(parts[root]), sizeOf[T]()))
+	}
+	copy(valueBytes(&out), parts[root])
+	return out
+}
+
+// wireReduce folds one value per rank in rank order, on every rank —
+// the same deterministic fold order the in-process Reduce uses, so
+// floating-point results agree across backends.
+func wireReduce[T any](me *Rank, v T, op func(a, b T) T) T {
+	all := wireExchange(me, v)
+	acc := all[0]
+	for _, x := range all[1:] {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+func wireReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int) []T {
+	checkPOD[T]()
+	parts := wireAllGather(me, sliceBytes(contrib))
+	if me.id != root {
+		return nil
+	}
+	out := make([]T, len(contrib))
+	decode := func(p []byte) []T {
+		if uint64(len(p)) != uint64(len(contrib))*sizeOf[T]() {
+			panic("upcxx: wire ReduceSlices: unequal contribution lengths")
+		}
+		s := make([]T, len(contrib))
+		copy(sliceBytes(s), p)
+		return s
+	}
+	copy(out, decode(parts[0]))
+	for _, p := range parts[1:] {
+		for i, x := range decode(p) {
+			out[i] = op(out[i], x)
+		}
+	}
+	return out
+}

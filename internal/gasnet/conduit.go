@@ -1,0 +1,96 @@
+package gasnet
+
+import "errors"
+
+// Conduit is the backend seam of the runtime — the layer the paper's
+// Fig 2 draws between GASNet and the swappable network conduits. Every
+// cross-rank operation the core runtime performs on behalf of the
+// remote-access API is expressed in this vocabulary: one-sided data
+// movement, a fixed-function remote atomic, global memory management,
+// barriers, an allgather rendezvous, and a lock service. All payloads
+// are plain bytes (the segment's pointer-free guarantee makes every
+// shared object byte-serializable), so a conduit may ship them over a
+// wire; nothing in the vocabulary requires shared memory.
+//
+// Two implementations exist: ProcConduit runs over the in-process
+// Engine (ranks are goroutines; the virtual-time cost model applies),
+// and WireConduit runs over internal/transport's framed TCP messages
+// (ranks are OS processes). Closure-carrying asyncs are deliberately
+// NOT part of this interface — Go closures do not serialize — so they
+// remain an in-process fast path; the core rejects them on wire-backed
+// jobs with ErrNotWireCapable.
+//
+// A Conduit is driven by its rank's single SPMD goroutine: blocking
+// calls service incoming requests while waiting (the GASNet progress
+// rule), so a rank stalled in Barrier still serves its peers' Gets.
+// Implementations are not required to be safe for concurrent callers.
+type Conduit interface {
+	// Rank returns the calling rank's index; Ranks the job size.
+	Rank() int
+	Ranks() int
+
+	// Get copies len(p) bytes from rank's segment at off into p.
+	// Put copies p into rank's segment at off.
+	Get(rank int, off uint64, p []byte) error
+	Put(rank int, off uint64, p []byte) error
+
+	// Xor64 atomically xors val into the 8 bytes at off in rank's
+	// segment and returns the new value (the HPCC update atomic).
+	Xor64(rank int, off uint64, val uint64) (uint64, error)
+
+	// Alloc reserves size bytes in rank's segment; Free releases an
+	// allocation. Remote allocation is the paper's §III-C capability.
+	Alloc(rank int, size uint64) (uint64, error)
+	Free(rank int, off uint64) error
+
+	// Barrier blocks until all ranks arrive, servicing requests.
+	Barrier() error
+
+	// AllGather deposits this rank's contribution and returns every
+	// rank's, indexed by rank. Contributions may be empty and may
+	// differ in length. All typed collectives reduce to this.
+	AllGather(contrib []byte) ([][]byte, error)
+
+	// LockNew creates a lock homed on the calling rank and returns its
+	// id; LockAcquire blocks until the lock homed on `home` is held
+	// (try: no queueing, reports success); LockRelease hands it to the
+	// oldest waiter or frees it.
+	LockNew() uint64
+	LockAcquire(home int, id uint64, try bool) (bool, error)
+	LockRelease(home int, id uint64) error
+
+	// Poll services queued requests without blocking and reports how
+	// many ran (the conduit half of the paper's advance()).
+	Poll() int
+
+	// WireCapable reports whether ranks live in separate address
+	// spaces (true for WireConduit). The core uses it to reject
+	// closure-shipping operations that cannot serialize.
+	WireCapable() bool
+
+	// Close tears down the conduit's resources. The caller must have
+	// synchronized (e.g. a final Barrier) first.
+	Close() error
+}
+
+// Memory is the local segment surface a conduit serves remote requests
+// against. *segment.Segment satisfies it; the indirection keeps gasnet
+// below the segment package in the layering.
+type Memory interface {
+	Read(off uint64, p []byte)
+	Write(off uint64, p []byte)
+	Xor64(off, val uint64) uint64
+	Alloc(size uint64) (uint64, error)
+	Free(off uint64) error
+}
+
+// ErrNotWireCapable is returned (wrapped in a panic by the core, which
+// follows the paper's failed-process-aborts-the-job model) when an
+// operation that ships Go closures — Async, AsyncFuture, RMW, raw AMs —
+// targets a remote rank of a wire-backed job. Closures do not
+// serialize; use the encoded-argument operations (Read/Write/Copy,
+// AtomicXor, collectives, locks) or run in-process.
+var ErrNotWireCapable = errors.New(
+	"gasnet: operation ships a Go closure and cannot cross a wire conduit " +
+		"(wire-capable ops: Read/Write/Copy/AsyncCopy, AtomicXor, Allocate/Deallocate, " +
+		"Barrier, collectives, locks)")

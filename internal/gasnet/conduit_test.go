@@ -1,0 +1,387 @@
+package gasnet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"upcxx/internal/sim"
+	"upcxx/internal/transport"
+)
+
+// testMem is a minimal Memory: a flat buffer with a bump allocator,
+// enough to exercise every conduit operation without importing the
+// segment package (which sits above gasnet in the layering).
+type testMem struct {
+	mu   sync.Mutex
+	buf  []byte
+	next uint64
+	live map[uint64]bool
+}
+
+func newTestMem(n int) *testMem {
+	return &testMem{buf: make([]byte, n), live: map[uint64]bool{}}
+}
+
+func (m *testMem) Read(off uint64, p []byte) {
+	m.mu.Lock()
+	copy(p, m.buf[off:])
+	m.mu.Unlock()
+}
+
+func (m *testMem) Write(off uint64, p []byte) {
+	m.mu.Lock()
+	copy(m.buf[off:], p)
+	m.mu.Unlock()
+}
+
+func (m *testMem) Xor64(off, val uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(m.buf[off+uint64(i)]) << (8 * i)
+	}
+	v ^= val
+	for i := 0; i < 8; i++ {
+		m.buf[off+uint64(i)] = byte(v >> (8 * i))
+	}
+	return v
+}
+
+func (m *testMem) Alloc(size uint64) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.next+size > uint64(len(m.buf)) {
+		return 0, fmt.Errorf("testMem: out of memory")
+	}
+	off := m.next
+	m.next += size
+	m.live[off] = true
+	return off, nil
+}
+
+func (m *testMem) Free(off uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.live[off] {
+		return fmt.Errorf("testMem: bad free at %d", off)
+	}
+	delete(m.live, off)
+	return nil
+}
+
+// exerciseConduit runs the same cross-rank script over any conduit
+// fleet: remote put/get/xor, remote alloc/free, a contended lock, an
+// allgather, barriers. It is the contract both backends must satisfy.
+func exerciseConduit(t *testing.T, n int, conduit func(rank int) Conduit) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	var lockID uint64
+	var ctrOff uint64 // counter word in rank 0's memory, guarded by the lock
+	ready := make(chan struct{})
+	le := func(p []byte) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(p[i]) << (8 * i)
+		}
+		return v
+	}
+
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := conduit(rank)
+			fail := func(err error) {
+				if err != nil && errs[rank] == nil {
+					errs[rank] = err
+				}
+			}
+
+			if c.Rank() != rank || c.Ranks() != n {
+				fail(fmt.Errorf("identity: got %d/%d, want %d/%d", c.Rank(), c.Ranks(), rank, n))
+			}
+
+			// Rank 0 creates the lock and the counter word before anyone
+			// uses them (the ready channel publishes both).
+			if rank == 0 {
+				lockID = c.LockNew()
+				o, err := c.Alloc(0, 8)
+				fail(err)
+				ctrOff = o
+				close(ready)
+			} else {
+				<-ready
+			}
+
+			// Remote data plane: each rank writes a tagged pattern into
+			// its right neighbor's memory at a rank-specific offset, then
+			// reads it back and xors it.
+			right := (rank + 1) % n
+			off, err := c.Alloc(right, 64)
+			fail(err)
+			pattern := bytes.Repeat([]byte{byte(rank + 1)}, 16)
+			fail(c.Put(right, off, pattern))
+			got := make([]byte, 16)
+			fail(c.Get(right, off, got))
+			if !bytes.Equal(got, pattern) {
+				fail(fmt.Errorf("get after put: %v != %v", got, pattern))
+			}
+			v, err := c.Xor64(right, off, 0xFF)
+			fail(err)
+			var want uint64
+			for i := 0; i < 8; i++ {
+				want |= uint64(pattern[i]) << (8 * i)
+			}
+			if v != want^0xFF {
+				fail(fmt.Errorf("xor64: got %x, want %x", v, want^0xFF))
+			}
+
+			// Lock-protected counter: a non-atomic read-modify-write on
+			// rank 0's memory, made safe only by the conduit's lock
+			// service — lost updates mean mutual exclusion failed.
+			for iter := 0; iter < 5; iter++ {
+				ok, err := c.LockAcquire(0, lockID, false)
+				fail(err)
+				if !ok {
+					fail(fmt.Errorf("blocking acquire returned false"))
+				}
+				var w [8]byte
+				fail(c.Get(0, ctrOff, w[:]))
+				v := le(w[:]) + 1
+				for i := 0; i < 8; i++ {
+					w[i] = byte(v >> (8 * i))
+				}
+				fail(c.Put(0, ctrOff, w[:]))
+				fail(c.LockRelease(0, lockID))
+			}
+
+			// Allgather with per-rank payload lengths (rank r contributes
+			// r+1 bytes of value r).
+			contrib := bytes.Repeat([]byte{byte(rank)}, rank+1)
+			parts, err := c.AllGather(contrib)
+			fail(err)
+			if len(parts) != n {
+				fail(fmt.Errorf("allgather: %d parts, want %d", len(parts), n))
+			} else {
+				for r, p := range parts {
+					if len(p) != r+1 {
+						fail(fmt.Errorf("allgather part %d: %d bytes, want %d", r, len(p), r+1))
+					}
+				}
+			}
+
+			fail(c.Barrier())
+			var w [8]byte
+			fail(c.Get(0, ctrOff, w[:]))
+			if got, want := le(w[:]), uint64(5*n); got != want {
+				fail(fmt.Errorf("lock-protected counter = %d, want %d (lost updates)", got, want))
+			}
+			fail(c.Free(right, off))
+			fail(c.Barrier())
+		}(i)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestProcConduitContract(t *testing.T) {
+	const n = 4
+	eng := New(sim.NewModel(true, sim.Local, sim.SWUPCXX, n), n)
+	mems := make([]Memory, n)
+	for i := range mems {
+		mems[i] = newTestMem(1 << 16)
+	}
+	cds := NewProcGroup(eng, mems)
+	exerciseConduit(t, n, func(rank int) Conduit { return cds[rank] })
+}
+
+func TestWireConduitContract(t *testing.T) {
+	const n = 4
+	eps := make([]*transport.TCPEndpoint, n)
+	addrs := make([]string, n)
+	for i := range eps {
+		ep, err := transport.ListenTCP(i, n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	cds := make([]Conduit, n)
+	var wg sync.WaitGroup
+	for i := range eps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := eps[i].Connect(addrs); err != nil {
+				t.Errorf("rank %d connect: %v", i, err)
+			}
+			cds[i] = NewWireConduit(eps[i], newTestMem(1<<16))
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	exerciseConduit(t, n, func(rank int) Conduit { return cds[rank] })
+}
+
+// TestWireCapableFlags pins the closure-shipping policy bit.
+func TestWireCapableFlags(t *testing.T) {
+	eng := New(sim.NewModel(true, sim.Local, sim.SWUPCXX, 1), 1)
+	pc := NewProcGroup(eng, []Memory{newTestMem(64)})[0]
+	if pc.WireCapable() {
+		t.Error("ProcConduit.WireCapable() = true, want false")
+	}
+	ep, err := transport.ListenTCP(0, 1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := ep.Connect([]string{ep.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	wc := NewWireConduit(ep, newTestMem(64))
+	if !wc.WireCapable() {
+		t.Error("WireConduit.WireCapable() = false, want true")
+	}
+}
+
+// TestWireConduitBigTransfer moves a payload large enough to span many
+// TCP segments through Put/Get and checks integrity.
+func TestWireConduitBigTransfer(t *testing.T) {
+	const n = 2
+	eps := make([]*transport.TCPEndpoint, n)
+	addrs := make([]string, n)
+	for i := range eps {
+		ep, err := transport.ListenTCP(i, n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	mems := []*testMem{newTestMem(4 << 20), newTestMem(4 << 20)}
+	cds := make([]*WireConduit, n)
+	var wg sync.WaitGroup
+	for i := range eps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := eps[i].Connect(addrs); err != nil {
+				t.Errorf("connect: %v", err)
+			}
+			cds[i] = NewWireConduit(eps[i], mems[i])
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	done := make(chan struct{})
+	go func() {
+		// Rank 1 services requests until rank 0 finishes.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				cds[1].Poll()
+			}
+		}
+	}()
+	if err := cds[0].Put(1, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(big))
+	if err := cds[0].Get(1, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	if !bytes.Equal(got, big) {
+		t.Fatal("1 MiB round trip corrupted payload")
+	}
+}
+
+// TestWireConduitHugeAllGather pushes a collective whose contribution —
+// and whose gathered table — exceed one transport frame, exercising the
+// fragmentation path (contributions to rank 0, table broadcast back).
+func TestWireConduitHugeAllGather(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates ~100 MiB")
+	}
+	const n = 2
+	eps := make([]*transport.TCPEndpoint, n)
+	addrs := make([]string, n)
+	for i := range eps {
+		ep, err := transport.ListenTCP(i, n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	cds := make([]*WireConduit, n)
+	var wg sync.WaitGroup
+	for i := range eps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := eps[i].Connect(addrs); err != nil {
+				t.Errorf("connect: %v", err)
+			}
+			cds[i] = NewWireConduit(eps[i], newTestMem(64))
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	big := transport.MaxPayload + (1 << 20) // one fragment won't fit
+	contribs := make([][]byte, n)
+	for rank := range contribs {
+		p := make([]byte, big)
+		for i := 0; i < len(p); i += 4096 {
+			p[i] = byte(i*3 + rank) // sparse pattern: cheap to fill, catches misassembly
+		}
+		p[len(p)-1] = byte(rank + 1)
+		contribs[rank] = p
+	}
+	tables := make([][][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i], errs[i] = cds[i].AllGather(contribs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("rank %d allgather: %v", i, errs[i])
+		}
+		for r := 0; r < n; r++ {
+			if !bytes.Equal(tables[i][r], contribs[r]) {
+				t.Fatalf("rank %d sees corrupt contribution from %d", i, r)
+			}
+		}
+	}
+}

@@ -98,8 +98,11 @@ func TestWaitForWake(t *testing.T) {
 	spawn(g, func(e *Endpoint) {
 		if e.Rank == 0 {
 			e.Clock.Advance(5000)
-			flag.Store(true)
-			e.Wake(1, e.Clock.Now()+1000)
+			// The transition WaitFor is waiting on must ride the wake
+			// message itself (the engine's invariant 2): storing the
+			// flag before sending would let the waiter observe it
+			// without consuming the wake, leaving its clock behind.
+			e.SendAt(1, e.Clock.Now()+1000, 0, func(*Endpoint) { flag.Store(true) })
 			e.Barrier()
 		} else {
 			e.WaitFor(flag.Load)

@@ -1,0 +1,566 @@
+package gasnet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"upcxx/internal/transport"
+)
+
+// Wire protocol handler indices. All ranks register the same table at
+// the same indices, as with GASNet handler registration. Every request
+// carries a caller-chosen token in the frame's Arg field; the reply
+// echoes it, so a rank blocked on one request keeps serving its peers'
+// requests while it waits.
+const (
+	hReply   uint16 = 1  // Arg=token, payload = reply bytes
+	hGet     uint16 = 2  // Arg=token, payload = [off u64][len u64]
+	hPut     uint16 = 3  // Arg=token, payload = [off u64][data]
+	hXor     uint16 = 4  // Arg=token, payload = [off u64][val u64]
+	hAlloc   uint16 = 5  // Arg=token, payload = [size u64]; reply 0 = fail
+	hFree    uint16 = 6  // Arg=token, payload = [off u64]
+	hLockAcq uint16 = 7  // Arg=token, payload = [id u64][try u8]
+	hLockRel uint16 = 8  // Arg=token, payload = [id u64]
+	hGather  uint16 = 9  // Arg=generation, payload = contribution
+	hResult  uint16 = 10 // Arg=generation, payload = length-prefixed table
+)
+
+// WireConduit is the multi-process Conduit: each rank is one OS process
+// owning only its own segment, and every remote operation of the
+// Conduit vocabulary travels as a framed active message with encoded
+// arguments over internal/transport. Collectives rendezvous through
+// rank 0 (contributions in, the gathered table back out). Time is
+// wall-clock; the virtual-time model does not extend across address
+// spaces.
+//
+// A WireConduit must be driven by a single goroutine — its rank's SPMD
+// goroutine — which is where all handlers execute (inside Poll or a
+// blocking call's wait loop), so the conduit's state needs no locking.
+type WireConduit struct {
+	tep *transport.TCPEndpoint
+	mem Memory
+
+	nextToken uint64
+	replies   map[uint64][]byte
+
+	locks      map[uint64]*wireLockState
+	nextLockID uint64
+
+	gen          uint64              // collective generation (SPMD-ordered)
+	gatherParts  map[uint64][][]byte // rank 0: contributions by generation
+	gatherCount  map[uint64]int      // rank 0: deposits by generation
+	gatherResult map[uint64][]byte   // non-root: encoded table by generation
+
+	gatherFrags map[fragKey]*fragBuf // rank 0: partial contributions
+	resultFrags map[uint64]*fragBuf  // non-root: partial tables by generation
+}
+
+// fragKey identifies one in-flight fragmented collective payload.
+type fragKey struct {
+	gen  uint64
+	from int32
+}
+
+// fragBuf reassembles a fragmented payload.
+type fragBuf struct {
+	buf []byte
+	got uint64
+}
+
+type wireLockState struct {
+	held  bool
+	queue []wireLockWaiter
+}
+
+type wireLockWaiter struct {
+	rank  int32
+	token uint64
+}
+
+// NewWireConduit builds the conduit over a connected transport endpoint,
+// serving remote requests against mem (this rank's segment). The
+// endpoint's handler table must be unused; NewWireConduit owns it.
+func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
+	c := &WireConduit{
+		tep:          tep,
+		mem:          mem,
+		replies:      make(map[uint64][]byte),
+		locks:        make(map[uint64]*wireLockState),
+		gatherParts:  make(map[uint64][][]byte),
+		gatherCount:  make(map[uint64]int),
+		gatherResult: make(map[uint64][]byte),
+		gatherFrags:  make(map[fragKey]*fragBuf),
+		resultFrags:  make(map[uint64]*fragBuf),
+	}
+	tep.Register(hReply, c.onReply)
+	tep.Register(hGet, c.onGet)
+	tep.Register(hPut, c.onPut)
+	tep.Register(hXor, c.onXor)
+	tep.Register(hAlloc, c.onAlloc)
+	tep.Register(hFree, c.onFree)
+	tep.Register(hLockAcq, c.onLockAcquire)
+	tep.Register(hLockRel, c.onLockRelease)
+	tep.Register(hGather, c.onGather)
+	tep.Register(hResult, c.onResult)
+	return c
+}
+
+// Rank returns this conduit's rank.
+func (c *WireConduit) Rank() int { return c.tep.Rank() }
+
+// Ranks returns the job size.
+func (c *WireConduit) Ranks() int { return c.tep.Ranks() }
+
+// WireCapable reports true: ranks are separate processes, closures do
+// not cross.
+func (c *WireConduit) WireCapable() bool { return true }
+
+// request sends one encoded-argument message and blocks until its
+// tokened reply arrives, dispatching incoming requests while waiting.
+func (c *WireConduit) request(to int, handler uint16, payload []byte) ([]byte, error) {
+	c.nextToken++
+	tok := c.nextToken
+	err := c.tep.Send(transport.Message{
+		To: int32(to), Handler: handler, Arg: tok, Payload: payload,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	found := false
+	if err := c.tep.WaitFor(func() bool {
+		out, found = c.replies[tok]
+		return found
+	}); err != nil {
+		return nil, err
+	}
+	delete(c.replies, tok)
+	return out, nil
+}
+
+// reply answers a request message with the given bytes.
+func (c *WireConduit) reply(m transport.Message, payload []byte) {
+	// A reply failure means the peer is gone; the job is aborting.
+	_ = c.tep.Send(transport.Message{To: m.From, Handler: hReply, Arg: m.Arg, Payload: payload})
+}
+
+func (c *WireConduit) onReply(_ *transport.TCPEndpoint, m transport.Message) {
+	c.replies[m.Arg] = m.Payload
+}
+
+func u64(p []byte) uint64       { return binary.LittleEndian.Uint64(p) }
+func putU64(p []byte, v uint64) { binary.LittleEndian.PutUint64(p, v) }
+
+// ---- One-sided data plane ----
+
+// maxChunk bounds the data carried by one Get reply or Put request so
+// no frame ever exceeds transport.MaxPayload (the put request spends 8
+// bytes on the offset); larger transfers are split into chunked
+// requests rather than failing — or, worse, hanging the requester on a
+// reply the transport refuses to send.
+const maxChunk = transport.MaxPayload - 8
+
+// Get copies len(p) bytes from rank's segment at off into p.
+func (c *WireConduit) Get(rank int, off uint64, p []byte) error {
+	if rank == c.Rank() {
+		c.mem.Read(off, p)
+		return nil
+	}
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		var req [16]byte
+		putU64(req[0:], off)
+		putU64(req[8:], uint64(n))
+		rep, err := c.request(rank, hGet, req[:])
+		if err != nil {
+			return err
+		}
+		if len(rep) != n {
+			return fmt.Errorf("gasnet: wire get of %d bytes returned %d", n, len(rep))
+		}
+		copy(p, rep)
+		p = p[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+func (c *WireConduit) onGet(_ *transport.TCPEndpoint, m transport.Message) {
+	off, n := u64(m.Payload[0:]), u64(m.Payload[8:])
+	if n > maxChunk {
+		// A well-formed requester chunks, so an oversized length is a
+		// corrupt frame. An empty reply makes the requester fail its
+		// length check instead of hanging (and bounds the allocation).
+		c.reply(m, nil)
+		return
+	}
+	buf := make([]byte, n)
+	c.mem.Read(off, buf)
+	c.reply(m, buf)
+}
+
+// Put copies p into rank's segment at off.
+func (c *WireConduit) Put(rank int, off uint64, p []byte) error {
+	if rank == c.Rank() {
+		c.mem.Write(off, p)
+		return nil
+	}
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		req := make([]byte, 8+n)
+		putU64(req, off)
+		copy(req[8:], p[:n])
+		if _, err := c.request(rank, hPut, req); err != nil {
+			return err
+		}
+		p = p[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+func (c *WireConduit) onPut(_ *transport.TCPEndpoint, m transport.Message) {
+	c.mem.Write(u64(m.Payload), m.Payload[8:])
+	c.reply(m, nil)
+}
+
+// Xor64 performs the remote atomic update and returns the new value.
+func (c *WireConduit) Xor64(rank int, off uint64, val uint64) (uint64, error) {
+	if rank == c.Rank() {
+		return c.mem.Xor64(off, val), nil
+	}
+	var req [16]byte
+	putU64(req[0:], off)
+	putU64(req[8:], val)
+	rep, err := c.request(rank, hXor, req[:])
+	if err != nil {
+		return 0, err
+	}
+	return u64(rep), nil
+}
+
+func (c *WireConduit) onXor(_ *transport.TCPEndpoint, m transport.Message) {
+	v := c.mem.Xor64(u64(m.Payload[0:]), u64(m.Payload[8:]))
+	var rep [8]byte
+	putU64(rep[:], v)
+	c.reply(m, rep[:])
+}
+
+// ---- Global memory management ----
+
+// Alloc reserves size bytes in rank's segment (remote allocation is one
+// round trip to the owner, as in the in-process backend).
+func (c *WireConduit) Alloc(rank int, size uint64) (uint64, error) {
+	if rank == c.Rank() {
+		return c.mem.Alloc(size)
+	}
+	var req [8]byte
+	putU64(req[:], size)
+	rep, err := c.request(rank, hAlloc, req[:])
+	if err != nil {
+		return 0, err
+	}
+	v := u64(rep)
+	if v == 0 {
+		return 0, fmt.Errorf("gasnet: remote alloc of %d bytes on rank %d failed", size, rank)
+	}
+	return v - 1, nil
+}
+
+func (c *WireConduit) onAlloc(_ *transport.TCPEndpoint, m transport.Message) {
+	var rep [8]byte
+	if off, err := c.mem.Alloc(u64(m.Payload)); err == nil {
+		putU64(rep[:], off+1)
+	}
+	c.reply(m, rep[:])
+}
+
+// Free releases an allocation in rank's segment.
+func (c *WireConduit) Free(rank int, off uint64) error {
+	if rank == c.Rank() {
+		return c.mem.Free(off)
+	}
+	var req [8]byte
+	putU64(req[:], off)
+	rep, err := c.request(rank, hFree, req[:])
+	if err != nil {
+		return err
+	}
+	if u64(rep) == 0 {
+		return fmt.Errorf("gasnet: remote free at offset %d on rank %d failed", off, rank)
+	}
+	return nil
+}
+
+func (c *WireConduit) onFree(_ *transport.TCPEndpoint, m transport.Message) {
+	var rep [8]byte
+	if c.mem.Free(u64(m.Payload)) == nil {
+		putU64(rep[:], 1)
+	}
+	c.reply(m, rep[:])
+}
+
+// ---- Lock service ----
+
+// LockNew creates a lock homed on this rank.
+func (c *WireConduit) LockNew() uint64 {
+	c.nextLockID++
+	c.locks[c.nextLockID] = &wireLockState{}
+	return c.nextLockID
+}
+
+// LockAcquire blocks until the lock homed on home is held (try: report
+// instead of queueing). The home's handler either replies immediately
+// or parks the requester's token; the release handler answers parked
+// tokens, so the waiter's blocked request completes on handoff.
+func (c *WireConduit) LockAcquire(home int, id uint64, try bool) (bool, error) {
+	req := make([]byte, 9)
+	putU64(req, id)
+	if try {
+		req[8] = 1
+	}
+	rep, err := c.request(home, hLockAcq, req)
+	if err != nil {
+		return false, err
+	}
+	return u64(rep) == 1, nil
+}
+
+func (c *WireConduit) onLockAcquire(_ *transport.TCPEndpoint, m transport.Message) {
+	id, try := u64(m.Payload), m.Payload[8] == 1
+	st := c.locks[id]
+	if st == nil {
+		panic(fmt.Sprintf("gasnet: wire acquire of unknown lock %d", id))
+	}
+	var rep [8]byte
+	switch {
+	case !st.held:
+		st.held = true
+		putU64(rep[:], 1)
+	case try:
+		// rep stays 0: not acquired.
+	default:
+		st.queue = append(st.queue, wireLockWaiter{rank: m.From, token: m.Arg})
+		return // reply deferred until release hands the lock over
+	}
+	c.reply(m, rep[:])
+}
+
+// LockRelease releases the lock homed on home.
+func (c *WireConduit) LockRelease(home int, id uint64) error {
+	var req [8]byte
+	putU64(req[:], id)
+	_, err := c.request(home, hLockRel, req[:])
+	return err
+}
+
+func (c *WireConduit) onLockRelease(_ *transport.TCPEndpoint, m transport.Message) {
+	st := c.locks[u64(m.Payload)]
+	if st == nil || !st.held {
+		panic("gasnet: wire release of unheld lock")
+	}
+	if len(st.queue) > 0 {
+		next := st.queue[0]
+		st.queue = st.queue[1:]
+		// Hand off directly: the lock stays held; answering the parked
+		// acquire request wakes the waiter.
+		var granted [8]byte
+		putU64(granted[:], 1)
+		_ = c.tep.Send(transport.Message{
+			To: next.rank, Handler: hReply, Arg: next.token, Payload: granted[:],
+		})
+	} else {
+		st.held = false
+	}
+	var rep [8]byte
+	putU64(rep[:], 1)
+	c.reply(m, rep[:])
+}
+
+// ---- Barrier and allgather rendezvous ----
+
+// Barrier blocks until all ranks arrive, servicing requests meanwhile.
+func (c *WireConduit) Barrier() error {
+	_, err := c.AllGather(nil)
+	return err
+}
+
+// Collective payloads (a rank's contribution, rank 0's gathered table)
+// have no inherent size bound, so they travel as one or more fragments
+// of at most maxFragData bytes each, prefixed [total u64][offset u64];
+// TCP's per-connection ordering keeps one sender's fragments in order
+// and the (generation, sender) key separates interleaved senders.
+const maxFragData = transport.MaxPayload - 16
+
+// sendFragmented ships payload to rank `to` in bounded fragments (a
+// zero-length payload still sends one header-only fragment, so the
+// receiver always completes).
+func (c *WireConduit) sendFragmented(to int, handler uint16, gen uint64, payload []byte) error {
+	total := uint64(len(payload))
+	off := uint64(0)
+	for {
+		n := total - off
+		if n > maxFragData {
+			n = maxFragData
+		}
+		frame := make([]byte, 16+n)
+		putU64(frame[0:], total)
+		putU64(frame[8:], off)
+		copy(frame[16:], payload[off:off+n])
+		if err := c.tep.Send(transport.Message{
+			To: int32(to), Handler: handler, Arg: gen, Payload: frame,
+		}); err != nil {
+			return err
+		}
+		off += n
+		if off >= total {
+			return nil
+		}
+	}
+}
+
+// accumFragment folds one fragment into its reassembly buffer and
+// returns the complete payload once every byte has arrived.
+func accumFragment(fb *fragBuf, payload []byte) ([]byte, bool) {
+	total := u64(payload[0:])
+	off := u64(payload[8:])
+	data := payload[16:]
+	if fb.buf == nil {
+		fb.buf = make([]byte, total)
+	}
+	copy(fb.buf[off:], data)
+	fb.got += uint64(len(data))
+	if fb.got >= total {
+		return fb.buf, true
+	}
+	return nil, false
+}
+
+// AllGather deposits this rank's contribution with rank 0 and returns
+// the full table. Generations are implicit: collectives are SPMD-
+// ordered, so the i-th AllGather on every rank is the same collective.
+// Rank 0 buffers early arrivals of future generations.
+func (c *WireConduit) AllGather(contrib []byte) ([][]byte, error) {
+	c.gen++
+	g := c.gen
+	n := c.Ranks()
+	if c.Rank() == 0 {
+		c.depositGather(g, 0, contrib)
+		if err := c.tep.WaitFor(func() bool { return c.gatherCount[g] == n }); err != nil {
+			return nil, err
+		}
+		parts := c.gatherParts[g]
+		delete(c.gatherParts, g)
+		delete(c.gatherCount, g)
+		enc := encodeParts(parts)
+		for r := 1; r < n; r++ {
+			if err := c.sendFragmented(r, hResult, g, enc); err != nil {
+				return nil, err
+			}
+		}
+		return parts, nil
+	}
+	if err := c.sendFragmented(0, hGather, g, contrib); err != nil {
+		return nil, err
+	}
+	var enc []byte
+	found := false
+	if err := c.tep.WaitFor(func() bool {
+		enc, found = c.gatherResult[g]
+		return found
+	}); err != nil {
+		return nil, err
+	}
+	delete(c.gatherResult, g)
+	return decodeParts(enc, n)
+}
+
+func (c *WireConduit) depositGather(g uint64, rank int32, contrib []byte) {
+	parts := c.gatherParts[g]
+	if parts == nil {
+		parts = make([][]byte, c.Ranks())
+		c.gatherParts[g] = parts
+	}
+	parts[rank] = contrib
+	c.gatherCount[g]++
+}
+
+func (c *WireConduit) onGather(_ *transport.TCPEndpoint, m transport.Message) {
+	k := fragKey{gen: m.Arg, from: m.From}
+	fb := c.gatherFrags[k]
+	if fb == nil {
+		fb = &fragBuf{}
+		c.gatherFrags[k] = fb
+	}
+	if full, done := accumFragment(fb, m.Payload); done {
+		delete(c.gatherFrags, k)
+		c.depositGather(m.Arg, m.From, full)
+	}
+}
+
+func (c *WireConduit) onResult(_ *transport.TCPEndpoint, m transport.Message) {
+	fb := c.resultFrags[m.Arg]
+	if fb == nil {
+		fb = &fragBuf{}
+		c.resultFrags[m.Arg] = fb
+	}
+	if full, done := accumFragment(fb, m.Payload); done {
+		delete(c.resultFrags, m.Arg)
+		c.gatherResult[m.Arg] = full
+	}
+}
+
+// encodeParts length-prefixes each rank's contribution.
+func encodeParts(parts [][]byte) []byte {
+	total := 0
+	for _, p := range parts {
+		total += 8 + len(p)
+	}
+	enc := make([]byte, 0, total)
+	var hdr [8]byte
+	for _, p := range parts {
+		putU64(hdr[:], uint64(len(p)))
+		enc = append(enc, hdr[:]...)
+		enc = append(enc, p...)
+	}
+	return enc
+}
+
+func decodeParts(enc []byte, n int) ([][]byte, error) {
+	parts := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(enc) < 8 {
+			return nil, fmt.Errorf("gasnet: truncated allgather table at rank %d", i)
+		}
+		ln := u64(enc)
+		enc = enc[8:]
+		if uint64(len(enc)) < ln {
+			return nil, fmt.Errorf("gasnet: truncated allgather contribution for rank %d", i)
+		}
+		if ln > 0 {
+			parts[i] = enc[:ln:ln]
+		}
+		enc = enc[ln:]
+	}
+	return parts, nil
+}
+
+// Poll dispatches queued requests without blocking.
+func (c *WireConduit) Poll() int { return c.tep.Poll() }
+
+// Goodbye announces a clean close to every peer. Call it on the
+// success path only, after the job's final Barrier and before Close;
+// a rank that aborts must skip it so its peers see the EOF as peer
+// loss and abort too.
+func (c *WireConduit) Goodbye() { c.tep.Goodbye() }
+
+// Close tears down the transport endpoint. Callers must have
+// synchronized (a final Barrier) first, or in-flight peers' requests
+// may fail.
+func (c *WireConduit) Close() error { return c.tep.Close() }

@@ -165,6 +165,23 @@ func (s *Segment) Write(off uint64, p []byte) {
 	s.mu.Unlock()
 }
 
+// Xor64 atomically xors val into the 8 bytes at off under the segment
+// lock and returns the new value. This is the one fixed-function remote
+// atomic the wire protocol carries (HPCC Random Access's update op);
+// richer read-modify-writes remain closure-based and in-process-only.
+func (s *Segment) Xor64(off, val uint64) uint64 {
+	s.mu.Lock()
+	if off >= uint64(len(s.buf)) || uint64(len(s.buf))-off < 8 {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("segment: Xor64 at offset %d overruns %d-byte segment", off, len(s.buf)))
+	}
+	p := (*uint64)(unsafe.Pointer(&s.buf[off]))
+	*p ^= val
+	v := *p
+	s.mu.Unlock()
+	return v
+}
+
 // Lock acquires the segment lock for a multi-word read-modify-write (the
 // network-atomic analog). The caller must call Unlock.
 func (s *Segment) Lock() { s.mu.Lock() }

@@ -1,0 +1,177 @@
+package spmd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"upcxx/internal/core"
+	"upcxx/internal/gasnet"
+	"upcxx/internal/segment"
+	"upcxx/internal/transport"
+)
+
+// rendezvousTimeout bounds the whole address exchange. A rank that dies
+// before registering (or a parent that dies before answering) would
+// otherwise hang every surviving process forever; localhost rendezvous
+// completes in milliseconds, so expiry always means a lost peer.
+const rendezvousTimeout = 30 * time.Second
+
+// Launch protocol for multi-process wire jobs, shared by the upcxx-run
+// launcher and the in-process tests: every rank listens for active
+// messages on its own TCP port, announces that address to a rendezvous
+// point, receives the full address table back, and connects the mesh.
+// The wire format is one text line each way:
+//
+//	child -> parent:  "<rank> <am-address>\n"
+//	parent -> child:  "<addr0> <addr1> ... <addrN-1>\n"
+
+// Rendezvous runs the parent side: it accepts n registrations on ln and
+// answers each with the complete address table. It returns once every
+// child has been answered.
+func Rendezvous(ln net.Listener, n int) error {
+	deadline := time.Now().Add(rendezvousTimeout)
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(deadline)
+	}
+	addrs := make([]string, n)
+	conns := make([]net.Conn, n)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("spmd: rendezvous accept (%d of %d ranks registered): %w", i, n, err)
+		}
+		conn.SetDeadline(deadline)
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("spmd: rendezvous registration: %w", err)
+		}
+		var rank int
+		var addr string
+		if _, err := fmt.Sscanf(line, "%d %s", &rank, &addr); err != nil {
+			conn.Close()
+			return fmt.Errorf("spmd: bad registration %q: %w", strings.TrimSpace(line), err)
+		}
+		if rank < 0 || rank >= n || conns[rank] != nil {
+			conn.Close()
+			return fmt.Errorf("spmd: bad or duplicate rank %d in registration", rank)
+		}
+		addrs[rank] = addr
+		conns[rank] = conn
+	}
+	table := strings.Join(addrs, " ")
+	for rank, c := range conns {
+		if _, err := fmt.Fprintln(c, table); err != nil {
+			return fmt.Errorf("spmd: answering rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// DialRendezvous runs the child side: announce this rank's AM address
+// and return the full address table, indexed by rank.
+func DialRendezvous(rendezvous string, rank, n int, amAddr string) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", rendezvous, rendezvousTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("spmd: dialing rendezvous %s: %w", rendezvous, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+	if _, err := fmt.Fprintf(conn, "%d %s\n", rank, amAddr); err != nil {
+		return nil, fmt.Errorf("spmd: registering with rendezvous: %w", err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("spmd: reading address table: %w", err)
+	}
+	addrs := strings.Fields(line)
+	if len(addrs) != n {
+		return nil, fmt.Errorf("spmd: address table has %d entries, want %d", len(addrs), n)
+	}
+	return addrs, nil
+}
+
+// RunWireChild is one OS process's half of a wire job: rendezvous,
+// full-mesh connect, then run main as rank `rank` of n over the TCP
+// conduit. segBytes sizes this rank's shared segment.
+func RunWireChild(rendezvous string, rank, n, segBytes int, cfg core.Config, main func(me *core.Rank)) (core.Stats, error) {
+	tep, err := transport.ListenTCP(rank, n, "127.0.0.1:0")
+	if err != nil {
+		return core.Stats{}, err
+	}
+	addrs, err := DialRendezvous(rendezvous, rank, n, tep.Addr())
+	if err != nil {
+		tep.Close()
+		return core.Stats{}, err
+	}
+	if err := tep.Connect(addrs); err != nil {
+		tep.Close()
+		return core.Stats{}, err
+	}
+	seg := segment.New(segBytes)
+	cd := gasnet.NewWireConduit(tep, seg)
+	defer cd.Close()
+	st := core.RunWire(cfg, cd, seg, main)
+	// Reached only when main completed: a panicking rank skips the
+	// goodbye, so its peers see the close as peer loss and abort.
+	cd.Goodbye()
+	return st, nil
+}
+
+// RunWireLocal runs an n-rank wire job inside ONE process, one
+// goroutine per rank, each with its own transport endpoint, segment and
+// conduit over localhost TCP — no shared runtime state beyond the
+// sockets. This exercises the entire wire protocol (it is the conduit
+// test harness) while keeping tests free of subprocess management; the
+// upcxx-run launcher provides true multi-process isolation.
+func RunWireLocal(n, segBytes int, cfg core.Config, main func(me *core.Rank)) ([]core.Stats, error) {
+	eps := make([]*transport.TCPEndpoint, n)
+	addrs := make([]string, n)
+	for i := range eps {
+		tep, err := transport.ListenTCP(i, n, "127.0.0.1:0")
+		if err != nil {
+			for _, e := range eps[:i] {
+				e.Close()
+			}
+			return nil, err
+		}
+		eps[i] = tep
+		addrs[i] = tep.Addr()
+	}
+	stats := make([]core.Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := eps[i].Connect(addrs); err != nil {
+				errs[i] = err
+				return
+			}
+			seg := segment.New(segBytes)
+			cd := gasnet.NewWireConduit(eps[i], seg)
+			defer cd.Close()
+			stats[i] = core.RunWire(cfg, cd, seg, main)
+			cd.Goodbye()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("spmd: rank %d: %w", i, err)
+		}
+	}
+	return stats, nil
+}

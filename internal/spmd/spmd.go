@@ -1,0 +1,177 @@
+// Package spmd is the registry of named SPMD programs the upcxx-run
+// launcher can execute, on either conduit backend: in-process (one
+// goroutine per rank, the virtual-time engine) or wire (one OS process
+// per rank over the TCP conduit). Every program sticks to the
+// serializable operation vocabulary — one-sided reads/writes, AtomicXor,
+// remote allocation, barriers, collectives, locks — so the same body
+// runs unmodified on both backends, and every program returns a
+// deterministic checksum for a given (ranks, scale) pair, which is how
+// CI proves the two backends compute identical answers.
+package spmd
+
+import (
+	"fmt"
+	"strings"
+
+	"upcxx/internal/bench/gups"
+	"upcxx/internal/core"
+)
+
+// Prog is one registered SPMD program.
+type Prog struct {
+	Name string
+	Desc string
+	// DefaultScale is the size knob used when the launcher passes 0.
+	DefaultScale int
+	// SegBytes sizes each rank's shared segment for the given run.
+	SegBytes func(ranks, scale int) int
+	// Run executes the program body on one rank and returns this run's
+	// checksum (identical on every rank). It must use only wire-capable
+	// operations and must panic on verification failure.
+	Run func(me *core.Rank, scale int) uint64
+}
+
+var registry = []Prog{
+	{
+		Name:         "gups",
+		Desc:         "HPCC Random Access: atomic-xor updates to a cyclic shared table, with involution verification (paper §V-A)",
+		DefaultScale: 14, // log2 of the table size
+		SegBytes: func(ranks, scale int) int {
+			return (1<<scale)/ranks*8 + (1 << 17)
+		},
+		Run: func(me *core.Rank, scale int) uint64 {
+			updates := (1 << scale) / 4 / me.Ranks()
+			if updates < 64 {
+				updates = 64
+			}
+			sum, errs := gups.SPMD(me, scale, updates)
+			if errs != 0 {
+				panic(fmt.Sprintf("spmd: gups verification failed: %d mismatches", errs))
+			}
+			return sum
+		},
+	},
+	{
+		Name:         "ring",
+		Desc:         "neighbor-ring walkthrough: remote allocation, one-sided slices, async copy with events, a global lock, shared vars, collectives",
+		DefaultScale: 256, // elements per neighbor block
+		SegBytes: func(ranks, scale int) int {
+			return scale*8*4 + (1 << 17)
+		},
+		Run: ring,
+	},
+}
+
+// Progs returns the registered programs.
+func Progs() []Prog {
+	out := make([]Prog, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup resolves a program by name (case-insensitive).
+func Lookup(name string) (Prog, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	for _, p := range registry {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Prog{}, false
+}
+
+// Names returns every program name, for usage strings.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, p := range registry {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// mix derives test patterns and folds checksums (gups owns the shared
+// splitmix64 finalizer; a divergent copy here would change checksums on
+// only one backend path).
+func mix(z uint64) uint64 { return gups.Mix64(z) }
+
+// ring is the example program: each rank allocates a block on its right
+// neighbor (remote allocation), fills it one-sided, and publishes the
+// pointer through a shared directory; everyone then reads the block that
+// landed in its own segment, async-copies its right neighbor's block
+// home under an event, bumps a shared counter under a global lock, and
+// folds everything into one checksum with collectives.
+func ring(me *core.Rank, scale int) uint64 {
+	n := me.Ranks()
+	right := (me.ID() + 1) % n
+
+	// Remote allocation + one-sided write: a block in the right
+	// neighbor's segment, holding values derived from our rank.
+	blk := core.Allocate[uint64](me, right, scale)
+	vals := make([]uint64, scale)
+	for i := range vals {
+		vals[i] = mix(uint64(me.ID())<<32 + uint64(i))
+	}
+	core.WriteSlice(me, blk, vals)
+
+	// Publish pointers through a shared directory: dir[i] is the block
+	// living in rank i's segment (global pointers are POD, so they ship
+	// over the wire like any other shared value).
+	dir := core.NewSharedArray[core.GlobalPtr[uint64]](me, n, 1)
+	dir.Set(me, right, blk)
+	me.Barrier()
+
+	// The block in our own segment was written by our left neighbor.
+	var sum uint64
+	for i, v := range core.LocalSlice(me, dir.Get(me, me.ID()), scale) {
+		sum ^= mix(v + uint64(i))
+	}
+
+	// Async-copy the right neighbor's block into our segment, completion
+	// observed through an event.
+	dst := core.Allocate[uint64](me, me.ID(), scale)
+	ev := core.NewEvent()
+	core.AsyncCopy(me, dir.Get(me, right), dst, scale, ev)
+	ev.Wait(me)
+	for i, v := range core.LocalSlice(me, dst, scale) {
+		sum ^= mix(v ^ uint64(i)<<16)
+	}
+
+	// Global lock + shared counter: every rank adds its (id+1) under
+	// mutual exclusion; the total is n(n+1)/2.
+	var lk core.Lock
+	if me.ID() == 0 {
+		lk = core.NewLock(me)
+	}
+	lk = core.Broadcast(me, lk, 0)
+	ctr := core.NewSharedVar[uint64](me)
+	me.Barrier()
+	lk.Acquire(me)
+	ctr.Set(me, ctr.Get(me)+uint64(me.ID()+1))
+	lk.Release(me)
+	me.Barrier()
+	total := ctr.Get(me)
+	if want := uint64(n) * uint64(n+1) / 2; total != want {
+		panic(fmt.Sprintf("spmd: ring lock counter = %d, want %d", total, want))
+	}
+
+	// Fold per-rank sums with collectives: an exclusive scan seasons
+	// each contribution, a slice reduction and a final allreduce agree
+	// on one checksum everywhere.
+	scan := core.ExclusiveScan(me, uint64(me.ID()+1),
+		func(a, b uint64) uint64 { return a + b }, 0)
+	folded := core.ReduceSlices(me, []uint64{sum, mix(scan ^ total)},
+		func(a, b uint64) uint64 { return a ^ b }, 0)
+	var rootFold uint64
+	if me.ID() == 0 {
+		rootFold = mix(folded[0] ^ folded[1])
+	}
+	rootFold = core.Broadcast(me, rootFold, 0)
+	sum = core.Reduce(me, sum^rootFold, func(a, b uint64) uint64 { return a ^ b })
+
+	// Remote free closes the loop on dynamic global memory management.
+	if err := core.Deallocate(me, blk); err != nil {
+		panic(err)
+	}
+	me.Barrier()
+	return sum
+}

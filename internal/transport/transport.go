@@ -1,14 +1,15 @@
 // Package transport provides byte-level message transports — the
-// "network drivers" layer under the gasnet analog (paper Fig 2). The
-// in-process engine used by the runtime needs no serialization; this
-// package exists to demonstrate the multi-process path a real conduit
-// takes: framed active messages over TCP between separate endpoints,
-// with handler dispatch by registered index.
+// "network drivers" layer under the gasnet analog (paper Fig 2): framed
+// active messages over TCP between separate endpoints, with handler
+// dispatch by registered index.
 //
-// The core runtime intentionally does not run over this transport (its
-// asyncs carry Go closures, which do not serialize); it is the substrate
-// a future wire-format runtime would plug into, and is exercised by its
-// own tests over localhost sockets.
+// This is the substrate of gasnet's wire conduit: the core runtime runs
+// over it whenever a job is launched multi-process (cmd/upcxx-run, or
+// core.RunWire directly). The serializable operations — one-sided
+// reads/writes, the xor atomic, remote allocation, barriers and
+// collectives, lock traffic — all travel as these frames; only
+// closure-carrying asyncs remain in-process-only, because Go closures
+// do not serialize.
 package transport
 
 import (
@@ -18,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Message is one framed active message.
@@ -29,15 +31,29 @@ type Message struct {
 	Payload []byte
 }
 
-// maxPayload bounds a frame (sanity limit against corrupt streams).
-const maxPayload = 16 << 20
+// MaxPayload bounds a frame's payload, both on send (oversized messages
+// are rejected before any bytes hit the wire, so a half-written frame
+// never corrupts the stream) and on receive (sanity limit against
+// corrupt or hostile streams).
+const MaxPayload = 16 << 20
 
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("transport: endpoint closed")
 
+// ErrPayloadTooLarge is returned by Send for payloads over MaxPayload.
+var ErrPayloadTooLarge = errors.New("transport: payload exceeds MaxPayload")
+
 // Handler processes one delivered message on the receiving endpoint's
 // polling goroutine.
 type Handler func(ep *TCPEndpoint, m Message)
+
+// Control frames exchanged between endpoints, outside the handler table:
+// hello identifies the dialing rank during Connect; bye announces a
+// clean close, so the EOF that follows it is teardown, not peer loss.
+const (
+	helloHandler uint16 = 0xFFFF
+	byeHandler   uint16 = 0xFFFE
+)
 
 // TCPEndpoint is one rank's attachment to a full-mesh TCP fabric.
 type TCPEndpoint struct {
@@ -53,6 +69,57 @@ type TCPEndpoint struct {
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	failMu  sync.Mutex
+	failure error // first peer-connection loss; endpoint is torn down
+
+	dropped atomic.Int64 // messages with no registered handler
+}
+
+// fail records the first peer-loss error and tears the endpoint down so
+// every blocked operation returns it instead of hanging. Called from
+// reader goroutines, so it must not wait for them (see Close).
+func (ep *TCPEndpoint) fail(err error) {
+	ep.failMu.Lock()
+	if ep.failure == nil {
+		ep.failure = err
+	}
+	ep.failMu.Unlock()
+	ep.shutdown()
+}
+
+// Err returns the peer-loss error that tore the endpoint down, or nil.
+func (ep *TCPEndpoint) Err() error {
+	ep.failMu.Lock()
+	defer ep.failMu.Unlock()
+	return ep.failure
+}
+
+// closedErr is what blocked operations return once done is closed: the
+// peer-loss cause when there is one, plain ErrClosed otherwise.
+func (ep *TCPEndpoint) closedErr() error {
+	if err := ep.Err(); err != nil {
+		return err
+	}
+	return ErrClosed
+}
+
+// Rank returns this endpoint's rank; Ranks the job size.
+func (ep *TCPEndpoint) Rank() int  { return int(ep.rank) }
+func (ep *TCPEndpoint) Ranks() int { return int(ep.n) }
+
+// Dropped reports how many delivered messages named a handler index
+// that was out of range or unregistered (each is dropped rather than
+// crashing the dispatch loop; a correct peer never sends one).
+func (ep *TCPEndpoint) Dropped() int64 { return ep.dropped.Load() }
+
+// dispatch routes one message to its handler, tolerating bogus indices.
+func (ep *TCPEndpoint) dispatch(m Message) {
+	if int(m.Handler) >= len(ep.handlers) || ep.handlers[m.Handler] == nil {
+		ep.dropped.Add(1)
+		return
+	}
+	ep.handlers[m.Handler](ep, m)
 }
 
 // writeFrame serializes a message: [to][from][handler][arg][len][payload].
@@ -83,7 +150,7 @@ func readFrame(r io.Reader) (Message, error) {
 		Arg:     binary.LittleEndian.Uint64(hdr[10:]),
 	}
 	n := binary.LittleEndian.Uint64(hdr[18:])
-	if n > maxPayload {
+	if n > MaxPayload {
 		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
 	if n > 0 {
@@ -154,7 +221,7 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 		if err != nil {
 			return fmt.Errorf("transport: rank %d dialing %d: %w", ep.rank, r, err)
 		}
-		if err := writeFrame(c, Message{From: ep.rank, To: int32(r), Handler: 0xFFFF}); err != nil {
+		if err := writeFrame(c, Message{From: ep.rank, To: int32(r), Handler: helloHandler}); err != nil {
 			return err
 		}
 		ep.mu.Lock()
@@ -165,19 +232,36 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 	if acceptErr != nil {
 		return acceptErr
 	}
-	// One reader goroutine per peer feeds the inbox.
+	// One reader goroutine per peer feeds the inbox. A read error with
+	// the endpoint still open means the peer died mid-job: surface it
+	// and tear down, so ranks blocked on that peer fail loudly instead
+	// of hanging (and a launcher's smoke run exits instead of timing out).
 	for r := int32(0); r < ep.n; r++ {
 		if r == ep.rank {
 			continue
 		}
 		conn := ep.conns[r]
 		ep.wg.Add(1)
-		go func(c net.Conn) {
+		go func(peer int32, c net.Conn) {
 			defer ep.wg.Done()
+			sawBye := false
 			for {
 				m, err := readFrame(c)
 				if err != nil {
-					return // connection closed
+					if sawBye {
+						return // peer announced a clean close
+					}
+					select {
+					case <-ep.done: // deliberate Close on our side
+					default:
+						ep.fail(fmt.Errorf("transport: rank %d lost connection to rank %d: %w",
+							ep.rank, peer, err))
+					}
+					return
+				}
+				if m.Handler == byeHandler {
+					sawBye = true
+					continue
 				}
 				select {
 				case ep.inbox <- m:
@@ -185,21 +269,30 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 					return
 				}
 			}
-		}(conn)
+		}(r, conn)
 	}
 	return nil
 }
 
 // Send delivers a message to the target rank (loopback is delivered
-// through the inbox like any other message).
+// through the inbox like any other message). Payloads over MaxPayload
+// and sends on a closed endpoint are rejected up front.
 func (ep *TCPEndpoint) Send(m Message) error {
+	if len(m.Payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(m.Payload))
+	}
+	select {
+	case <-ep.done:
+		return ep.closedErr()
+	default:
+	}
 	m.From = ep.rank
 	if m.To == ep.rank {
 		select {
 		case ep.inbox <- m:
 			return nil
 		case <-ep.done:
-			return ErrClosed
+			return ep.closedErr()
 		}
 	}
 	ep.mu.Lock()
@@ -218,9 +311,7 @@ func (ep *TCPEndpoint) Poll() int {
 	for {
 		select {
 		case m := <-ep.inbox:
-			if h := ep.handlers[m.Handler]; h != nil {
-				h(ep, m)
-			}
+			ep.dispatch(m)
 			n++
 		default:
 			return n
@@ -233,18 +324,34 @@ func (ep *TCPEndpoint) WaitFor(pred func() bool) error {
 	for !pred() {
 		select {
 		case m := <-ep.inbox:
-			if h := ep.handlers[m.Handler]; h != nil {
-				h(ep, m)
-			}
+			ep.dispatch(m)
 		case <-ep.done:
-			return ErrClosed
+			return ep.closedErr()
 		}
 	}
 	return nil
 }
 
-// Close tears the endpoint down; safe to call more than once.
-func (ep *TCPEndpoint) Close() error {
+// Goodbye announces a clean close to every peer, so the EOF they see
+// when this endpoint closes reads as orderly teardown rather than peer
+// loss. Call it only after the job's final synchronization point, right
+// before Close; a rank that dies early must NOT say goodbye — the
+// unannounced EOF is what propagates the abort to its peers.
+func (ep *TCPEndpoint) Goodbye() {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for r, c := range ep.conns {
+		if c == nil {
+			continue
+		}
+		// Best-effort: an unreachable peer is already tearing down.
+		writeFrame(c, Message{From: ep.rank, To: int32(r), Handler: byeHandler})
+	}
+}
+
+// shutdown closes the listener and every connection without waiting for
+// the reader goroutines (fail is called from one of them).
+func (ep *TCPEndpoint) shutdown() {
 	ep.closeOnce.Do(func() {
 		close(ep.done)
 		ep.ln.Close()
@@ -255,7 +362,12 @@ func (ep *TCPEndpoint) Close() error {
 			}
 		}
 		ep.mu.Unlock()
-		ep.wg.Wait()
 	})
+}
+
+// Close tears the endpoint down; safe to call more than once.
+func (ep *TCPEndpoint) Close() error {
+	ep.shutdown()
+	ep.wg.Wait()
 	return nil
 }

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -162,6 +164,95 @@ func TestLoopbackDelivery(t *testing.T) {
 	}
 }
 
+// ---- Error paths ----
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	eps := mesh(t, 2)
+	big := make([]byte, MaxPayload+1)
+	err := eps[0].Send(Message{To: 1, Handler: 1, Payload: big})
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("Send(%d bytes) = %v, want ErrPayloadTooLarge", len(big), err)
+	}
+	// The stream must still be intact: a normal message goes through.
+	var ok atomic.Bool
+	eps[1].Register(1, func(_ *TCPEndpoint, m Message) { ok.Store(m.Arg == 9) })
+	if err := eps[0].Send(Message{To: 1, Handler: 1, Arg: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[1].WaitFor(ok.Load); err != nil {
+		t.Fatal(err)
+	}
+	// A loopback oversized send must be rejected the same way.
+	if err := eps[0].Send(Message{To: 0, Handler: 1, Payload: big}); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("loopback oversized Send = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestOversizedFrameRejectedOnRead(t *testing.T) {
+	// A corrupt (or hostile) stream announcing a giant payload must be
+	// refused before any allocation, not trusted.
+	var hdr [26]byte
+	binary.LittleEndian.PutUint64(hdr[18:], MaxPayload+1)
+	if _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("readFrame accepted an over-limit length header")
+	}
+}
+
+func TestClosedEndpointSends(t *testing.T) {
+	eps := mesh(t, 2)
+	eps[0].Close()
+	if err := eps[0].Send(Message{To: 1, Handler: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("remote Send on closed endpoint = %v, want ErrClosed", err)
+	}
+	if err := eps[0].Send(Message{To: 0, Handler: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("loopback Send on closed endpoint = %v, want ErrClosed", err)
+	}
+	if err := eps[0].WaitFor(func() bool { return false }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitFor on closed endpoint = %v, want ErrClosed", err)
+	}
+}
+
+func TestPartialFrameRead(t *testing.T) {
+	full := &bytes.Buffer{}
+	if err := writeFrame(full, Message{To: 1, From: 0, Handler: 2, Arg: 3,
+		Payload: []byte("hello, wire")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	// Every proper prefix must fail cleanly — truncated header or
+	// truncated payload — never hang or misparse.
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := readFrame(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("readFrame succeeded on %d of %d bytes", cut, len(raw))
+		}
+	}
+	if m, err := readFrame(bytes.NewReader(raw)); err != nil || string(m.Payload) != "hello, wire" {
+		t.Fatalf("full frame readback: %v %q", err, m.Payload)
+	}
+}
+
+func TestHandlerIndexOutOfRange(t *testing.T) {
+	eps := mesh(t, 2)
+	var ok atomic.Bool
+	eps[1].Register(7, func(_ *TCPEndpoint, m Message) { ok.Store(true) })
+	// Out-of-range index (the handler table has 256 slots) and an
+	// unregistered in-range index: both must be dropped, not panic.
+	for _, h := range []uint16{0x7FFF, 200} {
+		if err := eps[0].Send(Message{To: 1, Handler: h, Arg: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eps[0].Send(Message{To: 1, Handler: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[1].WaitFor(ok.Load); err != nil {
+		t.Fatal(err)
+	}
+	if got := eps[1].Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+}
+
 func TestManyMessagesOrdered(t *testing.T) {
 	// Point-to-point ordering over one TCP stream.
 	eps := mesh(t, 2)
@@ -187,5 +278,33 @@ func TestManyMessagesOrdered(t *testing.T) {
 	}
 	if bad.Load() {
 		t.Fatal("messages reordered on one stream")
+	}
+}
+
+// A peer dying mid-job must surface as an error on every blocked
+// operation, not a hang: the reader goroutine that sees the dropped
+// connection tears the endpoint down and WaitFor/Send report the cause.
+func TestPeerLossUnblocksWaiters(t *testing.T) {
+	eps := mesh(t, 3)
+
+	waitErr := make(chan error, 1)
+	go func() {
+		waitErr <- eps[0].WaitFor(func() bool { return false })
+	}()
+
+	eps[1].Close() // rank 1 "dies"
+
+	err := <-waitErr
+	if err == nil {
+		t.Fatal("WaitFor returned nil after peer loss")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitFor = ErrClosed, want the peer-loss cause, got %v", err)
+	}
+	if eps[0].Err() == nil {
+		t.Error("Err() = nil after peer loss")
+	}
+	if err := eps[0].Send(Message{To: 2, Handler: 3}); err == nil {
+		t.Error("Send on a torn-down endpoint returned nil")
 	}
 }

@@ -88,8 +88,17 @@ func Read[T any](me *Rank, p GlobalPtr[T]) T { return core.Read(me, p) }
 // Write performs a blocking one-sided write (lvalue use).
 func Write[T any](me *Rank, p GlobalPtr[T], v T) { core.Write(me, p, v) }
 
-// RMW applies f atomically under the owner's segment lock.
+// RMW applies f atomically under the owner's segment lock. It ships a
+// Go closure, so it is in-process-only for remote targets; on wire jobs
+// use AtomicXor.
 func RMW[T any](me *Rank, p GlobalPtr[T], f func(T) T) T { return core.RMW(me, p, f) }
+
+// AtomicXor atomically xors val into the referenced word and returns the
+// new value — the wire-capable fixed-function network atomic (the HPCC
+// Random Access update).
+func AtomicXor(me *Rank, p GlobalPtr[uint64], val uint64) uint64 {
+	return core.AtomicXor(me, p, val)
+}
 
 // Copy is the blocking bulk transfer copy(src, dst, count).
 func Copy[T any](me *Rank, src, dst GlobalPtr[T], count int) { core.Copy(me, src, dst, count) }
