@@ -4,7 +4,8 @@
 //
 //	upcxx-run -n 4 gups                 # in-process backend (goroutine ranks)
 //	upcxx-run -n 4 -backend tcp gups    # wire backend: 4 OS processes over localhost TCP
-//	upcxx-run -list                     # registered programs
+//	upcxx-run -n 4 -backend tcp dht     # aggregated-AM distributed hash table
+//	upcxx-run -list                     # registered programs (also shown on a missing name)
 //
 // With -backend tcp the command re-executes itself once per rank; the
 // children listen for active messages on private TCP ports, rendezvous
@@ -21,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/exec"
@@ -46,18 +48,21 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, p := range spmd.Progs() {
-			fmt.Printf("%-8s (scale %d) %s\n", p.Name, p.DefaultScale, p.Desc)
-		}
+		listPrograms(os.Stdout)
 		return
 	}
+	// A missing or unknown program name prints the registry instead of
+	// a bare error, so `upcxx-run` with no arguments is self-documenting.
 	if flag.NArg() != 1 {
-		fmt.Fprintf(os.Stderr, "usage: upcxx-run [-n ranks] [-backend proc|tcp] [-scale k] <prog>\nprograms: %v\n", spmd.Names())
+		fmt.Fprintln(os.Stderr, "usage: upcxx-run [-n ranks] [-backend proc|tcp] [-scale k] <prog>")
+		fmt.Fprintln(os.Stderr, "registered programs:")
+		listPrograms(os.Stderr)
 		os.Exit(2)
 	}
 	prog, ok := spmd.Lookup(flag.Arg(0))
 	if !ok {
-		fmt.Fprintf(os.Stderr, "upcxx-run: unknown program %q (want one of %v)\n", flag.Arg(0), spmd.Names())
+		fmt.Fprintf(os.Stderr, "upcxx-run: unknown program %q; registered programs:\n", flag.Arg(0))
+		listPrograms(os.Stderr)
 		os.Exit(2)
 	}
 	if *scale == 0 {
@@ -81,6 +86,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "upcxx-run: unknown backend %q (want proc or tcp)\n", *backend)
 		os.Exit(2)
+	}
+}
+
+// listPrograms prints the spmd program registry, one line per program.
+func listPrograms(w io.Writer) {
+	for _, p := range spmd.Progs() {
+		fmt.Fprintf(w, "%-8s (scale %d) %s\n", p.Name, p.DefaultScale, p.Desc)
 	}
 }
 

@@ -1,0 +1,345 @@
+// Package agg implements per-destination message aggregation — the
+// software coalescing layer that makes fine-grained remote operations
+// viable over a wire conduit. The paper's §IV runtime (and every PGAS
+// runtime since) pays a full active-message round trip per remote
+// access; when the conduit is a framed-TCP wire, an 8-byte put costs
+// two frames and two header parses. The canonical answer is to buffer
+// small operations per destination rank and ship them as one batch
+// frame, trading a bounded amount of latency for an order of magnitude
+// fewer messages.
+//
+// The Aggregator owns the buffering and flush policy only; it is
+// deliberately transport-free. Callers supply a Flusher that ships one
+// encoded batch to a rank and invokes a completion callback when the
+// target has applied every operation in it; the receiving side decodes
+// batches with Apply against an Applier. internal/core glues both ends
+// to the gasnet conduit (see core.AggPut / AggXor64 / AggSend) and
+// keeps a no-op fast path on the in-process backend, where a remote
+// access is already a direct segment load/store.
+//
+// Flush policy: a destination's batch is shipped when it reaches
+// Config.MaxOps operations or Config.MaxBytes encoded bytes, when the
+// oldest buffered operation exceeds Config.MaxAge at a Tick (the
+// progress-loop hook), or on an explicit Flush/FlushAll (barriers and
+// waits flush). Operations to one destination are applied in the order
+// they were buffered; no order holds across destinations, and none
+// holds against unaggregated operations unless the caller flushes
+// first.
+//
+// An Aggregator is confined to its rank's SPMD goroutine, like the
+// conduit it feeds; it performs no internal locking.
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Batch op kinds. A batch payload is a concatenation of operations,
+// each a one-byte kind followed by its fixed header and inline data:
+//
+//	put: [kind][off u64][len u32][data]
+//	xor: [kind][off u64][val u64]
+//	am:  [kind][id u16][len u32][payload]
+const (
+	opPut byte = 1
+	opXor byte = 2
+	opAM  byte = 3
+)
+
+// frameOverhead estimates the wire bytes an unbatched operation pays
+// beyond its encoded body: one 26-byte transport frame header for the
+// request and one for its reply. The bytes-saved counter charges this
+// for every operation a batch absorbs past its first.
+const frameOverhead = 52
+
+// Default flush thresholds. MaxOps is the primary knob: batches of ~64
+// small ops amortize the per-frame cost well below the per-op cost
+// while keeping added latency to one MaxAge in the worst case.
+const (
+	DefaultMaxOps   = 64
+	DefaultMaxBytes = 32 << 10
+	DefaultMaxAge   = 200 * time.Microsecond
+)
+
+// Config sets the flush thresholds. Zero fields take the defaults;
+// MaxOps = 1 effectively disables coalescing (every operation ships as
+// its own single-op batch), which is the "aggregation off" baseline the
+// dhtbench experiment measures against.
+type Config struct {
+	// MaxOps flushes a destination once this many ops are buffered.
+	MaxOps int
+	// MaxBytes flushes a destination once its encoded batch reaches
+	// this size; it also bounds the batch payload handed to the
+	// Flusher (a single oversized op still ships alone, see Put).
+	MaxBytes int
+	// MaxAge flushes a destination at the next Tick once its oldest
+	// buffered op has waited this long.
+	MaxAge time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxOps <= 0 {
+		c.MaxOps = DefaultMaxOps
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.MaxAge <= 0 {
+		c.MaxAge = DefaultMaxAge
+	}
+	return c
+}
+
+// Flusher ships one encoded batch of ops operations to rank dst and
+// invokes done exactly once when the destination has applied every
+// operation in the batch (on the wire: when the batch ack returns).
+// The batch slice is owned by the Flusher from the call on.
+type Flusher func(dst int, batch []byte, ops int, done func())
+
+// Applier executes decoded batch operations against the receiving
+// rank's state: puts and xors against its registered segment, AMs
+// against its handler table. Handlers must not block.
+type Applier interface {
+	Put(off uint64, data []byte)
+	Xor64(off uint64, val uint64)
+	AM(id uint16, payload []byte)
+}
+
+// destBuf is one destination rank's open batch.
+type destBuf struct {
+	buf    []byte
+	ops    int
+	dones  []func()
+	oldest time.Time // when the oldest buffered op was added
+}
+
+// Aggregator buffers small remote operations into per-destination
+// batches. See the package comment for the flush policy and the
+// threading discipline.
+type Aggregator struct {
+	cfg      Config
+	flush    Flusher
+	bufs     []destBuf
+	buffered int // ops across all open batches (so the empty case is O(1))
+	inflight int // ops shipped but not yet acknowledged
+
+	now func() time.Time // injectable clock for tests
+
+	// Counters (see Counters for the exported names).
+	batches    int64
+	opsTotal   int64
+	batchBytes int64
+	savedBytes int64
+}
+
+// New builds an aggregator over ranks destinations shipping through
+// flush.
+func New(ranks int, cfg Config, flush Flusher) *Aggregator {
+	return &Aggregator{
+		cfg:   cfg.withDefaults(),
+		flush: flush,
+		bufs:  make([]destBuf, ranks),
+		now:   time.Now,
+	}
+}
+
+// room prepares dst's batch for an op encoding to need bytes: if the
+// open batch would overflow MaxBytes it is flushed first, so a batch
+// handed to the Flusher only exceeds MaxBytes when a single op does.
+func (a *Aggregator) room(dst, need int) *destBuf {
+	b := &a.bufs[dst]
+	if b.ops > 0 && len(b.buf)+need > a.cfg.MaxBytes {
+		a.Flush(dst)
+	}
+	return b
+}
+
+// noteOp finishes buffering one op: completion bookkeeping, then the
+// size-based flush checks.
+func (a *Aggregator) noteOp(dst int, b *destBuf, done func()) {
+	if b.ops == 0 {
+		b.oldest = a.now()
+	}
+	b.ops++
+	a.buffered++
+	b.dones = append(b.dones, done)
+	if b.ops >= a.cfg.MaxOps || len(b.buf) >= a.cfg.MaxBytes {
+		a.Flush(dst)
+	}
+}
+
+func le64(buf []byte, v uint64) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], v)
+	return append(buf, w[:]...)
+}
+
+func le32(buf []byte, v uint32) []byte {
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], v)
+	return append(buf, w[:]...)
+}
+
+// Put buffers a write of data into dst's segment at off; done (may be
+// nil) runs when the destination has applied it. data is copied.
+func (a *Aggregator) Put(dst int, off uint64, data []byte, done func()) {
+	b := a.room(dst, 13+len(data))
+	b.buf = append(b.buf, opPut)
+	b.buf = le64(b.buf, off)
+	b.buf = le32(b.buf, uint32(len(data)))
+	b.buf = append(b.buf, data...)
+	a.noteOp(dst, b, done)
+}
+
+// Xor64 buffers an atomic xor of val into the word at off in dst's
+// segment. Unlike the conduit's blocking Xor64 the updated value does
+// not travel back; aggregated xors are fire-and-forget updates.
+func (a *Aggregator) Xor64(dst int, off uint64, val uint64, done func()) {
+	b := a.room(dst, 17)
+	b.buf = append(b.buf, opXor)
+	b.buf = le64(b.buf, off)
+	b.buf = le64(b.buf, val)
+	a.noteOp(dst, b, done)
+}
+
+// Send buffers a registered-handler active message for dst; the
+// target's Applier dispatches it to handler id with the payload (which
+// is copied here).
+func (a *Aggregator) Send(dst int, id uint16, payload []byte, done func()) {
+	b := a.room(dst, 7+len(payload))
+	b.buf = append(b.buf, opAM)
+	b.buf = append(b.buf, byte(id), byte(id>>8))
+	b.buf = le32(b.buf, uint32(len(payload)))
+	b.buf = append(b.buf, payload...)
+	a.noteOp(dst, b, done)
+}
+
+// Flush ships dst's open batch, if any.
+func (a *Aggregator) Flush(dst int) {
+	b := &a.bufs[dst]
+	if b.ops == 0 {
+		return
+	}
+	batch, ops, dones := b.buf, b.ops, b.dones
+	*b = destBuf{}
+
+	a.buffered -= ops
+	a.inflight += ops
+	a.batches++
+	a.opsTotal += int64(ops)
+	a.batchBytes += int64(len(batch))
+	a.savedBytes += int64(ops-1) * frameOverhead
+
+	a.flush(dst, batch, ops, func() {
+		a.inflight -= ops
+		for _, d := range dones {
+			if d != nil {
+				d()
+			}
+		}
+	})
+}
+
+// FlushAll ships every open batch. O(1) when nothing is buffered, so
+// progress loops and pre-block flushes can call it freely.
+func (a *Aggregator) FlushAll() {
+	if a.buffered == 0 {
+		return
+	}
+	for dst := range a.bufs {
+		a.Flush(dst)
+	}
+}
+
+// Tick is the progress-loop hook: it flushes destinations whose oldest
+// buffered op has exceeded MaxAge and reports how many batches it
+// shipped. Ranks call it from Advance and while waiting — often once
+// per received message — so the empty case returns without reading the
+// clock or scanning destinations.
+func (a *Aggregator) Tick() int {
+	if a.buffered == 0 {
+		return 0
+	}
+	cutoff := a.now().Add(-a.cfg.MaxAge)
+	n := 0
+	for dst := range a.bufs {
+		if b := &a.bufs[dst]; b.ops > 0 && !b.oldest.After(cutoff) {
+			a.Flush(dst)
+			n++
+		}
+	}
+	return n
+}
+
+// Buffered reports how many ops sit in open batches.
+func (a *Aggregator) Buffered() int { return a.buffered }
+
+// Pending reports how many ops are not yet known applied: buffered
+// plus shipped-but-unacknowledged. Barriers drain it to zero.
+func (a *Aggregator) Pending() int { return a.buffered + a.inflight }
+
+// Counters reports the aggregation metrics for the bench harness:
+// batches shipped, ops coalesced, encoded batch bytes, the estimated
+// wire bytes saved versus one frame pair per op, and the realized
+// ops-per-batch ratio.
+func (a *Aggregator) Counters() map[string]float64 {
+	c := map[string]float64{
+		"agg_batches":     float64(a.batches),
+		"agg_ops":         float64(a.opsTotal),
+		"agg_batch_bytes": float64(a.batchBytes),
+		"agg_saved_bytes": float64(a.savedBytes),
+	}
+	if a.batches > 0 {
+		c["agg_ops_per_batch"] = float64(a.opsTotal) / float64(a.batches)
+	}
+	return c
+}
+
+// Apply decodes one batch payload and executes each op against ap, in
+// order, returning how many ops ran. A truncated or unknown op aborts
+// with an error (a correct peer never produces one).
+func Apply(batch []byte, ap Applier) (int, error) {
+	n := 0
+	for len(batch) > 0 {
+		kind := batch[0]
+		batch = batch[1:]
+		switch kind {
+		case opPut:
+			if len(batch) < 12 {
+				return n, fmt.Errorf("agg: truncated put header")
+			}
+			off := binary.LittleEndian.Uint64(batch)
+			ln := int(binary.LittleEndian.Uint32(batch[8:]))
+			batch = batch[12:]
+			if len(batch) < ln {
+				return n, fmt.Errorf("agg: put data truncated: want %d, have %d", ln, len(batch))
+			}
+			ap.Put(off, batch[:ln])
+			batch = batch[ln:]
+		case opXor:
+			if len(batch) < 16 {
+				return n, fmt.Errorf("agg: truncated xor op")
+			}
+			ap.Xor64(binary.LittleEndian.Uint64(batch), binary.LittleEndian.Uint64(batch[8:]))
+			batch = batch[16:]
+		case opAM:
+			if len(batch) < 6 {
+				return n, fmt.Errorf("agg: truncated am header")
+			}
+			id := uint16(batch[0]) | uint16(batch[1])<<8
+			ln := int(binary.LittleEndian.Uint32(batch[2:]))
+			batch = batch[6:]
+			if len(batch) < ln {
+				return n, fmt.Errorf("agg: am payload truncated: want %d, have %d", ln, len(batch))
+			}
+			ap.AM(id, batch[:ln])
+			batch = batch[ln:]
+		default:
+			return n, fmt.Errorf("agg: unknown op kind %d", kind)
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,209 @@
+package agg
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// memApplier records applied ops for assertions.
+type memApplier struct {
+	log []string
+	mem map[uint64][]byte
+}
+
+func newMemApplier() *memApplier { return &memApplier{mem: map[uint64][]byte{}} }
+
+func (m *memApplier) Put(off uint64, data []byte) {
+	m.mem[off] = append([]byte(nil), data...)
+	m.log = append(m.log, fmt.Sprintf("put %d %d", off, len(data)))
+}
+
+func (m *memApplier) Xor64(off uint64, val uint64) {
+	m.log = append(m.log, fmt.Sprintf("xor %d %x", off, val))
+}
+
+func (m *memApplier) AM(id uint16, payload []byte) {
+	m.log = append(m.log, fmt.Sprintf("am %d %q", id, payload))
+}
+
+// capture is a Flusher that applies every batch to an Applier
+// immediately and records batch shapes; acks are delivered on demand.
+type capture struct {
+	ap      Applier
+	batches []int // ops per batch
+	bytes   []int
+	acks    []func()
+}
+
+func (c *capture) flush(t *testing.T) Flusher {
+	return func(dst int, batch []byte, ops int, done func()) {
+		n, err := Apply(batch, c.ap)
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		if n != ops {
+			t.Fatalf("batch declared %d ops, decoded %d", ops, n)
+		}
+		c.batches = append(c.batches, ops)
+		c.bytes = append(c.bytes, len(batch))
+		c.acks = append(c.acks, done)
+	}
+}
+
+func (c *capture) ackAll() {
+	for _, d := range c.acks {
+		d()
+	}
+	c.acks = nil
+}
+
+func TestRoundTripAndOrder(t *testing.T) {
+	ap := newMemApplier()
+	c := &capture{ap: ap}
+	a := New(2, Config{MaxOps: 100}, c.flush(t))
+
+	a.Put(1, 8, []byte("hello"), nil)
+	a.Xor64(1, 16, 0xABCD, nil)
+	a.Send(1, 7, []byte("ping"), nil)
+	if got := a.Pending(); got != 3 {
+		t.Fatalf("Pending = %d, want 3 buffered", got)
+	}
+	a.Flush(1)
+	c.ackAll()
+
+	want := []string{"put 8 5", "xor 16 abcd", `am 7 "ping"`}
+	if len(ap.log) != len(want) {
+		t.Fatalf("applied %v, want %v", ap.log, want)
+	}
+	for i := range want {
+		if ap.log[i] != want[i] {
+			t.Errorf("op %d = %q, want %q (order must be preserved)", i, ap.log[i], want[i])
+		}
+	}
+	if !bytes.Equal(ap.mem[8], []byte("hello")) {
+		t.Errorf("put payload corrupted: %q", ap.mem[8])
+	}
+	if a.Pending() != 0 {
+		t.Errorf("Pending = %d after ack, want 0", a.Pending())
+	}
+}
+
+func TestMaxOpsFlush(t *testing.T) {
+	c := &capture{ap: newMemApplier()}
+	a := New(1, Config{MaxOps: 4}, c.flush(t))
+	for i := 0; i < 10; i++ {
+		a.Xor64(0, uint64(i*8), 1, nil)
+	}
+	if got := c.batches; len(got) != 2 || got[0] != 4 || got[1] != 4 {
+		t.Fatalf("size-triggered batches = %v, want [4 4]", got)
+	}
+	if a.Buffered() != 2 {
+		t.Fatalf("Buffered = %d, want 2 left open", a.Buffered())
+	}
+	a.FlushAll()
+	if got := c.batches; len(got) != 3 || got[2] != 2 {
+		t.Fatalf("after FlushAll batches = %v, want trailing 2", got)
+	}
+}
+
+func TestMaxBytesFlush(t *testing.T) {
+	c := &capture{ap: newMemApplier()}
+	a := New(1, Config{MaxOps: 1000, MaxBytes: 64}, c.flush(t))
+	// Each put encodes to 13+20 = 33 bytes: the second overflows 64 and
+	// must flush the first before buffering.
+	data := make([]byte, 20)
+	a.Put(0, 0, data, nil)
+	a.Put(0, 64, data, nil)
+	if len(c.batches) != 1 || c.batches[0] != 1 {
+		t.Fatalf("byte-triggered batches = %v, want [1]", c.batches)
+	}
+	// An op bigger than MaxBytes still ships, alone.
+	big := make([]byte, 200)
+	a.Put(0, 128, big, nil)
+	if len(c.batches) != 3 {
+		t.Fatalf("oversized op: batches = %v, want 3 total", c.batches)
+	}
+	if c.batches[2] != 1 || c.bytes[2] != 13+200 {
+		t.Fatalf("oversized op must ship alone: ops=%d bytes=%d", c.batches[2], c.bytes[2])
+	}
+}
+
+func TestAgeFlushOnTick(t *testing.T) {
+	c := &capture{ap: newMemApplier()}
+	a := New(2, Config{MaxOps: 100, MaxAge: time.Millisecond}, c.flush(t))
+	now := time.Unix(0, 0)
+	a.now = func() time.Time { return now }
+
+	a.Xor64(0, 0, 1, nil)
+	now = now.Add(500 * time.Microsecond)
+	a.Xor64(1, 0, 1, nil)
+	if n := a.Tick(); n != 0 {
+		t.Fatalf("Tick before MaxAge flushed %d batches", n)
+	}
+	now = now.Add(600 * time.Microsecond) // dest 0 is now 1.1ms old, dest 1 only 0.6ms
+	if n := a.Tick(); n != 1 {
+		t.Fatalf("Tick flushed %d batches, want only the aged one", n)
+	}
+	now = now.Add(time.Millisecond)
+	if n := a.Tick(); n != 1 {
+		t.Fatalf("second Tick flushed %d batches, want 1", n)
+	}
+}
+
+func TestCompletionCallbacks(t *testing.T) {
+	c := &capture{ap: newMemApplier()}
+	a := New(1, Config{MaxOps: 2}, c.flush(t))
+	fired := 0
+	a.Put(0, 0, []byte{1}, func() { fired++ })
+	a.Xor64(0, 8, 1, func() { fired++ })
+	if fired != 0 {
+		t.Fatal("done fired before ack")
+	}
+	if a.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2 in flight", a.Pending())
+	}
+	c.ackAll()
+	if fired != 2 {
+		t.Fatalf("done fired %d times, want 2", fired)
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("Pending = %d after ack, want 0", a.Pending())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := &capture{ap: newMemApplier()}
+	a := New(1, Config{MaxOps: 4}, c.flush(t))
+	for i := 0; i < 8; i++ {
+		a.Xor64(0, 0, 1, nil)
+	}
+	got := a.Counters()
+	if got["agg_batches"] != 2 || got["agg_ops"] != 8 || got["agg_ops_per_batch"] != 4 {
+		t.Errorf("counters = %v", got)
+	}
+	// 3 absorbed ops per batch, 52 bytes of frame overhead each.
+	if got["agg_saved_bytes"] != 2*3*frameOverhead {
+		t.Errorf("agg_saved_bytes = %v, want %d", got["agg_saved_bytes"], 2*3*frameOverhead)
+	}
+}
+
+func TestApplyRejectsCorruptBatches(t *testing.T) {
+	ap := newMemApplier()
+	for _, bad := range [][]byte{
+		{99},          // unknown kind
+		{opPut, 0, 0}, // truncated put header
+		{opPut, 0, 0, 0, 0, 0, 0, 0, 0, 5, 0, 0, 0}, // put data missing
+		{opXor, 1, 2, 3},              // truncated xor
+		{opAM, 1},                     // truncated am header
+		{opAM, 1, 0, 4, 0, 0, 0, 'x'}, // am payload short
+	} {
+		if _, err := Apply(bad, ap); err == nil {
+			t.Errorf("Apply(%v) accepted a corrupt batch", bad)
+		}
+	}
+	if _, err := Apply(nil, ap); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}

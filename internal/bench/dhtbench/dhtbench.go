@@ -1,0 +1,162 @@
+// Package dhtbench measures the message-aggregation subsystem on a
+// real wire: a distributed hash table insert storm over the TCP
+// conduit (spmd.RunWireLocal — every rank its own endpoint, segment
+// and conduit over localhost sockets), run with aggregation on and
+// off. Unlike the paper-reproduction experiments this benchmark is
+// wall-clock: the virtual-time model does not span address spaces, and
+// the quantity under test — frames on the wire — is real, counted by
+// the conduit's per-handler counters rather than modeled.
+package dhtbench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"upcxx/internal/agg"
+	"upcxx/internal/bench/gups"
+	"upcxx/internal/core"
+	"upcxx/internal/dht"
+	"upcxx/internal/spmd"
+)
+
+// Params configures a run.
+type Params struct {
+	Ranks          int
+	InsertsPerRank int
+	// Aggregate selects real coalescing (the default agg thresholds)
+	// or the baseline (MaxOps = 1: every insert ships as its own
+	// single-op frame pair).
+	Aggregate bool
+	// Repeats runs the whole job this many times and reports the
+	// fastest insert phase (default 3) — best-of-N suppresses the
+	// scheduler-stall noise a single wall-clock measurement on a
+	// shared CI runner is exposed to. Frame counts are normally
+	// identical across repeats (the workload is deterministic), but a
+	// stall longer than the aggregation MaxAge can age-flush a partial
+	// batch and add a few frames to that repeat.
+	Repeats int
+}
+
+// Result reports the run's metrics.
+type Result struct {
+	Ranks           int
+	Inserts         int64   // total inserts across ranks
+	Seconds         float64 // wall seconds of the insert phase (max over ranks)
+	InsertsPerSec   float64
+	WireFrames      float64 // total frames sent across ranks, whole run
+	FramesPerInsert float64
+	OpsPerBatch     float64 // realized aggregation ratio (0 when off)
+	Checksum        uint64  // verified table checksum (backend-independent)
+}
+
+// Counters reports the run's metrics as named counters for the
+// harness.
+func (r Result) Counters() map[string]float64 {
+	return map[string]float64{
+		"inserts":           float64(r.Inserts),
+		"inserts_per_sec":   r.InsertsPerSec,
+		"wire_tx_frames":    r.WireFrames,
+		"frames_per_insert": r.FramesPerInsert,
+		"agg_ops_per_batch": r.OpsPerBatch,
+	}
+}
+
+// Run executes the benchmark: every rank inserts its share of keys,
+// the barrier drains the aggregation layer, and the table checksum is
+// verified against dht.ExpectedChecksum's reference fold over the same
+// key -> value pairs — a run that drops, corrupts or duplicates an
+// insert panics rather than reporting plausible throughput. The whole
+// job runs Repeats times; the fastest insert phase is reported.
+func Run(p Params) Result {
+	repeats := p.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+	var best Result
+	for rep := 0; rep < repeats; rep++ {
+		r := runOnce(p)
+		if rep == 0 || r.Seconds < best.Seconds {
+			best = r
+		}
+	}
+	return best
+}
+
+func runOnce(p Params) Result {
+	cfg := core.Config{}
+	if !p.Aggregate {
+		cfg.Agg = agg.Config{MaxOps: 1}
+	}
+	var (
+		mu       sync.Mutex
+		insertNs time.Duration
+		sum      uint64
+	)
+	segBytes := dht.SegBytes(dht.DefaultCapacity(p.InsertsPerRank))
+	stats, err := spmd.RunWireLocal(p.Ranks, segBytes, cfg, func(me *core.Rank) {
+		tbl := dht.New(me, dht.DefaultCapacity(p.InsertsPerRank))
+		me.Barrier()
+		t0 := time.Now()
+		for i := 0; i < p.InsertsPerRank; i++ {
+			k := key(me.ID(), i)
+			tbl.Insert(me, k, gups.Mix64(k), nil)
+		}
+		me.Barrier() // drains every in-flight insert
+		dt := time.Since(t0)
+		s := tbl.Checksum(me)
+		mu.Lock()
+		if dt > insertNs {
+			insertNs = dt
+		}
+		if me.ID() == 0 {
+			sum = s
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("dhtbench: %v", err))
+	}
+
+	// Verify against the reference fold over the exact pairs inserted.
+	pairs := make(map[uint64]uint64, p.Ranks*p.InsertsPerRank)
+	for rank := 0; rank < p.Ranks; rank++ {
+		for i := 0; i < p.InsertsPerRank; i++ {
+			k := key(rank, i)
+			pairs[k] = gups.Mix64(k)
+		}
+	}
+	if want := dht.ExpectedChecksum(pairs); sum != want {
+		panic(fmt.Sprintf("dhtbench: table checksum %016x, reference %016x (aggregate=%v)",
+			sum, want, p.Aggregate))
+	}
+
+	r := Result{
+		Ranks:    p.Ranks,
+		Inserts:  int64(p.Ranks) * int64(p.InsertsPerRank),
+		Seconds:  insertNs.Seconds(),
+		Checksum: sum,
+	}
+	var batches, ops float64
+	for _, st := range stats {
+		r.WireFrames += st.Counters["wire_tx_frames"]
+		batches += st.Counters["agg_batches"]
+		ops += st.Counters["agg_ops"]
+	}
+	if r.Seconds > 0 {
+		r.InsertsPerSec = float64(r.Inserts) / r.Seconds
+	}
+	if r.Inserts > 0 {
+		r.FramesPerInsert = r.WireFrames / float64(r.Inserts)
+	}
+	if p.Aggregate && batches > 0 {
+		r.OpsPerBatch = ops / batches
+	}
+	return r
+}
+
+// key derives rank r's i-th insert key (odd by construction, so even
+// keys are guaranteed misses in tests).
+func key(rank, i int) uint64 {
+	return gups.Mix64(uint64(rank)<<32+uint64(i))<<1 | 1
+}

@@ -1,0 +1,35 @@
+package dhtbench
+
+import "testing"
+
+// TestAggregationWins is the ISSUE's acceptance criterion at the
+// benchmark level: on the same workload, the aggregated insert phase
+// must cost at least 4x fewer wire frames than the unaggregated one,
+// and both must compute the identical verified table (the checksum is
+// a pure function of the inserted contents).
+func TestAggregationWins(t *testing.T) {
+	p := Params{Ranks: 2, InsertsPerRank: 1024}
+	p.Aggregate = true
+	on := Run(p)
+	p.Aggregate = false
+	off := Run(p)
+
+	if on.Checksum != off.Checksum {
+		t.Fatalf("checksum changed with aggregation: on=%016x off=%016x", on.Checksum, off.Checksum)
+	}
+	if on.Inserts != 2048 || off.Inserts != 2048 {
+		t.Fatalf("inserts = %d/%d, want 2048", on.Inserts, off.Inserts)
+	}
+	if off.WireFrames < float64(off.Inserts)/2 {
+		t.Fatalf("unaggregated run sent only %v frames for %d inserts", off.WireFrames, off.Inserts)
+	}
+	if off.WireFrames < 4*on.WireFrames {
+		t.Errorf("frame reduction %.1fx (on=%v off=%v), want >= 4x",
+			off.WireFrames/on.WireFrames, on.WireFrames, off.WireFrames)
+	}
+	if on.OpsPerBatch < 2 {
+		t.Errorf("agg ops/batch = %v, want real coalescing", on.OpsPerBatch)
+	}
+	t.Logf("frames: on=%v off=%v (%.1fx), ops/batch=%.1f",
+		on.WireFrames, off.WireFrames, off.WireFrames/on.WireFrames, on.OpsPerBatch)
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"upcxx/internal/bench/dhtbench"
 	"upcxx/internal/bench/gups"
 	"upcxx/internal/bench/lulesh"
 	"upcxx/internal/bench/raytrace"
@@ -100,6 +101,51 @@ func logTableFor(p int) int {
 		l++
 	}
 	return l
+}
+
+// DHTBench measures the message-aggregation subsystem on the real TCP
+// wire conduit (not the virtual-time model): distributed hash-table
+// insert throughput with aggregation on vs off, plus the wire-frame
+// cost per insert from the conduit's per-handler counters. The frame
+// counts are deterministic for a given workload; the throughput is
+// wall-clock, so the experiment carries a wide DiffTolerance for the
+// regression gate.
+func DHTBench(o Options) Result {
+	res := Result{
+		ID: "dhtbench", PaperRef: "§IV (beyond the paper)",
+		Title:  "DHT inserts over the wire conduit, aggregation on vs off",
+		Metric: "throughput", Unit: "inserts/s",
+		Quick:   o.Quick,
+		Profile: sim.NewProfile(sim.Local, sim.SWUPCXX),
+		Series: []Series{
+			{Name: "agg-on", System: "upcxx"},
+			{Name: "agg-off", System: "upcxx"},
+		},
+		SweepLabel: "ranks", Format: "%.3g", Ratio: true,
+		// Wall-clock throughput on shared CI runners drifts far more
+		// than the virtual-time sweeps; gate only order-of-magnitude.
+		DiffTolerance: 0.9,
+	}
+	ranks := []int{2, 4}
+	inserts := 8192
+	if o.Quick {
+		ranks = []int{2}
+		inserts = 2048
+	}
+	run := func(p int, aggregate bool) Point {
+		r, wall := timed(func() dhtbench.Result {
+			return dhtbench.Run(dhtbench.Params{
+				Ranks: p, InsertsPerRank: inserts, Aggregate: aggregate,
+			})
+		})
+		return Point{Ranks: p, Value: r.InsertsPerSec,
+			WallSeconds: wall, Counters: r.Counters()}
+	}
+	for _, p := range ranks {
+		res.Series[0].Points = append(res.Series[0].Points, run(p, true))
+		res.Series[1].Points = append(res.Series[1].Points, run(p, false))
+	}
+	return res
 }
 
 // Fig5 reproduces "Stencil weak scaling performance (GFLOPS) on Cray

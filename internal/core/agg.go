@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+
+	"upcxx/internal/agg"
+	"upcxx/internal/gasnet"
+)
+
+// The message-aggregation surface: AggPut, AggXor64 and AggSend buffer
+// small remote operations into per-destination batches (internal/agg)
+// and ship each batch as one conduit active message, instead of paying
+// a frame round trip per op — the software coalescing that makes the
+// paper's fine-grained access patterns (GUPS updates, DHT inserts)
+// viable over a wire conduit.
+//
+// The operations are conduit-agnostic. On a backend that implements
+// gasnet.BatchConduit (the wire) they coalesce for real; on the
+// in-process backend — where a remote access is already a direct
+// segment load/store — they execute immediately (puts and xors) or
+// ride the engine's active messages (sends), so programs written
+// against the Agg* surface run unmodified on both backends and CI can
+// compare their checksums.
+//
+// Completion and ordering:
+//
+//   - An aggregated op completes when the destination rank has applied
+//     it. Pass an *Event to observe completion; ops issued inside a
+//     Finish block are also waited on by the Finish. Rank.Barrier
+//     drains the aggregation layer before the conduit barrier, so
+//     after a barrier every previously issued aggregated op is
+//     globally visible.
+//   - Ops to the same destination apply in issue order. Blocking
+//     direct operations (Read/Write/Copy, AtomicXor, allocation,
+//     locks, collectives) flush the aggregation layer before entering
+//     the conduit, so aggregated ops issued earlier reach their
+//     destinations ahead of the direct operation; beyond that, no
+//     order holds across destinations.
+//   - Buffered ops ship when a destination batch fills (size/bytes),
+//     when it ages past the configured flush age at a progress call
+//     (Advance, waits), at AggFlush, or at a barrier.
+
+// AMHandler is a registered-handler active message body: it runs on
+// the target rank's SPMD goroutine with the target's handle, the
+// sending rank, and the message payload (valid only for the duration
+// of the call — copy it to keep it). Handlers must not block, and must
+// not wait on communication; they may issue further aggregated ops
+// (e.g. a reply AggSend), which the runtime flushes promptly.
+type AMHandler func(me *Rank, from int, payload []byte)
+
+// RegisterAMHandler installs fn as rank me's handler for aggregated
+// active messages with the given id. Like GASNet handler registration,
+// every rank must register the same ids before any rank sends to them
+// (SPMD programs register during startup, before the first barrier).
+// Registering an id twice on one rank panics.
+//
+// Aggregated AM handlers require Serialized thread mode (the default):
+// handlers execute inside the rank's progress dispatch, and in
+// Concurrent mode that dispatch holds the rank's serialization lock —
+// a handler issuing its reply through AggSend would re-enter it and
+// deadlock. Registration panics up front rather than letting the first
+// remote message hang the job.
+func RegisterAMHandler(me *Rank, id uint16, fn AMHandler) {
+	if me.job.cfg.Threads == Concurrent {
+		panic("upcxx: aggregated AM handlers require Serialized thread mode " +
+			"(handlers dispatch under the Concurrent-mode rank lock and could not " +
+			"re-enter the runtime to reply)")
+	}
+	me.enter()
+	defer me.exit()
+	if me.amHandlers == nil {
+		me.amHandlers = make(map[uint16]AMHandler)
+	}
+	if _, dup := me.amHandlers[id]; dup {
+		panic(fmt.Sprintf("upcxx: AM handler %d registered twice on rank %d", id, me.id))
+	}
+	me.amHandlers[id] = fn
+}
+
+// rankApplier executes decoded batch ops against this rank's state:
+// puts and xors against the registered segment, AMs against the
+// handler table.
+type rankApplier struct {
+	r    *Rank
+	from int
+}
+
+func (a rankApplier) Put(off uint64, data []byte) { a.r.seg.Write(off, data) }
+func (a rankApplier) Xor64(off, val uint64)       { a.r.seg.Xor64(off, val) }
+func (a rankApplier) AM(id uint16, payload []byte) {
+	h := a.r.amHandlers[id]
+	if h == nil {
+		panic(fmt.Sprintf("upcxx: rank %d received aggregated AM for unregistered handler %d",
+			a.r.id, id))
+	}
+	h(a.r, a.from, payload)
+}
+
+// initAgg wires the aggregation layer over a batch-capable conduit:
+// outgoing batches ship through SendBatch, incoming ones decode
+// against this rank's segment and AM table. Called from RunWire; the
+// in-process backend never reaches here (ProcConduit does not
+// implement gasnet.BatchConduit), which is its no-op fast path.
+func (r *Rank) initAgg(bc gasnet.BatchConduit, cfg agg.Config) {
+	r.aggBC = bc
+	r.agg = agg.New(r.Ranks(), cfg, func(dst int, batch []byte, ops int, done func()) {
+		r.mustCd(bc.SendBatch(dst, batch, done))
+	})
+	bc.SetBatchHandler(func(from int, payload []byte) {
+		if _, err := agg.Apply(payload, rankApplier{r: r, from: from}); err != nil {
+			panic(fmt.Errorf("upcxx: rank %d: corrupt aggregation batch from rank %d: %w",
+				r.id, from, err))
+		}
+		// Cut-through flush: ops the applied handlers just buffered
+		// (e.g. a DHT lookup's reply) must not wait for this rank's
+		// next explicit progress call — a peer may be blocked on them
+		// right now, possibly with this rank already inside a barrier
+		// drain.
+		r.agg.FlushAll()
+	})
+}
+
+// aggPreBlock ships buffered batches before an operation that blocks
+// inside the conduit (a remote read/write/atomic, allocation, lock or
+// collective): the request's wait loop services incoming traffic but
+// runs no aggregation progress, and the peer able to answer may itself
+// be blocked on the ops sitting in our buffers. A pleasant side
+// effect: batches flushed here travel the same TCP stream ahead of the
+// blocking request's frame, so aggregated ops issued before a direct
+// operation to the same destination are applied before it. O(1) when
+// nothing is buffered.
+func (r *Rank) aggPreBlock() {
+	if r.agg != nil {
+		r.agg.FlushAll()
+	}
+}
+
+// aggDefer registers a buffered op with the surrounding Finish scope
+// and event, returning the completion callback the aggregator fires on
+// acknowledgement.
+func (r *Rank) aggDefer(ev *Event) func() {
+	fs := r.currentFinish()
+	if fs != nil {
+		fs.add(1)
+	}
+	if ev != nil {
+		ev.register(1)
+	}
+	return func() {
+		t := r.Clock()
+		if ev != nil {
+			ev.signal(t, r)
+		}
+		if fs != nil {
+			fs.childDone(t, r)
+		}
+	}
+}
+
+// AggPut writes v to the shared object at p through the aggregation
+// layer: buffered per destination, applied when the batch ships, and
+// complete (visible at the owner) when ev fires — or, with a nil ev,
+// by the next barrier. See the package notes above for ordering.
+func AggPut[T any](me *Rank, p GlobalPtr[T], v T, ev *Event) {
+	me.enter()
+	defer me.exit()
+	n := int(sizeOf[T]())
+	me.ep.Stats.Puts.Add(1)
+	me.ep.Stats.PutBytes.Add(int64(n))
+	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(p.rank), n))
+	if me.agg == nil || int(p.rank) == me.id {
+		me.mustCd(me.cd.Put(int(p.rank), p.Offset(), valueBytes(&v)))
+		SignalNow(ev, me)
+		return
+	}
+	me.agg.Put(int(p.rank), p.Offset(), valueBytes(&v), me.aggDefer(ev))
+}
+
+// AggXor64 xors val into the shared word at p through the aggregation
+// layer. Unlike AtomicXor the updated value does not travel back —
+// aggregated xors are fire-and-forget updates (the GUPS access
+// pattern), which is exactly what lets them coalesce.
+func AggXor64(me *Rank, p GlobalPtr[uint64], val uint64, ev *Event) {
+	me.enter()
+	defer me.exit()
+	me.ep.Stats.Puts.Add(1)
+	me.ep.Stats.PutBytes.Add(8)
+	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(p.rank), 8))
+	if me.agg == nil || int(p.rank) == me.id {
+		_, err := me.cd.Xor64(int(p.rank), p.Offset(), val)
+		me.mustCd(err)
+		SignalNow(ev, me)
+		return
+	}
+	me.agg.Xor64(int(p.rank), p.Offset(), val, me.aggDefer(ev))
+}
+
+// AggSend delivers payload to the AM handler registered under id on
+// the target rank, through the aggregation layer. The payload is
+// copied at issue time. On the wire backend the message coalesces with
+// other ops bound for the target; in-process it rides the engine's
+// active messages (and a self-send on the wire applies immediately),
+// so semantics match across backends: the handler runs on the target's
+// goroutine, and completion (ev / Finish) means it has run.
+func AggSend(me *Rank, target int, id uint16, payload []byte, ev *Event) {
+	me.enter()
+	defer me.exit()
+	if target < 0 || target >= me.Ranks() {
+		panic(fmt.Sprintf("upcxx: AggSend to invalid rank %d of %d", target, me.Ranks()))
+	}
+	me.ep.Stats.AMs.Add(1)
+	if me.agg != nil {
+		if target == me.id {
+			rankApplier{r: me, from: me.id}.AM(id, payload)
+			SignalNow(ev, me)
+			return
+		}
+		me.agg.Send(target, id, payload, me.aggDefer(ev))
+		return
+	}
+
+	// In-process: ship as an engine active message executing on the
+	// target's goroutine, with standard AM costs.
+	fs := me.currentFinish()
+	if fs != nil {
+		fs.add(1)
+	}
+	if ev != nil {
+		ev.register(1)
+	}
+	me.aggEv.register(1)
+	job := me.job
+	from := me.id
+	pl := append([]byte(nil), payload...)
+	t0 := me.Clock()
+	me.ep.Clock.Advance(job.model.AMSendCost(len(pl)))
+	arrival := job.model.AMArrival(t0, me.id, target, len(pl))
+	me.ep.SendAt(target, arrival, len(pl), func(tep *gasnet.Endpoint) {
+		tgt := job.ranks[tep.Rank]
+		rankApplier{r: tgt, from: from}.AM(id, pl)
+		done := tgt.Clock()
+		if ev != nil {
+			ev.signal(done, tgt)
+		}
+		if fs != nil {
+			fs.childDone(done, tgt)
+		}
+		me.aggEv.signal(done, tgt)
+	})
+}
+
+// AggFlush ships every buffered batch without waiting for
+// acknowledgements (use an Event, Finish, or Barrier to wait).
+func AggFlush(me *Rank) {
+	me.enter()
+	defer me.exit()
+	if me.agg != nil {
+		me.agg.FlushAll()
+	}
+}
+
+// AggDrain flushes and then blocks until every aggregated op this rank
+// issued has been applied and acknowledged, servicing incoming traffic
+// while waiting. Barrier calls it implicitly.
+func AggDrain(me *Rank) {
+	me.enter()
+	defer me.exit()
+	me.aggDrain()
+}
+
+func (r *Rank) aggDrain() {
+	if r.agg != nil {
+		r.waitProgress(func() bool { return r.agg.Pending() == 0 })
+		return
+	}
+	// In-process: wait out engine-AM AggSends this rank launched, so
+	// both backends give aggregated ops the same barrier visibility.
+	r.aggEv.Wait(r)
+}
+
+// waitProgress blocks until pred() is true, servicing this rank's full
+// progress surface: engine tasks always; on a batch-capable wire job
+// also conduit traffic, with the aggregation layer flushed up front
+// (our own buffered ops may be exactly what pred waits on) and ticked
+// as traffic arrives. It is the wait primitive behind Event.Wait,
+// WaitUntil, Finish and the barrier's drain.
+func (r *Rank) waitProgress(pred func() bool) {
+	if r.agg == nil {
+		r.ep.WaitFor(pred)
+		return
+	}
+	r.agg.FlushAll()
+	err := r.aggBC.WaitFor(func() bool {
+		// Drain self-targeted tasks first: a conduit message's handler
+		// may have queued the work that satisfies pred. Tasks may
+		// themselves buffer aggregated ops; those must ship before we
+		// block again, because the conduit wait only re-evaluates this
+		// predicate when a frame arrives — and the peer able to send
+		// one may be blocked on exactly the ops we just buffered.
+		if r.ep.Poll() > 0 {
+			r.agg.FlushAll()
+		}
+		r.agg.Tick()
+		return pred()
+	})
+	r.mustCd(err)
+}

@@ -259,5 +259,7 @@ func Finish(me *Rank, body func()) {
 	me.finish = append(me.finish, fs)
 	body()
 	me.finish = me.finish[:len(me.finish)-1]
-	me.ep.WaitFor(fs.empty)
+	// Aggregated ops issued in the body registered with fs too; the
+	// progress wait flushes them and services their acknowledgements.
+	me.waitProgress(fs.empty)
 }

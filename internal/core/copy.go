@@ -18,17 +18,33 @@ type Event struct {
 	mu      sync.Mutex
 	pending int
 	maxDone float64 // latest completion time among signaled operations
-	waiters []*Rank
+	waiters []eventWaiter
 	after   []func(fireTime float64, from *Rank)
+}
+
+// eventWaiter is one blocked Wait. woken records that the current
+// firing already sent this waiter its wake message; it is reset when
+// the event un-fires (a new registration while drained), so a
+// re-firing wakes the waiter again without charging duplicate modeled
+// wake latency in the common single-fire case.
+type eventWaiter struct {
+	r     *Rank
+	woken bool
 }
 
 // NewEvent returns an event ready for registrations.
 func NewEvent() *Event { return &Event{} }
 
 // register records one more operation that must signal before the event
-// fires.
+// fires. Registering on a drained event un-fires it: any still-blocked
+// waiters re-arm so the next firing wakes them again.
 func (ev *Event) register(n int) {
 	ev.mu.Lock()
+	if ev.pending == 0 && n > 0 {
+		for i := range ev.waiters {
+			ev.waiters[i].woken = false
+		}
+	}
 	ev.pending += n
 	ev.mu.Unlock()
 }
@@ -36,6 +52,15 @@ func (ev *Event) register(n int) {
 // signal marks one registered operation complete at virtual time done.
 // from is the rank on whose goroutine the signal executes; it is used to
 // route wakeups and to inject deferred async_after launches.
+//
+// Waiters stay registered until their Wait returns, and each firing
+// wakes every not-yet-woken waiter: a blocked waiter's progress loop
+// may reentrantly execute work that registers new operations with this
+// same event (an AM handler issuing aggregated replies, say),
+// un-firing it after the wake was already consumed — so the next fire
+// must wake the waiter again, or it sleeps forever on an event that is
+// done. The woken flag (re-armed by register when the event un-fires)
+// keeps the common single-fire case at exactly one modeled wake.
 func (ev *Event) signal(done float64, from *Rank) {
 	ev.mu.Lock()
 	ev.pending--
@@ -43,12 +68,16 @@ func (ev *Event) signal(done float64, from *Rank) {
 		ev.maxDone = done
 	}
 	fired := ev.pending == 0
-	var waiters []*Rank
+	var wake []*Rank
 	var after []func(float64, *Rank)
 	var fireTime float64
 	if fired {
-		waiters = ev.waiters
-		ev.waiters = nil
+		for i := range ev.waiters {
+			if !ev.waiters[i].woken {
+				ev.waiters[i].woken = true
+				wake = append(wake, ev.waiters[i].r)
+			}
+		}
 		after = ev.after
 		ev.after = nil
 		fireTime = ev.maxDone
@@ -57,7 +86,7 @@ func (ev *Event) signal(done float64, from *Rank) {
 	if !fired {
 		return
 	}
-	for _, w := range waiters {
+	for _, w := range wake {
 		from.ep.Wake(w.id, fireTime+from.job.model.Lat(from.id, w.id))
 	}
 	for _, f := range after {
@@ -84,7 +113,8 @@ func (ev *Event) Test(me *Rank) bool {
 }
 
 // Wait blocks the calling rank until the event fires, servicing async
-// tasks while waiting, and advances the rank's clock to the fire time.
+// tasks (and, on a wire job, conduit traffic and aggregation flushes)
+// while waiting, and advances the rank's clock to the fire time.
 func (ev *Event) Wait(me *Rank) {
 	ev.mu.Lock()
 	if ev.pending == 0 {
@@ -93,12 +123,23 @@ func (ev *Event) Wait(me *Rank) {
 		me.ep.Clock.AdvanceTo(t)
 		return
 	}
-	ev.waiters = append(ev.waiters, me)
+	ev.waiters = append(ev.waiters, eventWaiter{r: me})
 	ev.mu.Unlock()
-	me.ep.WaitFor(func() bool {
+	me.waitProgress(func() bool {
 		ok, _ := ev.done()
 		return ok
 	})
+	// Unregister (signal leaves waiters in place so later fires can
+	// re-wake them; see signal). Any wake already in flight for us is a
+	// no-op message, drained by ordinary progress.
+	ev.mu.Lock()
+	for i := range ev.waiters {
+		if ev.waiters[i].r == me {
+			ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+			break
+		}
+	}
+	ev.mu.Unlock()
 	_, t := ev.done()
 	me.ep.Clock.AdvanceTo(t)
 }
@@ -163,6 +204,7 @@ func Copy[T any](me *Rank, src, dst GlobalPtr[T], count int) {
 // On a wire conduit this is a get off the source followed by a put to
 // the destination, both initiated here.
 func moveBytes[T any](me *Rank, src, dst GlobalPtr[T], bytes int) {
+	me.aggPreBlock()
 	tmp := make([]byte, bytes)
 	me.mustCd(me.cd.Get(int(src.rank), src.Offset(), tmp))
 	me.mustCd(me.cd.Put(int(dst.rank), dst.Offset(), tmp))
@@ -242,6 +284,7 @@ func ReadSlice[T any](me *Rank, src GlobalPtr[T], dst []T) {
 	me.ep.Stats.Gets.Add(1)
 	me.ep.Stats.GetBytes.Add(int64(bytes))
 	me.ep.Clock.Advance(me.job.model.GetCost(me.id, int(src.rank), bytes))
+	me.aggPreBlock()
 	me.mustCd(me.cd.Get(int(src.rank), src.Offset(), sliceBytes(dst)))
 }
 
@@ -256,6 +299,7 @@ func WriteSlice[T any](me *Rank, dst GlobalPtr[T], src []T) {
 	me.ep.Stats.Puts.Add(1)
 	me.ep.Stats.PutBytes.Add(int64(bytes))
 	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(dst.rank), bytes))
+	me.aggPreBlock()
 	me.mustCd(me.cd.Put(int(dst.rank), dst.Offset(), sliceBytes(src)))
 }
 
@@ -269,6 +313,7 @@ func WriteSliceAsync[T any](me *Rank, dst GlobalPtr[T], src []T, ev *Event) {
 	me.ep.Stats.PutBytes.Add(int64(bytes))
 	me.ep.Clock.Advance(mo.NBInitCost())
 	completion := me.Clock() + mo.NBCompleteCost(me.id, int(dst.rank), bytes)
+	me.aggPreBlock()
 	me.mustCd(me.cd.Put(int(dst.rank), dst.Offset(), sliceBytes(src)))
 	me.exit()
 	if ev != nil {

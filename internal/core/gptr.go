@@ -101,6 +101,7 @@ func TryAllocate[T any](me *Rank, rank, count int) (GlobalPtr[T], error) {
 		}
 		return gptrAt[T](rank, off), nil
 	}
+	me.aggPreBlock()
 	off, err := me.cd.Alloc(rank, size)
 	if err != nil {
 		return Null[T](), fmt.Errorf("upcxx: remote allocate of %d bytes on rank %d: %w", size, rank, segment.ErrOutOfMemory)
@@ -129,6 +130,7 @@ func Deallocate[T any](me *Rank, p GlobalPtr[T]) error {
 	if int(p.rank) == me.id {
 		return me.seg.Free(p.Offset())
 	}
+	me.aggPreBlock()
 	if err := me.cd.Free(int(p.rank), p.Offset()); err != nil {
 		return fmt.Errorf("upcxx: remote free of %v failed", p)
 	}
@@ -194,6 +196,7 @@ func Read[T any](me *Rank, p GlobalPtr[T]) T {
 		return v
 	}
 	var v T
+	me.aggPreBlock()
 	me.mustCd(me.cd.Get(int(p.rank), p.Offset(), valueBytes(&v)))
 	return v
 }
@@ -238,6 +241,7 @@ func Write[T any](me *Rank, p GlobalPtr[T], v T) {
 		me.ep.WaitFor(func() bool { return done })
 		return
 	}
+	me.aggPreBlock()
 	me.mustCd(me.cd.Put(int(p.rank), p.Offset(), valueBytes(&v)))
 }
 
@@ -278,6 +282,7 @@ func AtomicXor(me *Rank, p GlobalPtr[uint64], val uint64) uint64 {
 	me.ep.Stats.Puts.Add(1)
 	me.ep.Stats.PutBytes.Add(8)
 	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(p.rank), 8))
+	me.aggPreBlock()
 	v, err := me.cd.Xor64(int(p.rank), p.Offset(), val)
 	me.mustCd(err)
 	return v

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"upcxx/internal/agg"
 	"upcxx/internal/gasnet"
 	"upcxx/internal/segment"
 	"upcxx/internal/sim"
@@ -70,6 +71,11 @@ type Config struct {
 	Threads ThreadMode
 	// Access selects Direct (default) or AMMediated one-sided transfers.
 	Access AccessPath
+	// Agg sets the message-aggregation flush thresholds for wire-backed
+	// jobs (zero fields take internal/agg's defaults; MaxOps = 1 is the
+	// "aggregation off" baseline). Ignored on the in-process backend,
+	// where the Agg* operations execute immediately.
+	Agg agg.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +107,12 @@ type Stats struct {
 	PutBytes  int64
 	GetBytes  int64
 	SegPeak   uint64 // max per-rank shared-heap high-water mark
+
+	// Counters carries backend-specific named metrics: the wire
+	// conduit's per-handler frame/byte counts and the aggregation
+	// layer's batch statistics (nil for in-process jobs). The bench
+	// harness folds them into its JSON artifact.
+	Counters map[string]float64
 }
 
 // Seconds returns the authoritative elapsed time of the run: virtual time
@@ -138,6 +150,24 @@ type Rank struct {
 	// barriers, collectives, locks) dispatches through: a ProcConduit
 	// for in-process jobs, a WireConduit for multi-process ones.
 	cd gasnet.Conduit
+
+	// agg coalesces small remote ops into per-destination batches on
+	// batch-capable conduits (see agg.go); nil in-process, where the
+	// Agg* operations take their immediate fast path. aggBC is the
+	// conduit's batch extension, set iff agg is.
+	agg   *agg.Aggregator
+	aggBC gasnet.BatchConduit
+
+	// amHandlers dispatches aggregated active messages (AggSend) by
+	// registered handler id, like a GASNet handler table.
+	amHandlers map[uint16]AMHandler
+
+	// aggEv tracks in-flight AggSends on the in-process backend (where
+	// they ride engine AMs with no acknowledgement protocol): each send
+	// registers, each delivery signals, and the barrier drain waits for
+	// it — preserving the wire backend's "visible by the next barrier"
+	// guarantee. The zero Event is ready.
+	aggEv Event
 
 	mu sync.Mutex // Concurrent-mode serialization
 
@@ -249,6 +279,9 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 	j.ranks = make([]*Rank, cfg.Ranks)
 	r := &Rank{id: id, job: j, ep: j.eng.Endpoint(id), seg: seg, cd: cd}
 	j.ranks[id] = r
+	if bc, ok := cd.(gasnet.BatchConduit); ok {
+		r.initAgg(bc, cfg.Agg)
+	}
 
 	start := time.Now()
 	main(r)
@@ -263,6 +296,17 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 	st.PutBytes = r.ep.Stats.PutBytes.Load()
 	st.GetBytes = r.ep.Stats.GetBytes.Load()
 	st.SegPeak = seg.Peak()
+	st.Counters = map[string]float64{}
+	if cs, ok := cd.(gasnet.CounterSource); ok {
+		for k, v := range cs.Counters() {
+			st.Counters[k] = v
+		}
+	}
+	if r.agg != nil {
+		for k, v := range r.agg.Counters() {
+			st.Counters[k] = v
+		}
+	}
 	return st
 }
 
@@ -270,11 +314,13 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 // guarantee that any task injected before the first barrier has executed
 // before any rank tears down.
 func (r *Rank) quiesce() {
+	r.aggDrain()
 	r.mustCd(r.cd.Barrier())
 	r.ep.Poll()
 	if r.onWire() {
 		r.cd.Poll()
 	}
+	r.aggDrain()
 	r.mustCd(r.cd.Barrier())
 }
 
@@ -300,22 +346,28 @@ func (r *Rank) Clock() float64 { return r.ep.Clock.Now() }
 
 // Barrier blocks until all ranks arrive (upc_barrier / upcxx barrier()).
 // Queued async tasks are serviced while waiting, per the paper's progress
-// rules.
+// rules. On a wire job the aggregation layer is drained first, so every
+// aggregated op issued before the barrier is globally visible after it.
 func (r *Rank) Barrier() {
 	r.enter()
 	defer r.exit()
+	r.aggDrain()
 	r.mustCd(r.cd.Barrier())
 }
 
 // Advance services queued async tasks and returns how many ran. It is the
 // paper's advance() progress call. On a wire-backed job it also services
-// the conduit's incoming requests.
+// the conduit's incoming requests and ships aggregation batches that
+// have aged past their flush deadline.
 func (r *Rank) Advance() int {
 	r.enter()
 	defer r.exit()
 	n := r.ep.Poll()
 	if r.onWire() {
 		n += r.cd.Poll()
+	}
+	if r.agg != nil {
+		n += r.agg.Tick()
 	}
 	return n
 }

@@ -20,8 +20,10 @@ func NewLock(me *Rank) Lock {
 }
 
 // Acquire blocks until the calling rank holds the lock, servicing async
-// tasks while waiting.
+// tasks while waiting. Buffered aggregated ops are flushed first — the
+// holder may be waiting on them before it releases.
 func (l Lock) Acquire(me *Rank) {
+	me.aggPreBlock()
 	_, err := me.cd.LockAcquire(l.home, l.id, false)
 	me.mustCd(err)
 }
@@ -29,6 +31,7 @@ func (l Lock) Acquire(me *Rank) {
 // TryAcquire attempts to take the lock without queueing; it reports
 // whether the lock was obtained.
 func (l Lock) TryAcquire(me *Rank) bool {
+	me.aggPreBlock()
 	got, err := me.cd.LockAcquire(l.home, l.id, true)
 	me.mustCd(err)
 	return got
@@ -37,5 +40,6 @@ func (l Lock) TryAcquire(me *Rank) bool {
 // Release releases the lock, handing it to the oldest queued waiter if
 // any. The caller must hold the lock.
 func (l Lock) Release(me *Rank) {
+	me.aggPreBlock()
 	me.mustCd(me.cd.LockRelease(l.home, l.id))
 }

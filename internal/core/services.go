@@ -29,10 +29,13 @@ func (r *Rank) AMAt(target int, arrival float64, bytes int, fn func(tgt *Rank)) 
 	})
 }
 
-// WaitUntil services incoming tasks until pred() is true. Any cross-rank
-// state change that makes pred true must be followed by a WakeAt (or an
-// ordinary message) to this rank, or the wait may not terminate.
-func (r *Rank) WaitUntil(pred func() bool) { r.ep.WaitFor(pred) }
+// WaitUntil services incoming tasks until pred() is true — and, on a
+// wire job, conduit traffic too, with the aggregation layer flushed
+// first (so a buffered request whose reply satisfies pred cannot
+// deadlock the wait). In-process, any cross-rank state change that
+// makes pred true must be followed by a WakeAt (or an ordinary
+// message) to this rank, or the wait may not terminate.
+func (r *Rank) WaitUntil(pred func() bool) { r.waitProgress(pred) }
 
 // WakeAt sends a no-op message unblocking a WaitUntil on the target at
 // the given modeled arrival time.

@@ -12,7 +12,11 @@ import "fmt"
 // shared value byte-serializable.
 
 // wireAllGather performs the conduit allgather, aborting on failure.
+// Buffered aggregated ops ship first: the rendezvous blocks until
+// every rank arrives, and a peer may be waiting on our ops to get
+// there.
 func wireAllGather(me *Rank, contrib []byte) [][]byte {
+	me.aggPreBlock()
 	parts, err := me.cd.AllGather(contrib)
 	me.mustCd(err)
 	return parts

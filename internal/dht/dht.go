@@ -1,0 +1,296 @@
+// Package dht implements a sharded distributed hash table over the
+// runtime's message-aggregation layer — the canonical workload for
+// software coalescing of fine-grained remote operations (the role
+// GUPS plays for raw remote atomics in the paper's §V-A).
+//
+// Layout is owner-computes over the registered segments: every rank
+// owns one open-addressing shard allocated in its own shared segment,
+// and a key's owner is a pure function of the key, so any rank can
+// route an operation without metadata traffic. Inserts travel as
+// aggregated active messages (core.AggSend) and are applied by the
+// owner against its local shard; lookups are an aggregated
+// request/response pair, with replies themselves coalescing when many
+// lookups hit one owner. On the in-process conduit the same code runs
+// over the engine's active messages, which is how CI proves both
+// backends compute the identical table.
+//
+// A shard never moves and only its owner touches it, so there is no
+// locking anywhere: the handler executes on the owner's SPMD
+// goroutine, the same discipline the conduit itself follows.
+package dht
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"upcxx/internal/bench/gups"
+	"upcxx/internal/core"
+)
+
+// Aggregated-AM handler ids used by the table. Ids are a global
+// namespace (like a GASNet handler table), so at most one Table may
+// exist per job at a time.
+const (
+	hInsert uint16 = 0x20 // payload [key u64][val u64]
+	hLookup uint16 = 0x21 // payload [req u64][key u64]
+	hAnswer uint16 = 0x22 // payload [req u64][val u64][found u8]
+)
+
+// Bucket is one slot of a shard: a (key, value) pair plus an
+// occupancy word (keys are arbitrary 64-bit values, so no key can
+// double as the empty sentinel). Bucket is POD, as segment storage
+// requires.
+type Bucket struct {
+	Used uint64
+	Key  uint64
+	Val  uint64
+}
+
+// BucketBytes is the segment footprint of one bucket.
+const BucketBytes = 24
+
+// DefaultCapacity sizes a shard for the given per-rank insert volume:
+// the next power of two at or above 4x keeps the expected load factor
+// near 1/4, so linear probing stays short even on unlucky key splits.
+func DefaultCapacity(insertsPerRank int) int {
+	c := 64
+	for c < 4*insertsPerRank {
+		c <<= 1
+	}
+	return c
+}
+
+// SegBytes returns the per-rank segment space a Table of the given
+// shard capacity needs, including allocator slack for the runtime's
+// own metadata.
+func SegBytes(capPerRank int) int {
+	return capPerRank*BucketBytes + (1 << 17)
+}
+
+// Table is one job-wide distributed hash table. Construction is
+// collective; thereafter each rank calls Insert/Lookup with its own
+// handle, and methods must run on the rank's SPMD goroutine.
+type Table struct {
+	capacity int
+	mask     uint64
+	local    []Bucket // this rank's shard, in its own segment
+
+	pending map[uint64]*Lookup
+	nextReq uint64
+
+	inserts   int64 // Insert calls issued by this rank
+	lookups   int64 // Lookup calls issued by this rank
+	localOps  int64 // of those, owner-local fast paths
+	served    int64 // remote ops this rank's shard applied
+	occupancy int64 // live buckets in the local shard
+}
+
+// New collectively creates a table whose per-rank shard holds
+// capPerRank buckets (rounded up to a power of two). Every rank must
+// call it before any rank inserts. Only one Table may be live per job:
+// its AM handler ids are global, and registering them twice panics.
+func New(me *core.Rank, capPerRank int) *Table {
+	capacity := 1
+	for capacity < capPerRank {
+		capacity <<= 1
+	}
+	t := &Table{
+		capacity: capacity,
+		mask:     uint64(capacity - 1),
+		pending:  make(map[uint64]*Lookup),
+	}
+	shard := core.Allocate[Bucket](me, me.ID(), capacity)
+	t.local = core.LocalSlice(me, shard, capacity)
+	for i := range t.local {
+		t.local[i] = Bucket{}
+	}
+	core.RegisterAMHandler(me, hInsert, t.onInsert)
+	core.RegisterAMHandler(me, hLookup, t.onLookup)
+	core.RegisterAMHandler(me, hAnswer, t.onAnswer)
+	me.Barrier()
+	return t
+}
+
+// Owner returns the rank whose shard holds key — a pure function of
+// the key, identical on every rank and backend.
+func (t *Table) Owner(me *core.Rank, key uint64) int {
+	return int(gups.Mix64(key) % uint64(me.Ranks()))
+}
+
+// slot returns the probe start for key within a shard.
+func (t *Table) slot(key uint64) uint64 {
+	return gups.Mix64(key^0xD6E8FEB86659FD93) & t.mask
+}
+
+// Insert stores (key, val), overwriting any previous value for key.
+// Owner-local inserts apply immediately; remote ones travel as
+// aggregated AMs and are visible at the owner once an event passed as
+// ev fires (nil: by the caller's next barrier). Like all aggregated
+// ops, inserts to one owner apply in issue order, so the last insert
+// of a key wins deterministically.
+func (t *Table) Insert(me *core.Rank, key, val uint64, ev *core.Event) {
+	t.inserts++
+	owner := t.Owner(me, key)
+	if owner == me.ID() {
+		t.localOps++
+		t.put(key, val)
+		core.SignalNow(ev, me)
+		return
+	}
+	var p [16]byte
+	binary.LittleEndian.PutUint64(p[0:], key)
+	binary.LittleEndian.PutUint64(p[8:], val)
+	core.AggSend(me, owner, hInsert, p[:], ev)
+}
+
+func (t *Table) onInsert(me *core.Rank, _ int, payload []byte) {
+	t.served++
+	t.put(binary.LittleEndian.Uint64(payload), binary.LittleEndian.Uint64(payload[8:]))
+}
+
+// put applies one insert to the local shard: linear probing from the
+// key's slot, overwrite on key match.
+func (t *Table) put(key, val uint64) {
+	s := t.slot(key)
+	for i := 0; i < t.capacity; i++ {
+		b := &t.local[(s+uint64(i))&t.mask]
+		if b.Used == 0 {
+			*b = Bucket{Used: 1, Key: key, Val: val}
+			t.occupancy++
+			return
+		}
+		if b.Key == key {
+			b.Val = val
+			return
+		}
+	}
+	panic(fmt.Sprintf("dht: shard full (%d buckets)", t.capacity))
+}
+
+// get probes the local shard.
+func (t *Table) get(key uint64) (uint64, bool) {
+	s := t.slot(key)
+	for i := 0; i < t.capacity; i++ {
+		b := &t.local[(s+uint64(i))&t.mask]
+		if b.Used == 0 {
+			return 0, false
+		}
+		if b.Key == key {
+			return b.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup is one in-flight lookup's handle.
+type Lookup struct {
+	done  bool
+	found bool
+	val   uint64
+}
+
+// Lookup starts a (possibly remote) probe for key and returns its
+// handle; issue a batch of lookups and then Wait each to let requests
+// — and the owners' replies — coalesce.
+func (t *Table) Lookup(me *core.Rank, key uint64) *Lookup {
+	t.lookups++
+	l := &Lookup{}
+	owner := t.Owner(me, key)
+	if owner == me.ID() {
+		t.localOps++
+		l.val, l.found = t.get(key)
+		l.done = true
+		return l
+	}
+	t.nextReq++
+	req := t.nextReq
+	t.pending[req] = l
+	var p [16]byte
+	binary.LittleEndian.PutUint64(p[0:], req)
+	binary.LittleEndian.PutUint64(p[8:], key)
+	core.AggSend(me, owner, hLookup, p[:], nil)
+	return l
+}
+
+func (t *Table) onLookup(me *core.Rank, from int, payload []byte) {
+	t.served++
+	req := binary.LittleEndian.Uint64(payload)
+	val, found := t.get(binary.LittleEndian.Uint64(payload[8:]))
+	var rep [17]byte
+	binary.LittleEndian.PutUint64(rep[0:], req)
+	binary.LittleEndian.PutUint64(rep[8:], val)
+	if found {
+		rep[16] = 1
+	}
+	// The reply is itself aggregated; the runtime flushes
+	// handler-generated ops as soon as the incoming batch is applied.
+	core.AggSend(me, from, hAnswer, rep[:], nil)
+}
+
+func (t *Table) onAnswer(me *core.Rank, _ int, payload []byte) {
+	req := binary.LittleEndian.Uint64(payload)
+	l := t.pending[req]
+	if l == nil {
+		panic(fmt.Sprintf("dht: rank %d: answer for unknown request %d", me.ID(), req))
+	}
+	delete(t.pending, req)
+	l.val = binary.LittleEndian.Uint64(payload[8:])
+	l.found = payload[16] == 1
+	l.done = true
+}
+
+// Wait blocks until the lookup's answer arrives (servicing progress,
+// which also flushes the request if it is still buffered) and returns
+// the value and whether the key was present.
+func (l *Lookup) Wait(me *core.Rank) (uint64, bool) {
+	if !l.done {
+		me.WaitUntil(func() bool { return l.done })
+	}
+	return l.val, l.found
+}
+
+// Checksum barriers (draining all in-flight inserts) and folds the
+// whole table into one value, identical on every rank. The fold is
+// insertion-order- and probe-placement-independent — each occupied
+// bucket contributes a mix of its (key, value) pair under xor — so
+// the checksum depends only on the table's contents, which is what
+// lets CI compare conduit backends.
+func (t *Table) Checksum(me *core.Rank) uint64 {
+	me.Barrier()
+	var sum uint64
+	for i := range t.local {
+		b := &t.local[i]
+		if b.Used != 0 {
+			sum ^= gups.Mix64(b.Key*0x9E3779B97F4A7C15 + gups.Mix64(b.Val))
+		}
+	}
+	entries := core.Reduce(me, t.occupancy, func(a, b int64) int64 { return a + b })
+	sum = core.Reduce(me, sum, func(a, b uint64) uint64 { return a ^ b })
+	return gups.Mix64(sum ^ uint64(entries))
+}
+
+// ExpectedChecksum computes, with no job at all, the checksum a Table
+// holding exactly the given key -> value pairs reports — the reference
+// oracle benchmarks and tests verify real runs against. It must stay
+// in lockstep with Checksum's fold.
+func ExpectedChecksum(pairs map[uint64]uint64) uint64 {
+	var sum uint64
+	for k, v := range pairs {
+		sum ^= gups.Mix64(k*0x9E3779B97F4A7C15 + gups.Mix64(v))
+	}
+	return gups.Mix64(sum ^ uint64(len(pairs)))
+}
+
+// Entries returns the number of live buckets in this rank's shard.
+func (t *Table) Entries() int64 { return t.occupancy }
+
+// Counters reports this rank's table activity for the bench harness.
+func (t *Table) Counters() map[string]float64 {
+	return map[string]float64{
+		"dht_inserts":   float64(t.inserts),
+		"dht_lookups":   float64(t.lookups),
+		"dht_local_ops": float64(t.localOps),
+		"dht_served":    float64(t.served),
+		"dht_entries":   float64(t.occupancy),
+	}
+}

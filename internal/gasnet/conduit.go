@@ -73,6 +73,44 @@ type Conduit interface {
 	Close() error
 }
 
+// BatchConduit is the optional extension the message-aggregation layer
+// (internal/agg, surfaced as core.AggPut/AggXor64/AggSend) requires of
+// a conduit: ship one encoded batch of small operations as a single
+// active message with a single acknowledgement, deliver incoming
+// batches to an installed decoder, and block with progress. Only
+// conduits whose ranks pay a per-message cost implement it —
+// WireConduit does; ProcConduit deliberately does not, because an
+// in-process remote access is already a direct segment load/store and
+// coalescing would only add latency. The core runtime type-asserts
+// this interface and falls back to immediate execution when it is
+// absent, which is what makes the Agg* operations conduit-agnostic.
+type BatchConduit interface {
+	Conduit
+
+	// SendBatch ships an encoded batch (internal/agg's op encoding) to
+	// rank `to` without blocking; onAck runs on the calling rank's
+	// goroutine once the target has applied every op in it.
+	SendBatch(to int, payload []byte, onAck func()) error
+
+	// SetBatchHandler installs the decoder incoming batches dispatch
+	// to. The handler runs on the receiving rank's SPMD goroutine and
+	// must apply the whole batch before returning (the conduit acks on
+	// return); it must not block.
+	SetBatchHandler(fn func(from int, payload []byte))
+
+	// WaitFor blocks until pred() is true, servicing incoming requests
+	// and acknowledgements while waiting.
+	WaitFor(pred func() bool) error
+}
+
+// CounterSource is implemented by conduits that meter their own
+// traffic (WireConduit's per-handler frame/byte counters); the runtime
+// folds these into job statistics and the bench harness into its JSON
+// artifact.
+type CounterSource interface {
+	Counters() map[string]float64
+}
+
 // Memory is the local segment surface a conduit serves remote requests
 // against. *segment.Segment satisfies it; the indirection keeps gasnet
 // below the segment package in the layering.

@@ -23,7 +23,38 @@ const (
 	hLockRel uint16 = 8  // Arg=token, payload = [id u64]
 	hGather  uint16 = 9  // Arg=generation, payload = contribution
 	hResult  uint16 = 10 // Arg=generation, payload = length-prefixed table
+	hBatch   uint16 = 11 // Arg=token, payload = aggregation batch (internal/agg encoding)
 )
+
+// handlerName names each wire handler for the per-handler traffic
+// counters (Counters keys are derived from these).
+func handlerName(h uint16) string {
+	switch h {
+	case hReply:
+		return "reply"
+	case hGet:
+		return "get"
+	case hPut:
+		return "put"
+	case hXor:
+		return "xor"
+	case hAlloc:
+		return "alloc"
+	case hFree:
+		return "free"
+	case hLockAcq:
+		return "lockacq"
+	case hLockRel:
+		return "lockrel"
+	case hGather:
+		return "gather"
+	case hResult:
+		return "result"
+	case hBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("h%d", h)
+}
 
 // WireConduit is the multi-process Conduit: each rank is one OS process
 // owning only its own segment, and every remote operation of the
@@ -42,6 +73,11 @@ type WireConduit struct {
 
 	nextToken uint64
 	replies   map[uint64][]byte
+	acks      map[uint64]func() // batch tokens -> completion callbacks
+
+	// batchHandler decodes and applies one aggregation batch; installed
+	// by the layer above (core) via SetBatchHandler.
+	batchHandler func(from int, payload []byte)
 
 	locks      map[uint64]*wireLockState
 	nextLockID uint64
@@ -53,6 +89,17 @@ type WireConduit struct {
 
 	gatherFrags map[fragKey]*fragBuf // rank 0: partial contributions
 	resultFrags map[uint64]*fragBuf  // non-root: partial tables by generation
+
+	// Per-handler traffic counters, indexed by handler. All sends and
+	// all handler dispatches happen on the rank's SPMD goroutine, so
+	// plain integers suffice.
+	tx, rx map[uint16]*wireStat
+}
+
+// wireStat counts one direction of one handler's traffic.
+type wireStat struct {
+	frames int64
+	bytes  int64 // payload bytes (the fixed 26-byte frame header is not included)
 }
 
 // fragKey identifies one in-flight fragmented collective payload.
@@ -85,24 +132,75 @@ func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
 		tep:          tep,
 		mem:          mem,
 		replies:      make(map[uint64][]byte),
+		acks:         make(map[uint64]func()),
 		locks:        make(map[uint64]*wireLockState),
 		gatherParts:  make(map[uint64][][]byte),
 		gatherCount:  make(map[uint64]int),
 		gatherResult: make(map[uint64][]byte),
 		gatherFrags:  make(map[fragKey]*fragBuf),
 		resultFrags:  make(map[uint64]*fragBuf),
+		tx:           make(map[uint16]*wireStat),
+		rx:           make(map[uint16]*wireStat),
 	}
-	tep.Register(hReply, c.onReply)
-	tep.Register(hGet, c.onGet)
-	tep.Register(hPut, c.onPut)
-	tep.Register(hXor, c.onXor)
-	tep.Register(hAlloc, c.onAlloc)
-	tep.Register(hFree, c.onFree)
-	tep.Register(hLockAcq, c.onLockAcquire)
-	tep.Register(hLockRel, c.onLockRelease)
-	tep.Register(hGather, c.onGather)
-	tep.Register(hResult, c.onResult)
+	c.register(hReply, c.onReply)
+	c.register(hGet, c.onGet)
+	c.register(hPut, c.onPut)
+	c.register(hXor, c.onXor)
+	c.register(hAlloc, c.onAlloc)
+	c.register(hFree, c.onFree)
+	c.register(hLockAcq, c.onLockAcquire)
+	c.register(hLockRel, c.onLockRelease)
+	c.register(hGather, c.onGather)
+	c.register(hResult, c.onResult)
+	c.register(hBatch, c.onBatch)
 	return c
+}
+
+// register installs a handler wrapped with receive-side counting.
+func (c *WireConduit) register(h uint16, fn transport.Handler) {
+	c.tep.Register(h, func(ep *transport.TCPEndpoint, m transport.Message) {
+		c.count(c.rx, m.Handler, len(m.Payload))
+		fn(ep, m)
+	})
+}
+
+func (c *WireConduit) count(dir map[uint16]*wireStat, h uint16, bytes int) {
+	s := dir[h]
+	if s == nil {
+		s = &wireStat{}
+		dir[h] = s
+	}
+	s.frames++
+	s.bytes += int64(bytes)
+}
+
+// send is the counted send path every outgoing frame takes.
+func (c *WireConduit) send(m transport.Message) error {
+	c.count(c.tx, m.Handler, len(m.Payload))
+	return c.tep.Send(m)
+}
+
+// Counters reports this conduit's wire traffic as named counters:
+// aggregate frame and payload-byte totals per direction, plus
+// per-handler breakdowns (wire_tx_frames_put, wire_rx_bytes_batch,
+// ...). The bench harness folds them into its JSON artifact so message
+// reductions from the aggregation layer are measurable, not anecdotal.
+func (c *WireConduit) Counters() map[string]float64 {
+	out := make(map[string]float64)
+	fold := func(prefix string, dir map[uint16]*wireStat) {
+		var frames, bytes int64
+		for h, s := range dir {
+			frames += s.frames
+			bytes += s.bytes
+			out[prefix+"_frames_"+handlerName(h)] = float64(s.frames)
+			out[prefix+"_bytes_"+handlerName(h)] = float64(s.bytes)
+		}
+		out[prefix+"_frames"] = float64(frames)
+		out[prefix+"_bytes"] = float64(bytes)
+	}
+	fold("wire_tx", c.tx)
+	fold("wire_rx", c.rx)
+	return out
 }
 
 // Rank returns this conduit's rank.
@@ -120,7 +218,7 @@ func (c *WireConduit) WireCapable() bool { return true }
 func (c *WireConduit) request(to int, handler uint16, payload []byte) ([]byte, error) {
 	c.nextToken++
 	tok := c.nextToken
-	err := c.tep.Send(transport.Message{
+	err := c.send(transport.Message{
 		To: int32(to), Handler: handler, Arg: tok, Payload: payload,
 	})
 	if err != nil {
@@ -141,10 +239,17 @@ func (c *WireConduit) request(to int, handler uint16, payload []byte) ([]byte, e
 // reply answers a request message with the given bytes.
 func (c *WireConduit) reply(m transport.Message, payload []byte) {
 	// A reply failure means the peer is gone; the job is aborting.
-	_ = c.tep.Send(transport.Message{To: m.From, Handler: hReply, Arg: m.Arg, Payload: payload})
+	_ = c.send(transport.Message{To: m.From, Handler: hReply, Arg: m.Arg, Payload: payload})
 }
 
 func (c *WireConduit) onReply(_ *transport.TCPEndpoint, m transport.Message) {
+	// Batch acknowledgements carry a callback instead of a parked
+	// requester; everything else parks in the replies map.
+	if cb, ok := c.acks[m.Arg]; ok {
+		delete(c.acks, m.Arg)
+		cb()
+		return
+	}
 	c.replies[m.Arg] = m.Payload
 }
 
@@ -250,6 +355,55 @@ func (c *WireConduit) onXor(_ *transport.TCPEndpoint, m transport.Message) {
 	var rep [8]byte
 	putU64(rep[:], v)
 	c.reply(m, rep[:])
+}
+
+// ---- Aggregation batch plane ----
+
+// SetBatchHandler installs the decoder for incoming aggregation
+// batches (hBatch frames). The handler executes on this rank's SPMD
+// goroutine, inside Poll or a blocking call's wait loop, and must
+// apply every operation in the payload before returning: the conduit
+// acknowledges the batch to its sender as soon as fn returns, which is
+// what completes the sender's events and Finish scopes. fn must not
+// block. internal/core installs the internal/agg decoder here.
+func (c *WireConduit) SetBatchHandler(fn func(from int, payload []byte)) {
+	c.batchHandler = fn
+}
+
+// SendBatch ships one encoded aggregation batch to rank `to` without
+// blocking; onAck runs on this rank's goroutine once the target has
+// applied every operation in the batch. This is the transport half of
+// the aggregation layer: many small operations travel as one frame and
+// are acknowledged by one reply, instead of a frame pair each.
+func (c *WireConduit) SendBatch(to int, payload []byte, onAck func()) error {
+	c.nextToken++
+	tok := c.nextToken
+	if onAck == nil {
+		onAck = func() {} // the ack must still be consumed, or it parks in the replies map forever
+	}
+	c.acks[tok] = onAck
+	err := c.send(transport.Message{
+		To: int32(to), Handler: hBatch, Arg: tok, Payload: payload,
+	})
+	if err != nil {
+		delete(c.acks, tok)
+	}
+	return err
+}
+
+func (c *WireConduit) onBatch(_ *transport.TCPEndpoint, m transport.Message) {
+	if c.batchHandler == nil {
+		panic("gasnet: aggregation batch received with no batch handler installed")
+	}
+	c.batchHandler(int(m.From), m.Payload)
+	c.reply(m, nil)
+}
+
+// WaitFor blocks until pred() is true, dispatching incoming requests
+// (and batch acknowledgements) while waiting. The aggregation layer
+// uses it to drain pending batches without spinning.
+func (c *WireConduit) WaitFor(pred func() bool) error {
+	return c.tep.WaitFor(pred)
 }
 
 // ---- Global memory management ----
@@ -372,7 +526,7 @@ func (c *WireConduit) onLockRelease(_ *transport.TCPEndpoint, m transport.Messag
 		// acquire request wakes the waiter.
 		var granted [8]byte
 		putU64(granted[:], 1)
-		_ = c.tep.Send(transport.Message{
+		_ = c.send(transport.Message{
 			To: next.rank, Handler: hReply, Arg: next.token, Payload: granted[:],
 		})
 	} else {
@@ -413,7 +567,7 @@ func (c *WireConduit) sendFragmented(to int, handler uint16, gen uint64, payload
 		putU64(frame[0:], total)
 		putU64(frame[8:], off)
 		copy(frame[16:], payload[off:off+n])
-		if err := c.tep.Send(transport.Message{
+		if err := c.send(transport.Message{
 			To: int32(to), Handler: handler, Arg: gen, Payload: frame,
 		}); err != nil {
 			return err

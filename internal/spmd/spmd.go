@@ -15,6 +15,7 @@ import (
 
 	"upcxx/internal/bench/gups"
 	"upcxx/internal/core"
+	"upcxx/internal/dht"
 )
 
 // Prog is one registered SPMD program.
@@ -60,6 +61,53 @@ var registry = []Prog{
 		},
 		Run: ring,
 	},
+	{
+		Name:         "dht",
+		Desc:         "sharded distributed hash table over aggregated active messages: batched inserts, request/response lookups, owner-computes checksum",
+		DefaultScale: 4096, // inserts per rank
+		SegBytes: func(ranks, scale int) int {
+			return dht.SegBytes(dht.DefaultCapacity(scale))
+		},
+		Run: runDHT,
+	},
+}
+
+// runDHT is the dht program body: every rank inserts `scale` keys with
+// values derived from the keys, verifies a lookup sample (hits and a
+// guaranteed miss — inserted keys are all odd), and folds the table
+// into the backend-independent checksum.
+func runDHT(me *core.Rank, scale int) uint64 {
+	tbl := dht.New(me, dht.DefaultCapacity(scale))
+	key := func(rank, i int) uint64 {
+		return mix(uint64(rank)<<32+uint64(i))<<1 | 1
+	}
+	val := func(k uint64) uint64 { return mix(k ^ 0x5851F42D4C957F2D) }
+	for i := 0; i < scale; i++ {
+		k := key(me.ID(), i)
+		tbl.Insert(me, k, val(k), nil)
+	}
+	me.Barrier()
+
+	sample := scale
+	if sample > 256 {
+		sample = 256
+	}
+	step := scale / sample
+	pend := make([]*dht.Lookup, sample)
+	for s := 0; s < sample; s++ {
+		pend[s] = tbl.Lookup(me, key(me.ID(), s*step))
+	}
+	miss := tbl.Lookup(me, uint64(2+4*me.ID())) // even keys are never inserted
+	for s, l := range pend {
+		k := key(me.ID(), s*step)
+		if v, ok := l.Wait(me); !ok || v != val(k) {
+			panic(fmt.Sprintf("spmd: dht lookup of %#x = (%#x,%v), want (%#x,true)", k, v, ok, val(k)))
+		}
+	}
+	if _, ok := miss.Wait(me); ok {
+		panic("spmd: dht lookup found a never-inserted key")
+	}
+	return tbl.Checksum(me)
 }
 
 // Progs returns the registered programs.

@@ -54,8 +54,11 @@ func TestBackendsAgree(t *testing.T) {
 		for _, n := range []int{1, 2, 4} {
 			t.Run(fmt.Sprintf("%s/n=%d", p.Name, n), func(t *testing.T) {
 				scale := p.DefaultScale
-				if p.Name == "gups" {
+				switch p.Name {
+				case "gups":
 					scale = 10 // keep test-sized tables
+				case "dht":
+					scale = 384 // keep test-sized shards
 				}
 				proc := runProcChecksum(t, p, n, scale)
 				wire := runWireChecksum(t, p, n, scale)

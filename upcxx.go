@@ -176,6 +176,39 @@ func TaskFlops(f float64) AsyncOpt { return core.TaskFlops(f) }
 // paper's finish construct; a higher-order function replaces C++ RAII).
 func Finish(me *Rank, body func()) { core.Finish(me, body) }
 
+// Message aggregation (beyond the paper; internal/agg): the Agg*
+// operations buffer small remote ops into per-destination batches and
+// ship each batch as one active message on wire-backed jobs —
+// in-process they execute immediately. Completion attaches to an
+// optional Event or the surrounding Finish; barriers drain the layer.
+
+// AMHandler is an aggregated active-message body (see
+// RegisterAMHandler).
+type AMHandler = core.AMHandler
+
+// RegisterAMHandler installs a handler for aggregated active messages;
+// every rank must register the same ids before use.
+func RegisterAMHandler(me *Rank, id uint16, fn AMHandler) { core.RegisterAMHandler(me, id, fn) }
+
+// AggPut writes v through the aggregation layer.
+func AggPut[T any](me *Rank, p GlobalPtr[T], v T, ev *Event) { core.AggPut(me, p, v, ev) }
+
+// AggXor64 xors val into a shared word through the aggregation layer
+// (fire-and-forget: no value travels back).
+func AggXor64(me *Rank, p GlobalPtr[uint64], val uint64, ev *Event) { core.AggXor64(me, p, val, ev) }
+
+// AggSend delivers payload to the target rank's registered handler
+// through the aggregation layer.
+func AggSend(me *Rank, target int, id uint16, payload []byte, ev *Event) {
+	core.AggSend(me, target, id, payload, ev)
+}
+
+// AggFlush ships every buffered aggregation batch without waiting.
+func AggFlush(me *Rank) { core.AggFlush(me) }
+
+// AggDrain flushes and waits until every aggregated op is applied.
+func AggDrain(me *Rank) { core.AggDrain(me) }
+
 // NewLock creates a global lock homed on the calling rank.
 func NewLock(me *Rank) Lock { return core.NewLock(me) }
 
