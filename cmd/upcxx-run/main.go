@@ -44,8 +44,19 @@ func main() {
 	n := flag.Int("n", 4, "SPMD ranks")
 	backend := flag.String("backend", "proc", "conduit backend: proc (in-process) or tcp (one OS process per rank)")
 	scale := flag.Int("scale", 0, "program size knob (0 = program default)")
+	rdvTimeout := flag.Duration("rendezvous-timeout", spmd.RendezvousTimeout,
+		"deadline for the tcp backend's address rendezvous (raise for slow or congested hosts)")
 	list := flag.Bool("list", false, "list registered programs")
 	flag.Parse()
+
+	// Children inherit the flag through re-execution of os.Args, so the
+	// whole job — parent accept loop and every child's dial — shares one
+	// deadline.
+	if *rdvTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "upcxx-run: -rendezvous-timeout must be positive")
+		os.Exit(2)
+	}
+	spmd.RendezvousTimeout = *rdvTimeout
 
 	if *list {
 		listPrograms(os.Stdout)

@@ -14,6 +14,11 @@
 //	       e3   <- wait
 //
 //	go run ./examples/taskgraph
+//
+// This example uses closure tasks, which are in-process-only. The
+// same DAG runs over real OS processes as the `taskgraph` program of
+// the spmd registry (go run ./cmd/upcxx-run -backend tcp taskgraph),
+// rebuilt on registered-function tasks — see internal/spmd/taskgraph.go.
 package main
 
 import (

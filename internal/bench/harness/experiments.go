@@ -5,6 +5,7 @@ import (
 	"upcxx/internal/bench/gups"
 	"upcxx/internal/bench/lulesh"
 	"upcxx/internal/bench/raytrace"
+	"upcxx/internal/bench/rpcbench"
 	"upcxx/internal/bench/samplesort"
 	"upcxx/internal/bench/stencil"
 	"upcxx/internal/sim"
@@ -139,6 +140,50 @@ func DHTBench(o Options) Result {
 			})
 		})
 		return Point{Ranks: p, Value: r.InsertsPerSec,
+			WallSeconds: wall, Counters: r.Counters()}
+	}
+	for _, p := range ranks {
+		res.Series[0].Points = append(res.Series[0].Points, run(p, true))
+		res.Series[1].Points = append(res.Series[1].Points, run(p, false))
+	}
+	return res
+}
+
+// RPCBench measures the registered-task invocation layer on the real
+// TCP wire conduit: remote-procedure-call throughput under
+// distributed-finish completion, with the aggregation batch plane
+// coalescing requests and done-acks vs disabled, plus the wire-frame
+// cost per RPC from the conduit's per-handler counters. Wall-clock,
+// like DHTBench, and gated with the same wide tolerance.
+func RPCBench(o Options) Result {
+	res := Result{
+		ID: "rpcbench", PaperRef: "§III-G / §IV (beyond the paper)",
+		Title:  "Registered-task RPCs over the wire conduit, batched vs unbatched",
+		Metric: "throughput", Unit: "RPCs/s",
+		Quick:   o.Quick,
+		Profile: sim.NewProfile(sim.Local, sim.SWUPCXX),
+		Series: []Series{
+			{Name: "batched", System: "upcxx"},
+			{Name: "unbatched", System: "upcxx"},
+		},
+		SweepLabel: "ranks", Format: "%.3g", Ratio: true,
+		// Wall-clock throughput on shared CI runners drifts far more
+		// than the virtual-time sweeps; gate only order-of-magnitude.
+		DiffTolerance: 0.9,
+	}
+	ranks := []int{2, 4}
+	rpcs := 4096
+	if o.Quick {
+		ranks = []int{2}
+		rpcs = 1024
+	}
+	run := func(p int, aggregate bool) Point {
+		r, wall := timed(func() rpcbench.Result {
+			return rpcbench.Run(rpcbench.Params{
+				Ranks: p, RPCsPerRank: rpcs, Aggregate: aggregate,
+			})
+		})
+		return Point{Ranks: p, Value: r.RPCsPerSec,
 			WallSeconds: wall, Counters: r.Counters()}
 	}
 	for _, p := range ranks {

@@ -1,0 +1,186 @@
+// Package rpcbench measures the registered-task invocation layer on a
+// real wire: a remote-procedure-call storm over the TCP conduit
+// (spmd.RunWireLocal — every rank its own endpoint, segment and
+// conduit over localhost sockets), run with the aggregation plane
+// coalescing requests and with it disabled. The quantities under test
+// are RPC throughput under distributed-finish completion and the wire
+// frames each RPC costs: requests, done-acks and their transport acks
+// all ride the batch plane, so coalescing should collapse the ~4
+// frames an isolated RPC pays into a fraction of a frame. Like
+// dhtbench, this benchmark is wall-clock — the virtual-time model does
+// not span address spaces — and the frame counts come from the
+// conduit's per-handler counters rather than a model.
+package rpcbench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"upcxx/internal/agg"
+	"upcxx/internal/bench/gups"
+	"upcxx/internal/core"
+	"upcxx/internal/rpc"
+	"upcxx/internal/spmd"
+)
+
+// pingTask xors a caller-chosen value into the executing rank's own
+// accumulator cell: args [cellRank][cellOff][val]. The cell is local
+// to the executor, so the mark is applied synchronously in the body
+// and the RPC's done-ack certifies it.
+var pingTask = core.RegisterTask("rpcbench.ping",
+	func(me *core.Rank, from int, args []byte) []byte {
+		cellRank, rest := rpc.U64(args)
+		cellOff, rest := rpc.U64(rest)
+		val, _ := rpc.U64(rest)
+		core.AggXor64(me, core.PtrAt[uint64](int(cellRank), cellOff), val, nil)
+		return nil
+	})
+
+// Params configures a run.
+type Params struct {
+	Ranks       int // >= 2 (every RPC must cross the wire)
+	RPCsPerRank int
+	// Aggregate selects real coalescing (the default agg thresholds)
+	// or the baseline (MaxOps = 1: every request and done-ack ships as
+	// its own single-op frame pair).
+	Aggregate bool
+	// Repeats runs the whole job this many times and reports the
+	// fastest RPC phase (default 3), suppressing scheduler-stall noise
+	// on shared CI runners the way dhtbench does.
+	Repeats int
+}
+
+// Result reports the run's metrics.
+type Result struct {
+	Ranks        int
+	RPCs         int64   // total RPCs issued across ranks
+	Seconds      float64 // wall seconds of the RPC phase (max over ranks)
+	RPCsPerSec   float64
+	WireFrames   float64 // total frames sent across ranks, whole run
+	FramesPerRPC float64
+	OpsPerBatch  float64 // realized aggregation ratio (0 when off)
+	Checksum     uint64  // verified accumulator checksum
+}
+
+// Counters reports the run's metrics as named counters for the
+// harness.
+func (r Result) Counters() map[string]float64 {
+	return map[string]float64{
+		"rpcs":              float64(r.RPCs),
+		"rpcs_per_sec":      r.RPCsPerSec,
+		"wire_tx_frames":    r.WireFrames,
+		"frames_per_rpc":    r.FramesPerRPC,
+		"agg_ops_per_batch": r.OpsPerBatch,
+	}
+}
+
+// val derives the mark rank r's i-th RPC deposits on its neighbor.
+func val(rank, i int) uint64 {
+	return gups.Mix64(uint64(rank)<<32 + uint64(i))
+}
+
+// Run executes the benchmark: every rank fires its RPCs at its right
+// neighbor inside one Finish (so the phase ends only when every
+// remote task — and the mark it applied — has been acknowledged), and
+// every accumulator is verified against the reference fold before any
+// throughput is reported. The whole job runs Repeats times; the
+// fastest RPC phase wins.
+func Run(p Params) Result {
+	if p.Ranks < 2 {
+		panic("rpcbench: need at least 2 ranks (RPCs must cross the wire)")
+	}
+	repeats := p.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+	var best Result
+	for rep := 0; rep < repeats; rep++ {
+		r := runOnce(p)
+		if rep == 0 || r.Seconds < best.Seconds {
+			best = r
+		}
+	}
+	return best
+}
+
+func runOnce(p Params) Result {
+	cfg := core.Config{}
+	if !p.Aggregate {
+		cfg.Agg = agg.Config{MaxOps: 1}
+	}
+	n := p.Ranks
+	var (
+		mu    sync.Mutex
+		rpcNs time.Duration
+		sum   uint64
+	)
+	stats, err := spmd.RunWireLocal(n, 1<<17, cfg, func(me *core.Rank) {
+		cell := core.Allocate[uint64](me, me.ID(), 1)
+		core.Write(me, cell, 0)
+		cells := core.AllGather(me, cell)
+		me.Barrier()
+
+		t0 := time.Now()
+		target := (me.ID() + 1) % n
+		tc := cells[target]
+		core.Finish(me, func() {
+			for i := 0; i < p.RPCsPerRank; i++ {
+				core.AsyncTask(me, core.On(target), pingTask,
+					rpc.U64s(uint64(tc.Where()), tc.Offset(), val(me.ID(), i)))
+			}
+		})
+		me.Barrier()
+		dt := time.Since(t0)
+
+		// Our cell holds the left neighbor's marks; the Finish/Barrier
+		// pair guarantees they have all landed.
+		left := (me.ID() - 1 + n) % n
+		var want uint64
+		for i := 0; i < p.RPCsPerRank; i++ {
+			want ^= val(left, i)
+		}
+		got := core.Read(me, cell)
+		if got != want {
+			panic(fmt.Sprintf("rpcbench: rank %d accumulator %#x, want %#x (aggregate=%v)",
+				me.ID(), got, want, p.Aggregate))
+		}
+		s := core.Reduce(me, got, xor64)
+		mu.Lock()
+		if dt > rpcNs {
+			rpcNs = dt
+		}
+		if me.ID() == 0 {
+			sum = s
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		panic(fmt.Sprintf("rpcbench: %v", err))
+	}
+
+	r := Result{
+		Ranks:    n,
+		RPCs:     int64(n) * int64(p.RPCsPerRank),
+		Seconds:  rpcNs.Seconds(),
+		Checksum: sum,
+	}
+	var batches, ops float64
+	for _, st := range stats {
+		r.WireFrames += st.Counters["wire_tx_frames"]
+		batches += st.Counters["agg_batches"]
+		ops += st.Counters["agg_ops"]
+	}
+	if r.Seconds > 0 {
+		r.RPCsPerSec = float64(r.RPCs) / r.Seconds
+	}
+	if r.RPCs > 0 {
+		r.FramesPerRPC = r.WireFrames / float64(r.RPCs)
+	}
+	if p.Aggregate && batches > 0 {
+		r.OpsPerBatch = ops / batches
+	}
+	return r
+}
+
+func xor64(a, b uint64) uint64 { return a ^ b }

@@ -1,0 +1,48 @@
+package rpcbench
+
+import "testing"
+
+// TestBatchingReducesFrames is the experiment's headline claim as a
+// hard assertion: with the aggregation plane coalescing requests and
+// done-acks, each RPC must cost strictly fewer wire frames than the
+// unbatched baseline — by a wide margin, not a rounding error.
+func TestBatchingReducesFrames(t *testing.T) {
+	const ranks, rpcs = 2, 1024
+	on := Run(Params{Ranks: ranks, RPCsPerRank: rpcs, Aggregate: true, Repeats: 1})
+	off := Run(Params{Ranks: ranks, RPCsPerRank: rpcs, Aggregate: false, Repeats: 1})
+
+	if on.Checksum != off.Checksum {
+		t.Fatalf("checksums differ: agg-on %#x, agg-off %#x", on.Checksum, off.Checksum)
+	}
+	if on.RPCs != ranks*rpcs || off.RPCs != ranks*rpcs {
+		t.Fatalf("RPC counts = %d / %d, want %d", on.RPCs, off.RPCs, ranks*rpcs)
+	}
+	if on.FramesPerRPC <= 0 || off.FramesPerRPC <= 0 {
+		t.Fatalf("frame accounting missing: on=%v off=%v", on.FramesPerRPC, off.FramesPerRPC)
+	}
+	// An unbatched RPC pays a request frame, its transport ack, a
+	// done-ack frame and its ack; batching amortizes all four. Require
+	// at least a 2x reduction — the realized ratio is far larger, but
+	// age-based flushes on a stalled runner can pad a few frames.
+	if on.FramesPerRPC*2 > off.FramesPerRPC {
+		t.Errorf("batched RPCs cost %.3f frames each vs %.3f unbatched; want >= 2x reduction",
+			on.FramesPerRPC, off.FramesPerRPC)
+	}
+	if on.OpsPerBatch <= 1 {
+		t.Errorf("agg-on ops/batch = %.2f, want > 1", on.OpsPerBatch)
+	}
+}
+
+// TestSmallestJob pins the minimum configuration and the rank guard.
+func TestSmallestJob(t *testing.T) {
+	r := Run(Params{Ranks: 2, RPCsPerRank: 64, Aggregate: true, Repeats: 1})
+	if r.RPCs != 128 {
+		t.Fatalf("RPCs = %d, want 128", r.RPCs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Ranks=1 should panic (RPCs must cross the wire)")
+		}
+	}()
+	Run(Params{Ranks: 1, RPCsPerRank: 1})
+}

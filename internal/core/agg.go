@@ -52,7 +52,9 @@ type AMHandler func(me *Rank, from int, payload []byte)
 // active messages with the given id. Like GASNet handler registration,
 // every rank must register the same ids before any rank sends to them
 // (SPMD programs register during startup, before the first barrier).
-// Registering an id twice on one rank panics.
+// Registering an id twice on one rank panics, as does registering an
+// id below 0x10 — those belong to the runtime's task-RPC protocol
+// (see rpc.go).
 //
 // Aggregated AM handlers require Serialized thread mode (the default):
 // handlers execute inside the rank's progress dispatch, and in
@@ -61,6 +63,10 @@ type AMHandler func(me *Rank, from int, payload []byte)
 // deadlock. Registration panics up front rather than letting the first
 // remote message hang the job.
 func RegisterAMHandler(me *Rank, id uint16, fn AMHandler) {
+	if id < reservedAMLimit {
+		panic(fmt.Sprintf("upcxx: AM handler id %#x is reserved for the runtime (ids below %#x)",
+			id, reservedAMLimit))
+	}
 	if me.job.cfg.Threads == Concurrent {
 		panic("upcxx: aggregated AM handlers require Serialized thread mode " +
 			"(handlers dispatch under the Concurrent-mode rank lock and could not " +
@@ -104,7 +110,17 @@ func (a rankApplier) AM(id uint16, payload []byte) {
 func (r *Rank) initAgg(bc gasnet.BatchConduit, cfg agg.Config) {
 	r.aggBC = bc
 	r.agg = agg.New(r.Ranks(), cfg, func(dst int, batch []byte, ops int, done func()) {
-		r.mustCd(bc.SendBatch(dst, batch, done))
+		r.mustCd(bc.SendBatch(dst, batch, func() {
+			done()
+			// Ack cut-through: the completions this acknowledgement just
+			// delivered may themselves have buffered new ops — a task
+			// subtree quiescing sends its done-ack, a firing event
+			// launches deferred asyncs. Ship them now: the rank able to
+			// consume them may already be blocked waiting (a Finish, a
+			// barrier drain) with no further frame coming our way to
+			// trigger an age flush. O(1) when nothing was buffered.
+			r.agg.FlushAll()
+		}))
 	})
 	bc.SetBatchHandler(func(from int, payload []byte) {
 		if _, err := agg.Apply(payload, rankApplier{r: r, from: from}); err != nil {

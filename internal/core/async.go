@@ -35,6 +35,9 @@ func Everywhere(me *Rank) Place {
 // goroutine with the target's handle. UPC++ ships a function pointer and
 // its arguments (no closure capture, §III-G); here the closure travels
 // in-process and the declared Payload size is charged to the cost model.
+// Closures do not serialize, so this form is in-process-only for remote
+// targets; the wire-capable equivalent is a registered task (see
+// RegisterTask / AsyncTask in rpc.go).
 type TaskFn func(me *Rank)
 
 type asyncCfg struct {
@@ -89,8 +92,8 @@ func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) {
 	me.exit()
 
 	job := me.job
-	launchOne := func(from *gasnet.Endpoint, target int, arrival float64) {
-		from.SendAt(target, arrival, cfg.payload, func(tep *gasnet.Endpoint) {
+	me.fanOut(place, cfg, func(from *Rank, target int, arrival float64) {
+		from.ep.SendAt(target, arrival, cfg.payload, func(tep *gasnet.Endpoint) {
 			tgt := job.ranks[tep.Rank]
 			tep.Clock.Advance(job.model.TaskDispatchCost())
 			if cfg.flops > 0 {
@@ -105,28 +108,6 @@ func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) {
 				fs.childDone(done, tgt)
 			}
 		})
-	}
-
-	if cfg.after == nil {
-		for _, t := range place.ranks {
-			t0 := me.Clock()
-			me.ep.Clock.Advance(job.model.AMSendCost(cfg.payload))
-			arrival := job.model.AMArrival(t0, me.id, t, cfg.payload)
-			launchOne(me.ep, t, arrival)
-		}
-		return
-	}
-
-	// async_after: launch when the dependency event fires. The launch
-	// executes on whichever rank's goroutine delivers the final signal
-	// and injects from that rank's endpoint, with arrivals modeled from
-	// the fire time.
-	targets := place.ranks
-	cfg.after.whenFired(me, func(fireTime float64, from *Rank) {
-		for _, t := range targets {
-			arrival := fireTime + job.model.Lat(from.id, t) + job.model.WireNs(cfg.payload)
-			launchOne(from.ep, t, arrival)
-		}
 	})
 }
 
@@ -141,9 +122,10 @@ func AsyncAfter(me *Rank, place Place, after *Event, signal *Event, fn TaskFn, o
 	Async(me, place, fn, opts...)
 }
 
-// Future holds the eventual return value of an AsyncFuture call, like the
-// paper's future<T> (requires C++11 there; requires nothing special here).
-// Only the launching rank may Get it.
+// Future holds the eventual return value of an AsyncFuture or
+// AsyncTaskFuture call, like the paper's future<T> (requires C++11
+// there; requires nothing special here). Only the launching rank may
+// Get it.
 type Future[T any] struct {
 	owner *Rank
 	done  bool
@@ -201,22 +183,39 @@ func (f *Future[T]) Ready() bool {
 	return f.done
 }
 
-// Get blocks until the value arrives (servicing async tasks meanwhile)
-// and returns it — the paper's future.get().
+// Get blocks until the value arrives — servicing async tasks and, on a
+// wire job, conduit traffic and aggregation flushes meanwhile — and
+// returns it, the paper's future.get().
 func (f *Future[T]) Get() T {
-	f.owner.ep.WaitFor(func() bool { return f.done })
+	f.owner.waitProgress(func() bool { return f.done })
 	return f.val
 }
 
-// finishScope tracks asyncs launched in the dynamic extent of one Finish
-// block on the initiating rank. Unlike X10's transitive finish, UPC++
-// (and we) wait only for tasks spawned directly in the block's dynamic
-// scope (paper §III-G) — termination detection for unbounded task graphs
-// is too expensive on distributed memory.
+// finishScope tracks operations launched in the dynamic extent of one
+// Finish block (or one remote task body — see execTask in rpc.go): the
+// spawn/done accounting behind the paper's X10-style finish. Closure
+// asyncs count only tasks spawned directly in the block's dynamic
+// scope on the initiating rank (paper §III-G); registered tasks are
+// tracked transitively — each remote task runs under an implicit scope
+// of its own whose completion cascades up the spawn tree as done-acks,
+// so a Finish over AsyncTask launches blocks until every descendant,
+// including RPCs spawned by RPCs on other address spaces, and every
+// aggregated operation they issued, has quiesced.
 type finishScope struct {
 	mu          sync.Mutex
 	outstanding int
 	owner       *Rank
+
+	// onZero, when set, makes this a deferred-completion scope (a
+	// remote task's implicit scope): it runs exactly once, when the
+	// count drains, instead of waking a blocked Finish. The sig rank is
+	// the one whose goroutine delivered the final completion.
+	onZero func(t float64, sig *Rank)
+
+	// doneID is this scope's key in the owner rank's done-ack table
+	// while remote executors hold references to it (0 otherwise); see
+	// doneIDFor in rpc.go.
+	doneID uint64
 }
 
 func (fs *finishScope) add(n int) {
@@ -229,11 +228,17 @@ func (fs *finishScope) childDone(doneTime float64, child *Rank) {
 	fs.mu.Lock()
 	fs.outstanding--
 	zero := fs.outstanding == 0
+	fz := fs.onZero
 	fs.mu.Unlock()
-	if zero {
-		arrival := doneTime + child.job.model.Lat(child.id, fs.owner.id)
-		child.ep.Wake(fs.owner.id, arrival)
+	if !zero {
+		return
 	}
+	if fz != nil {
+		fz(doneTime, child)
+		return
+	}
+	arrival := doneTime + child.job.model.Lat(child.id, fs.owner.id)
+	child.ep.Wake(fs.owner.id, arrival)
 }
 
 func (fs *finishScope) empty() bool {
@@ -251,15 +256,20 @@ func (r *Rank) currentFinish() *finishScope {
 }
 
 // Finish runs body and then blocks until every async launched in body's
-// dynamic scope (on this rank) has completed — the paper's finish
-// construct, implemented there with RAII and here with a higher-order
-// function, the idiomatic Go equivalent.
+// dynamic scope has completed — the paper's finish construct,
+// implemented there with RAII and here with a higher-order function,
+// the idiomatic Go equivalent. Registered tasks (AsyncTask) are waited
+// on transitively, across address spaces: the scope drains only when
+// every remote descendant's done-ack has cascaded back (see
+// finishScope). Closure asyncs count non-transitively, as before.
 func Finish(me *Rank, body func()) {
 	fs := &finishScope{owner: me}
 	me.finish = append(me.finish, fs)
 	body()
 	me.finish = me.finish[:len(me.finish)-1]
 	// Aggregated ops issued in the body registered with fs too; the
-	// progress wait flushes them and services their acknowledgements.
+	// progress wait flushes them and services their acknowledgements
+	// (and, on a wire job, incoming requests and done-acks).
 	me.waitProgress(fs.empty)
+	me.doneDrop(fs)
 }

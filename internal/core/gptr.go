@@ -166,6 +166,15 @@ func Escalate[T any](me *Rank, off uint64) GlobalPtr[T] {
 	return gptrAt[T](me.id, off)
 }
 
+// PtrAt reconstructs a global pointer from its (rank, offset) pair —
+// the deserialization half of passing global pointers through
+// registered-task arguments, which travel as POD bytes: encode with
+// Where() and Offset(), rebuild with PtrAt. The pointer must have been
+// produced by an allocation on the named rank.
+func PtrAt[T any](rank int, off uint64) GlobalPtr[T] {
+	return gptrAt[T](rank, off)
+}
+
 // Read performs a blocking one-sided read of the element referenced by p
 // (the rvalue use of a shared object). The cost model charges software
 // overhead plus a round trip; in Direct mode the data moves via a peer

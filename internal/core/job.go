@@ -173,6 +173,14 @@ type Rank struct {
 
 	finish []*finishScope
 
+	// Registered-task RPC state (rpc.go), wire jobs only: calls awaits
+	// executors' replies (futures, signal events) by call id; doneTab
+	// holds finish scopes awaiting remote done-acks by scope id.
+	calls    map[uint64]*pendingCall
+	nextCall uint64
+	doneTab  map[uint64]*finishScope
+	nextDone uint64
+
 	// Implicit-handle non-blocking operation state (async_copy without an
 	// event; completed by Fence / AsyncCopyFence).
 	implicitMax float64
@@ -184,10 +192,14 @@ type Rank struct {
 func (r *Rank) onWire() bool { return r.cd.WireCapable() }
 
 // noWire panics if op — an operation that ships Go closures — targets a
-// remote rank of a wire-backed job.
+// remote rank of a wire-backed job. The portable alternative is a
+// registered function: RegisterTask once per process, then AsyncTask /
+// AsyncTaskFuture ship its index and POD-encoded arguments instead of
+// a closure (see rpc.go).
 func (r *Rank) noWire(op string, target int) {
 	if target != r.id && r.onWire() {
-		panic(fmt.Errorf("upcxx: %s targeting rank %d from rank %d: %w",
+		panic(fmt.Errorf("upcxx: %s targeting rank %d from rank %d ships a Go closure "+
+			"(use RegisterTask + AsyncTask for remote invocation over the wire): %w",
 			op, target, r.id, gasnet.ErrNotWireCapable))
 	}
 }
@@ -258,10 +270,13 @@ func Run(cfg Config, main func(me *Rank)) Stats {
 // All operations of the serializable vocabulary work exactly as
 // in-process: one-sided Read/Write/Copy/AsyncCopy, AtomicXor, remote
 // Allocate/Deallocate, Barrier, the typed collectives, shared
-// variables/arrays, and locks. Closure-carrying operations (Async,
-// AsyncFuture, RMW, raw AMs) work only when targeting this rank itself
-// and panic with gasnet.ErrNotWireCapable otherwise. Reported time is
-// wall-clock; the virtual-time model does not span address spaces.
+// variables/arrays, and locks — and so does remote function invocation
+// in its registered form (RegisterTask + AsyncTask / AsyncTaskFuture,
+// with distributed Finish completion; see rpc.go). Raw closure-carrying
+// operations (Async, AsyncFuture, RMW, raw AMs) work only when
+// targeting this rank itself and panic with gasnet.ErrNotWireCapable
+// otherwise. Reported time is wall-clock; the virtual-time model does
+// not span address spaces.
 func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *Rank)) Stats {
 	cfg.Ranks = cd.Ranks()
 	cfg = cfg.withDefaults()
@@ -282,6 +297,7 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 	if bc, ok := cd.(gasnet.BatchConduit); ok {
 		r.initAgg(bc, cfg.Agg)
 	}
+	r.installRPC()
 
 	start := time.Now()
 	main(r)

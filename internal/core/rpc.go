@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+
+	"upcxx/internal/gasnet"
+	"upcxx/internal/rpc"
+)
+
+// Registered-function remote invocation: the wire-capable form of the
+// paper's §III-G async vocabulary. A Go closure cannot cross an address
+// space, so multi-process jobs ship a *registered* function instead —
+// a name registered once per process (RegisterTask) resolving to a
+// dense wire index, invoked with POD-encoded arguments (AsyncTask /
+// AsyncTaskFuture). On the in-process backend the same calls take the
+// direct path through the engine, closures and all, so one program
+// runs unmodified on both conduits; on the wire backend requests,
+// replies and completion acks all ride the aggregation batch plane, so
+// fine-grained task storms coalesce like any other small operation.
+//
+// Completion semantics (both backends):
+//
+//   - A Signal event fires when the task's *body* has run (on the wire:
+//     when the executor's reply arrives). An AsyncTaskFuture resolves
+//     with the body's return bytes at the same point.
+//   - A surrounding Finish waits for the task's whole *subtree*: tasks
+//     the body spawned (transitively — an RPC may spawn RPCs), and the
+//     aggregated operations it issued. The executor runs each task
+//     under an implicit scope and sends its done-ack only when that
+//     scope drains; acks cascade up the spawn tree, so the count at
+//     the root can never hit zero while a descendant is in flight.
+//   - Task bodies run inside the target's progress dispatch and must
+//     not block (no Barrier, no Wait, no blocking reads): like an
+//     active-message handler, a body performs local work and issues
+//     asynchronous operations — further AsyncTasks, Agg* ops — which
+//     the runtime tracks and flushes.
+
+// Aggregated-AM handler ids below reservedAMLimit belong to the
+// runtime; RegisterAMHandler rejects them.
+const (
+	amRPCReq  uint16 = 0x01 // registered-task request (rpc.EncodeRequest)
+	amRPCRep  uint16 = 0x02 // body-completion reply (rpc.EncodeReply)
+	amRPCDone uint16 = 0x03 // subtree-quiesced ack (rpc.EncodeDone)
+
+	reservedAMLimit uint16 = 0x10
+)
+
+// TaskBody is a registered task's implementation: it runs on the
+// target rank's goroutine with the target's handle, the calling rank,
+// and the POD-encoded arguments (valid only for the duration of the
+// call). The returned bytes travel back when the caller asked for a
+// reply (AsyncTaskFuture, or AsyncTask with a Signal event); bodies
+// may return nil otherwise. Bodies must not block.
+type TaskBody = rpc.Fn[*Rank]
+
+// Task is the portable handle of a registered function; see
+// RegisterTask.
+type Task = rpc.Task
+
+// taskRegistry is process-global, like a GASNet handler table: every
+// process of a wire job registers the same tasks in the same order
+// (package init time is the natural place), so indices agree across
+// address spaces. In-process jobs share it trivially.
+var taskRegistry = rpc.NewRegistry[*Rank]()
+
+// RegisterTask registers fn under a unique name and returns the handle
+// AsyncTask / AsyncTaskFuture launch it by. Register once per process,
+// before the job starts — typically from a package init or a
+// package-level var — and in the same order everywhere; duplicate
+// names panic.
+func RegisterTask(name string, fn TaskBody) Task {
+	return taskRegistry.Register(name, fn)
+}
+
+// pendingCall is one outstanding reply on the calling rank: a future
+// awaiting the body's return bytes, a signal event awaiting body
+// completion, or both.
+type pendingCall struct {
+	fut *Future[[]byte]
+	ev  *Event
+}
+
+// installRPC wires the runtime's reserved AM handlers into this rank's
+// dispatch table. Called for wire-backed ranks (the in-process backend
+// dispatches tasks directly through the engine and never consults the
+// table for these ids).
+func (r *Rank) installRPC() {
+	if r.amHandlers == nil {
+		r.amHandlers = make(map[uint16]AMHandler)
+	}
+	r.amHandlers[amRPCReq] = func(me *Rank, from int, p []byte) { me.rpcRequest(from, p) }
+	r.amHandlers[amRPCRep] = func(me *Rank, _ int, p []byte) { me.rpcReply(p) }
+	r.amHandlers[amRPCDone] = func(me *Rank, from int, p []byte) { me.rpcDone(from, p) }
+}
+
+// sysSend ships a runtime-internal protocol message on the aggregation
+// plane. Unlike AggSend it performs no finish/event registration — the
+// task protocol does its own accounting — and so may be called from
+// completion callbacks without re-entering scope bookkeeping.
+func (r *Rank) sysSend(to int, id uint16, payload []byte) {
+	if to == r.id {
+		rankApplier{r: r, from: r.id}.AM(id, payload)
+		return
+	}
+	r.agg.Send(to, id, payload, nil)
+}
+
+// rpcRequest executes one incoming registered-task request. It runs on
+// this rank's SPMD goroutine, inside batch application.
+func (r *Rank) rpcRequest(from int, payload []byte) {
+	req, err := rpc.DecodeRequest(payload)
+	if err != nil {
+		panic(fmt.Errorf("upcxx: rank %d: corrupt task request from rank %d: %w", r.id, from, err))
+	}
+	r.ep.Stats.Tasks.Add(1)
+	var onBody func([]byte, float64)
+	if req.Flags&rpc.FlagReply != 0 {
+		callID := req.CallID
+		onBody = func(reply []byte, _ float64) {
+			r.sysSend(from, amRPCRep, rpc.EncodeReply(callID, reply))
+		}
+	}
+	var onDone func(float64, *Rank)
+	if req.DoneID != 0 {
+		doneID := req.DoneID
+		onDone = func(_ float64, _ *Rank) {
+			r.sysSend(from, amRPCDone, rpc.EncodeDone(doneID))
+		}
+	}
+	r.execTask(from, req.Task, req.Args, onBody, onDone)
+}
+
+// rpcReply resolves one pending call with the body's return bytes.
+func (r *Rank) rpcReply(payload []byte) {
+	callID, data, err := rpc.DecodeReply(payload)
+	if err != nil {
+		panic(fmt.Errorf("upcxx: rank %d: corrupt task reply: %w", r.id, err))
+	}
+	pc := r.calls[callID]
+	if pc == nil {
+		panic(fmt.Errorf("upcxx: rank %d: task reply for unknown call %d", r.id, callID))
+	}
+	delete(r.calls, callID)
+	t := r.Clock()
+	if pc.fut != nil {
+		// The payload aliases the batch buffer; the future outlives it.
+		pc.fut.val = append([]byte(nil), data...)
+		pc.fut.done = true
+	}
+	if pc.ev != nil {
+		pc.ev.signal(t, r)
+	}
+}
+
+// rpcDone credits one subtree-quiesced ack to the scope it belongs to.
+func (r *Rank) rpcDone(from int, payload []byte) {
+	id, err := rpc.DecodeDone(payload)
+	if err != nil {
+		panic(fmt.Errorf("upcxx: rank %d: corrupt done-ack from rank %d: %w", r.id, from, err))
+	}
+	fs := r.doneTab[id]
+	if fs == nil {
+		panic(fmt.Errorf("upcxx: rank %d: done-ack from rank %d for unknown scope %d", r.id, from, id))
+	}
+	fs.childDone(r.Clock(), r)
+}
+
+// doneIDFor lazily assigns fs an id in this rank's done-ack table, the
+// key remote executors complete it by. Wire path only; called on the
+// owning rank's goroutine.
+func (r *Rank) doneIDFor(fs *finishScope) uint64 {
+	if fs.doneID == 0 {
+		r.nextDone++
+		fs.doneID = r.nextDone
+		if r.doneTab == nil {
+			r.doneTab = make(map[uint64]*finishScope)
+		}
+		r.doneTab[fs.doneID] = fs
+	}
+	return fs.doneID
+}
+
+// doneDrop retires a completed scope's done-ack id, if it ever had one.
+func (r *Rank) doneDrop(fs *finishScope) {
+	if fs.doneID != 0 {
+		delete(r.doneTab, fs.doneID)
+		fs.doneID = 0
+	}
+}
+
+// execTask runs one registered task on this rank's goroutine: resolve
+// the index, execute the body under an implicit finish scope (so tasks
+// and aggregated ops the body issues defer the task's completion), and
+// fire onBody when the body returns and onDone when the whole subtree
+// has quiesced. A panicking body tears the job down wrapped with the
+// task's name and route, following the failed-process-aborts-the-job
+// model.
+func (r *Rank) execTask(from int, idx uint16, args []byte,
+	onBody func(reply []byte, t float64), onDone func(t float64, sig *Rank)) {
+	fn, name, err := taskRegistry.Resolve(idx)
+	if err != nil {
+		panic(fmt.Errorf("upcxx: rank %d: task request from rank %d: %w", r.id, from, err))
+	}
+	rec := &finishScope{owner: r, outstanding: 1} // the body itself holds the first slot
+	rec.onZero = func(t float64, sig *Rank) {
+		r.doneDrop(rec)
+		if onDone != nil {
+			onDone(t, sig)
+		}
+	}
+	r.finish = append(r.finish, rec)
+	var reply []byte
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				r.finish = r.finish[:len(r.finish)-1]
+				panic(fmt.Errorf("upcxx: task %q from rank %d panicked on rank %d: %v",
+					name, from, r.id, p))
+			}
+		}()
+		reply = fn(r, from, args)
+	}()
+	r.finish = r.finish[:len(r.finish)-1]
+	if onBody != nil {
+		onBody(reply, r.Clock())
+	}
+	rec.childDone(r.Clock(), r) // release the body's slot; fires onZero when the subtree is dry
+}
+
+// mustTask validates a launch handle.
+func mustTask(t Task) uint16 {
+	if !t.Valid() {
+		panic("upcxx: AsyncTask with the zero Task (register the function with RegisterTask first)")
+	}
+	return t.Index()
+}
+
+// wireTask ships one registered-task request over the aggregation
+// plane. sig and fut attach to the executor's reply; fs receives the
+// done-ack when the task's subtree quiesces.
+func (r *Rank) wireTask(target int, idx uint16, args []byte,
+	sig *Event, fut *Future[[]byte], fs *finishScope) {
+	if r.agg == nil {
+		panic(fmt.Errorf("upcxx: rank %d: conduit has no batch plane for task requests: %w",
+			r.id, gasnet.ErrNotWireCapable))
+	}
+	var flags byte
+	var callID uint64
+	if sig != nil || fut != nil {
+		flags |= rpc.FlagReply
+		r.nextCall++
+		callID = r.nextCall
+		if r.calls == nil {
+			r.calls = make(map[uint64]*pendingCall)
+		}
+		r.calls[callID] = &pendingCall{fut: fut, ev: sig}
+	}
+	var doneID uint64
+	if fs != nil {
+		doneID = r.doneIDFor(fs)
+	}
+	r.ep.Stats.AMs.Add(1)
+	r.agg.Send(target, amRPCReq, rpc.EncodeRequest(idx, flags, callID, doneID, args), nil)
+}
+
+// AsyncTask launches the registered task on every rank of place with
+// the given POD-encoded arguments — the wire-capable form of the
+// paper's async(place)(function, args...). args are copied at issue
+// time. The launch is non-blocking; completion is observed through a
+// surrounding Finish (which waits for the task's whole subtree), a
+// Signal event (which fires when the body has run), or AsyncTaskFuture.
+// The After and TaskFlops options work as with Async.
+func AsyncTask(me *Rank, place Place, t Task, args []byte, opts ...AsyncOpt) {
+	idx := mustTask(t)
+	cfg := asyncCfg{payload: taskWireBytes(len(args))}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	args = append([]byte(nil), args...)
+	me.enter()
+	fs := me.currentFinish()
+	if fs != nil {
+		fs.add(len(place.ranks))
+	}
+	if cfg.signal != nil {
+		cfg.signal.register(len(place.ranks))
+	}
+	me.exit()
+
+	launchOne := func(from *Rank, target int, arrival float64) {
+		if me.onWire() && target != me.id {
+			me.wireTask(target, idx, args, cfg.signal, nil, fs)
+			return
+		}
+		me.launchTaskInProc(from, target, arrival, idx, args, cfg,
+			func(_ []byte, done float64, tgt *Rank) {
+				if cfg.signal != nil {
+					cfg.signal.signal(done, tgt)
+				}
+			}, fs)
+	}
+	me.fanOut(place, cfg, launchOne)
+}
+
+// AsyncTaskFuture launches the registered task on the target rank and
+// returns a future resolving with the body's return bytes — the wire-
+// capable future<T> f = async(place)(function, args...). Decode the
+// reply with the same codec the task encodes it with (rpc.U64 and
+// friends for word payloads). The After, Signal and TaskFlops options
+// work as with AsyncTask; with After, the future resolves only after
+// the dependency has fired and the deferred task has replied.
+func AsyncTaskFuture(me *Rank, target int, t Task, args []byte, opts ...AsyncOpt) *Future[[]byte] {
+	idx := mustTask(t)
+	cfg := asyncCfg{payload: taskWireBytes(len(args))}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	args = append([]byte(nil), args...)
+	f := &Future[[]byte]{owner: me}
+	me.enter()
+	fs := me.currentFinish()
+	if fs != nil {
+		fs.add(1)
+	}
+	if cfg.signal != nil {
+		cfg.signal.register(1)
+	}
+	me.exit()
+
+	job := me.job
+	me.fanOut(Place{ranks: []int{target}}, cfg, func(from *Rank, target int, arrival float64) {
+		if me.onWire() && target != me.id {
+			me.wireTask(target, idx, args, cfg.signal, f, fs)
+			return
+		}
+		me.launchTaskInProc(from, target, arrival, idx, args, cfg,
+			func(reply []byte, done float64, tgt *Rank) {
+				repArrival := done + job.model.Lat(tgt.id, me.id) + job.model.WireNs(len(reply))
+				tgt.ep.SendAt(me.id, repArrival, len(reply), func(*gasnet.Endpoint) {
+					f.val = reply
+					f.done = true
+				})
+				if cfg.signal != nil {
+					cfg.signal.signal(done, tgt)
+				}
+			}, fs)
+	})
+	return f
+}
+
+// launchTaskInProc injects one registered-task execution through the
+// engine (the in-process backend, and a wire rank's self-targeted
+// fast path): an active message whose handler dispatches the body
+// with modeled dispatch/compute costs, body completion reported
+// through onBody and subtree completion credited straight to fs.
+func (r *Rank) launchTaskInProc(from *Rank, target int, arrival float64,
+	idx uint16, args []byte, cfg asyncCfg,
+	onBody func(reply []byte, done float64, tgt *Rank), fs *finishScope) {
+	job := r.job
+	caller := r.id
+	from.ep.SendAt(target, arrival, cfg.payload, func(tep *gasnet.Endpoint) {
+		tgt := job.ranks[tep.Rank]
+		tep.Clock.Advance(job.model.TaskDispatchCost())
+		if cfg.flops > 0 {
+			tgt.Work(cfg.flops)
+		}
+		tgt.execTask(caller, idx, args,
+			func(reply []byte, done float64) {
+				if onBody != nil {
+					onBody(reply, done, tgt)
+				}
+			},
+			func(done float64, sig *Rank) {
+				if fs != nil {
+					fs.childDone(done, sig)
+				}
+			})
+	})
+}
+
+// fanOut performs the launch across place's ranks, immediately or
+// deferred behind cfg.after — the shared dependency machinery of
+// Async and AsyncTask.
+func (r *Rank) fanOut(place Place, cfg asyncCfg, launchOne func(from *Rank, target int, arrival float64)) {
+	job := r.job
+	if cfg.after == nil {
+		for _, t := range place.ranks {
+			t0 := r.Clock()
+			r.ep.Clock.Advance(job.model.AMSendCost(cfg.payload))
+			arrival := job.model.AMArrival(t0, r.id, t, cfg.payload)
+			launchOne(r, t, arrival)
+		}
+		return
+	}
+	// async_after: launch when the dependency event fires. The launch
+	// executes on whichever rank's goroutine delivers the final signal
+	// and injects from that rank's endpoint, with arrivals modeled from
+	// the fire time.
+	targets := place.ranks
+	cfg.after.whenFired(r, func(fireTime float64, from *Rank) {
+		for _, t := range targets {
+			arrival := fireTime + job.model.Lat(from.id, t) + job.model.WireNs(cfg.payload)
+			launchOne(from, t, arrival)
+		}
+	})
+}
+
+// taskWireBytes is the modeled message size of a task request: the
+// protocol header plus the encoded arguments (override with Payload).
+func taskWireBytes(argLen int) int {
+	return rpc.ReqHeaderBytes + argLen
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"upcxx/internal/rpc"
+)
+
+// Test tasks are registered once per process (package init), following
+// the registry's SPMD discipline; bodies get everything else through
+// their POD-encoded args.
+
+// tmix is a cheap splitmix-style finalizer for deterministic expected
+// values.
+func tmix(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+var (
+	// xor mark into a cell: args [rank][off][val]
+	ttMark = RegisterTask("core_test.mark", func(me *Rank, from int, args []byte) []byte {
+		rank, rest := rpc.U64(args)
+		off, rest := rpc.U64(rest)
+		val, _ := rpc.U64(rest)
+		AggXor64(me, PtrAt[uint64](int(rank), off), val, nil)
+		return nil
+	})
+
+	// compute and reply: args [seed]; reply [tmix(seed ^ rank+1)]
+	ttValue = RegisterTask("core_test.value", func(me *Rank, from int, args []byte) []byte {
+		seed, _ := rpc.U64(args)
+		return rpc.U64s(tmix(seed ^ uint64(me.ID()+1)))
+	})
+
+	// chain: args [rank][off][depth][salt]; xor a depth-tagged mark,
+	// then spawn the rest of the chain on the next rank — an RPC
+	// spawning an RPC, tracked transitively by the root Finish. The
+	// body refers to its own Task handle, so registration happens in
+	// init below rather than in this initializer.
+	ttChain Task
+
+	// read a local word and reply with it (exercises After ordering).
+	ttReadCell = RegisterTask("core_test.readcell", func(me *Rank, from int, args []byte) []byte {
+		rank, rest := rpc.U64(args)
+		off, _ := rpc.U64(rest)
+		return rpc.U64s(Read(me, PtrAt[uint64](int(rank), off)))
+	})
+
+	ttBoom = RegisterTask("core_test.boom", func(me *Rank, from int, args []byte) []byte {
+		panic("boom")
+	})
+)
+
+func init() {
+	ttChain = RegisterTask("core_test.chain", chainBody)
+}
+
+func chainBody(me *Rank, from int, args []byte) []byte {
+	rank, rest := rpc.U64(args)
+	off, rest := rpc.U64(rest)
+	depth, rest := rpc.U64(rest)
+	salt, _ := rpc.U64(rest)
+	AggXor64(me, PtrAt[uint64](int(rank), off), chainMark(salt, depth, me.ID()), nil)
+	if depth > 0 {
+		next := (me.ID() + 1) % me.Ranks()
+		AsyncTask(me, On(next), ttChain, rpc.U64s(rank, off, depth-1, salt))
+	}
+	return nil
+}
+
+func chainMark(salt, depth uint64, rank int) uint64 {
+	return tmix(salt<<20 + depth<<8 + uint64(rank+1))
+}
+
+// expectChain folds the marks a chain rooted at startRank with the
+// given depth deposits, hopping ranks the way ttChain does.
+func expectChain(n int, startRank int, depth, salt uint64) uint64 {
+	var sum uint64
+	r := startRank
+	for d := depth; ; d-- {
+		sum ^= chainMark(salt, d, r)
+		if d == 0 {
+			return sum
+		}
+		r = (r + 1) % n
+	}
+}
+
+func newCell(me *Rank) GlobalPtr[uint64] {
+	p := Allocate[uint64](me, me.ID(), 1)
+	Write(me, p, 0)
+	return p
+}
+
+func cellArgs(p GlobalPtr[uint64]) []byte {
+	return rpc.U64s(uint64(p.Where()), p.Offset())
+}
+
+func TestAsyncTaskEverywhere(t *testing.T) {
+	Run(testCfg(4), func(me *Rank) {
+		if me.ID() == 0 {
+			cell := newCell(me)
+			var want uint64
+			Finish(me, func() {
+				for r := 0; r < me.Ranks(); r++ {
+					v := tmix(uint64(r) + 101)
+					want ^= v
+					AsyncTask(me, On(r), ttMark, append(cellArgs(cell), rpc.U64s(v)...))
+				}
+			})
+			if got := Read(me, cell); got != want {
+				t.Errorf("cell after Finish = %#x, want %#x", got, want)
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestAsyncTaskFutureReplies(t *testing.T) {
+	Run(testCfg(4), func(me *Rank) {
+		if me.ID() == 0 {
+			futs := make([]*Future[[]byte], me.Ranks())
+			for r := range futs {
+				futs[r] = AsyncTaskFuture(me, r, ttValue, rpc.U64s(77))
+			}
+			for r, f := range futs {
+				got, _ := rpc.U64(f.Get())
+				if want := tmix(77 ^ uint64(r+1)); got != want {
+					t.Errorf("reply from rank %d = %#x, want %#x", r, got, want)
+				}
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestAsyncTaskFutureSignalEvent(t *testing.T) {
+	Run(testCfg(2), func(me *Rank) {
+		if me.ID() == 0 {
+			ev := NewEvent()
+			f := AsyncTaskFuture(me, 1, ttValue, rpc.U64s(5), Signal(ev))
+			ev.Wait(me)
+			got, _ := rpc.U64(f.Get())
+			if want := tmix(5 ^ 2); got != want {
+				t.Errorf("reply = %#x, want %#x", got, want)
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestTaskChainTransitiveFinish(t *testing.T) {
+	const depth, salt = 9, 31
+	Run(testCfg(3), func(me *Rank) {
+		if me.ID() == 0 {
+			cell := newCell(me)
+			start := 1 % me.Ranks()
+			Finish(me, func() {
+				AsyncTask(me, On(start), ttChain, append(cellArgs(cell), rpc.U64s(depth, salt)...))
+			})
+			// Finish must have waited for the whole chain — RPCs spawned
+			// by RPCs — not just the task it launched directly.
+			if got, want := Read(me, cell), expectChain(me.Ranks(), start, depth, salt); got != want {
+				t.Errorf("chain fold = %#x, want %#x", got, want)
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestNestedFinishScopes(t *testing.T) {
+	Run(testCfg(4), func(me *Rank) {
+		if me.ID() == 0 {
+			outer := newCell(me)
+			inner := newCell(me)
+			var wantOuter, wantInner uint64
+			Finish(me, func() {
+				for r := 0; r < me.Ranks(); r++ {
+					v := tmix(uint64(r) + 500)
+					wantOuter ^= v
+					AsyncTask(me, On(r), ttMark, append(cellArgs(outer), rpc.U64s(v)...))
+				}
+				Finish(me, func() {
+					for r := 0; r < me.Ranks(); r++ {
+						v := tmix(uint64(r) + 900)
+						wantInner ^= v
+						AsyncTask(me, On(r), ttMark, append(cellArgs(inner), rpc.U64s(v)...))
+					}
+				})
+				// The inner scope has drained even though the outer one
+				// is still open.
+				if got := Read(me, inner); got != wantInner {
+					t.Errorf("inner cell inside outer Finish = %#x, want %#x", got, wantInner)
+				}
+			})
+			if got := Read(me, outer); got != wantOuter {
+				t.Errorf("outer cell = %#x, want %#x", got, wantOuter)
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestAsyncTaskAfterOrdering(t *testing.T) {
+	Run(testCfg(3), func(me *Rank) {
+		if me.ID() == 0 {
+			cell := newCell(me) // written by t1, read by t2
+			mark := tmix(4242)
+			e1 := NewEvent()
+			var seen atomic.Uint64
+			Finish(me, func() {
+				AsyncTask(me, On(1%me.Ranks()), ttMark,
+					append(cellArgs(cell), rpc.U64s(mark)...), Signal(e1))
+				// t2 launches only after e1 fired, i.e. after t1's body
+				// ran; it reads the cell and replies with what it saw.
+				AsyncAfter(me, On(2%me.Ranks()), e1, nil, func(tgt *Rank) {
+					seen.Store(Read(tgt, cell))
+				})
+			})
+			if got := seen.Load(); got != mark {
+				t.Errorf("dependent task saw %#x, want %#x", got, mark)
+			}
+		}
+		me.Barrier()
+	})
+}
+
+func TestAsyncTaskFutureAfterDependency(t *testing.T) {
+	Run(testCfg(3), func(me *Rank) {
+		if me.ID() == 0 {
+			cell := newCell(me)
+			mark := tmix(777)
+			e1 := NewEvent()
+			Finish(me, func() {
+				AsyncTask(me, On(1), ttMark,
+					append(cellArgs(cell), rpc.U64s(mark)...), Signal(e1))
+				// Deferred behind e1: the reader must observe t1's mark.
+				f := AsyncTaskFuture(me, 2, ttReadCell, cellArgs(cell), After(e1))
+				got, _ := rpc.U64(f.Get())
+				if got != mark {
+					t.Errorf("dependent future read %#x, want %#x", got, mark)
+				}
+			})
+		}
+		me.Barrier()
+	})
+}
+
+func TestAsyncTaskPanicCarriesCause(t *testing.T) {
+	Run(testCfg(1), func(me *Rank) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("panicking task should abort the job")
+			}
+			msg := p.(error).Error()
+			for _, want := range []string{"core_test.boom", "boom", "rank 0"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("panic cause %q should mention %q", msg, want)
+				}
+			}
+		}()
+		// Self-targeted launch executes inline, so the wrapped panic
+		// propagates synchronously to this goroutine.
+		AsyncTask(me, On(0), ttBoom, nil)
+	})
+}
+
+func TestUnknownTaskIndexPanics(t *testing.T) {
+	Run(testCfg(1), func(me *Rank) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("unregistered task index should panic")
+			}
+			if msg := p.(error).Error(); !strings.Contains(msg, "same order") {
+				t.Errorf("panic %q should explain the registration discipline", msg)
+			}
+		}()
+		me.execTask(0, 0xFFFF, nil, nil, nil)
+	})
+}
+
+func TestZeroTaskRejectedAtLaunch(t *testing.T) {
+	Run(testCfg(1), func(me *Rank) {
+		defer func() {
+			if recover() == nil {
+				t.Error("AsyncTask with the zero Task should panic")
+			}
+		}()
+		AsyncTask(me, On(0), Task{}, nil)
+	})
+}
+
+func TestReservedAMHandlerIDRejected(t *testing.T) {
+	Run(testCfg(1), func(me *Rank) {
+		defer func() {
+			if recover() == nil {
+				t.Error("registering a reserved AM handler id should panic")
+			}
+		}()
+		RegisterAMHandler(me, amRPCReq, func(*Rank, int, []byte) {})
+	})
+}

@@ -124,11 +124,14 @@ type Memory interface {
 
 // ErrNotWireCapable is returned (wrapped in a panic by the core, which
 // follows the paper's failed-process-aborts-the-job model) when an
-// operation that ships Go closures — Async, AsyncFuture, RMW, raw AMs —
-// targets a remote rank of a wire-backed job. Closures do not
-// serialize; use the encoded-argument operations (Read/Write/Copy,
-// AtomicXor, collectives, locks) or run in-process.
+// operation that ships Go closures — a raw-closure Async or
+// AsyncFuture, RMW, raw AMs — targets a remote rank of a wire-backed
+// job. Closures do not serialize; remote invocation over the wire uses
+// registered functions instead (the core's RegisterTask + AsyncTask /
+// AsyncTaskFuture, which ship a registry index and POD-encoded
+// arguments), and data movement uses the encoded-argument operations
+// (Read/Write/Copy, AtomicXor, collectives, locks).
 var ErrNotWireCapable = errors.New(
 	"gasnet: operation ships a Go closure and cannot cross a wire conduit " +
-		"(wire-capable ops: Read/Write/Copy/AsyncCopy, AtomicXor, Allocate/Deallocate, " +
-		"Barrier, collectives, locks)")
+		"(wire-capable: registered tasks [RegisterTask+AsyncTask], Read/Write/Copy/AsyncCopy, " +
+		"AtomicXor, Allocate/Deallocate, Barrier, collectives, locks)")

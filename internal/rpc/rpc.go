@@ -1,0 +1,270 @@
+// Package rpc is the serializable task layer under the runtime's
+// asynchronous remote function invocation: a registry mapping function
+// names to dense wire indices, and the fixed-layout encodings of the
+// request / reply / done-ack messages that travel on the conduit's
+// aggregation plane. This is what lets the paper's §III-G vocabulary —
+// async, futures, finish — cross address spaces without a compiler:
+// instead of shipping a Go closure (which does not serialize), callers
+// register a named function once per process and ship its index plus
+// POD-encoded arguments, exactly as real UPC++ ships a function pointer
+// and a trivially-copyable argument tuple over GASNet.
+//
+// The package is deliberately transport- and runtime-free: the registry
+// is generic over the handle type H (internal/core instantiates it with
+// *core.Rank), and the codecs are pure functions over byte slices, so
+// both halves are testable without a job. internal/core glues them to
+// the conduit (see core.RegisterTask / AsyncTask / AsyncTaskFuture).
+//
+// Registration discipline is SPMD, like a GASNet handler table: every
+// process of a job must register the same names in the same order
+// before the job starts (package init time is the natural place), so
+// that an index minted on one rank resolves to the same function on
+// every other. Registering after tasks have started crossing the wire
+// is a race; duplicate names panic.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Fn is a registered task body, generic over the runtime handle type:
+// it runs on the target rank's goroutine with the target's handle, the
+// calling rank, and the POD-encoded arguments (valid only for the
+// duration of the call — copy to keep). The returned bytes travel back
+// to the caller when a reply was requested (a future or a signal
+// event); bodies invoked without one may return nil.
+type Fn[H any] func(h H, from int, args []byte) []byte
+
+// Task is the portable handle of a registered function: the value
+// Register returns, safe to store in package variables and cheap to
+// copy. Only its wire index crosses address spaces; the name stays
+// local, for diagnostics. The zero Task is invalid and is rejected by
+// every launch path.
+type Task struct {
+	idx1 uint16 // wire index + 1; 0 means invalid
+	name string
+}
+
+// Valid reports whether t came from a Register call.
+func (t Task) Valid() bool { return t.idx1 != 0 }
+
+// Index returns the task's wire index.
+func (t Task) Index() uint16 {
+	if t.idx1 == 0 {
+		panic("rpc: use of zero Task (not returned by Register)")
+	}
+	return t.idx1 - 1
+}
+
+// Name returns the registration name (empty for the zero Task).
+func (t Task) Name() string { return t.name }
+
+func (t Task) String() string {
+	if !t.Valid() {
+		return "task<invalid>"
+	}
+	return fmt.Sprintf("task %q (#%d)", t.name, t.Index())
+}
+
+// Registry maps registered functions to dense wire indices, in
+// registration order. It is safe for concurrent use: registration
+// normally completes before the job starts, but in-process jobs share
+// one registry across all rank goroutines.
+type Registry[H any] struct {
+	mu    sync.RWMutex
+	names map[string]uint16 // name -> index
+	fns   []Fn[H]
+	tags  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry[H any]() *Registry[H] {
+	return &Registry[H]{names: make(map[string]uint16)}
+}
+
+// Register adds fn under name and returns its portable handle. Names
+// must be unique and non-empty; registering twice panics (two bodies
+// under one index would silently diverge across ranks). The index is
+// the registration ordinal, so the SPMD discipline in the package
+// comment is what keeps indices meaningful across address spaces.
+func (r *Registry[H]) Register(name string, fn Fn[H]) Task {
+	if name == "" {
+		panic("rpc: Register with empty task name")
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("rpc: Register(%q) with nil function", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[name]; dup {
+		panic(fmt.Sprintf("rpc: task %q registered twice", name))
+	}
+	if len(r.fns) >= 1<<16 {
+		panic("rpc: task registry full (65536 tasks)")
+	}
+	idx := uint16(len(r.fns))
+	r.names[name] = idx
+	r.fns = append(r.fns, fn)
+	r.tags = append(r.tags, name)
+	return Task{idx1: idx + 1, name: name}
+}
+
+// Resolve returns the function and name registered at the given wire
+// index, or an error naming the index and the registry size — the
+// diagnostic a rank produces when its peer's registration sequence
+// diverged from its own.
+func (r *Registry[H]) Resolve(idx uint16) (Fn[H], string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if int(idx) >= len(r.fns) {
+		return nil, "", fmt.Errorf(
+			"rpc: no task registered at index %d (registry has %d; did every process register the same tasks in the same order?)",
+			idx, len(r.fns))
+	}
+	return r.fns[idx], r.tags[idx], nil
+}
+
+// Len reports how many tasks are registered.
+func (r *Registry[H]) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.fns)
+}
+
+// Names returns the registered names in index order.
+func (r *Registry[H]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.tags))
+	copy(out, r.tags)
+	return out
+}
+
+// ---- Wire encodings ----
+//
+// The three message kinds of the task protocol, each riding the
+// conduit's aggregation plane as a registered-handler active message
+// (so small RPCs coalesce with everything else bound for the same
+// rank):
+//
+//	request:  [task u16][flags u8][callID u64][doneID u64][args...]
+//	reply:    [callID u64][reply bytes...]
+//	done-ack: [doneID u64]
+//
+// callID keys the caller's pending-reply table (futures and signal
+// events); doneID keys the caller's finish-scope table — the executor
+// sends the done-ack only when the task's whole subtree (tasks spawned
+// by the task, and the aggregated operations it issued) has quiesced,
+// which is what gives Finish its distributed semantics. A zero id
+// means the corresponding half of the protocol is unused.
+
+// FlagReply marks a request whose caller awaits the body's return
+// bytes (a future) or a completion signal (an event): the executor
+// must send a reply message when the body returns.
+const FlagReply byte = 1 << 0
+
+// ReqHeaderBytes is the fixed size of a request's prefix — also the
+// per-launch protocol overhead the core's cost model charges on top of
+// the encoded arguments.
+const ReqHeaderBytes = 2 + 1 + 8 + 8
+
+// EncodeRequest builds a request message.
+func EncodeRequest(task uint16, flags byte, callID, doneID uint64, args []byte) []byte {
+	p := make([]byte, ReqHeaderBytes+len(args))
+	binary.LittleEndian.PutUint16(p[0:], task)
+	p[2] = flags
+	binary.LittleEndian.PutUint64(p[3:], callID)
+	binary.LittleEndian.PutUint64(p[11:], doneID)
+	copy(p[ReqHeaderBytes:], args)
+	return p
+}
+
+// Request is a decoded task request.
+type Request struct {
+	Task   uint16
+	Flags  byte
+	CallID uint64
+	DoneID uint64
+	Args   []byte // aliases the decoded buffer; valid only as long as it is
+}
+
+// DecodeRequest parses a request message.
+func DecodeRequest(p []byte) (Request, error) {
+	if len(p) < ReqHeaderBytes {
+		return Request{}, fmt.Errorf("rpc: truncated task request (%d bytes)", len(p))
+	}
+	return Request{
+		Task:   binary.LittleEndian.Uint16(p[0:]),
+		Flags:  p[2],
+		CallID: binary.LittleEndian.Uint64(p[3:]),
+		DoneID: binary.LittleEndian.Uint64(p[11:]),
+		Args:   p[ReqHeaderBytes:],
+	}, nil
+}
+
+// EncodeReply builds a reply message carrying the body's return bytes.
+func EncodeReply(callID uint64, data []byte) []byte {
+	p := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint64(p, callID)
+	copy(p[8:], data)
+	return p
+}
+
+// DecodeReply parses a reply message; the returned data aliases p.
+func DecodeReply(p []byte) (callID uint64, data []byte, err error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("rpc: truncated task reply (%d bytes)", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}
+
+// EncodeDone builds a done-ack message.
+func EncodeDone(doneID uint64) []byte {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], doneID)
+	return p[:]
+}
+
+// DecodeDone parses a done-ack message.
+func DecodeDone(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("rpc: malformed done-ack (%d bytes)", len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// ---- Argument codec ----
+//
+// Task arguments are POD by convention (the same guarantee the shared
+// segment enforces); these helpers cover the common case of packing
+// u64 words — offsets, ranks, seeds, global-pointer halves — without
+// each call site hand-rolling binary.LittleEndian.
+
+// AppendU64 appends v to an argument buffer.
+func AppendU64(b []byte, v uint64) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], v)
+	return append(b, w[:]...)
+}
+
+// U64 consumes one u64 from the front of an argument buffer, returning
+// the value and the remainder. Short buffers panic: argument layout is
+// part of a task's contract, and a mismatch is a program bug on par
+// with a wrong function signature.
+func U64(b []byte) (uint64, []byte) {
+	if len(b) < 8 {
+		panic(fmt.Sprintf("rpc: argument buffer underflow (want 8 bytes, have %d)", len(b)))
+	}
+	return binary.LittleEndian.Uint64(b), b[8:]
+}
+
+// U64s packs the given words as an argument buffer.
+func U64s(vs ...uint64) []byte {
+	b := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		b = AppendU64(b, v)
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package rpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry[int]()
+	a := r.Register("a", func(h, from int, args []byte) []byte { return []byte{1} })
+	b := r.Register("b", func(h, from int, args []byte) []byte { return []byte{2} })
+	if !a.Valid() || !b.Valid() {
+		t.Fatal("registered tasks should be valid")
+	}
+	if a.Index() != 0 || b.Index() != 1 {
+		t.Fatalf("indices = %d, %d; want 0, 1", a.Index(), b.Index())
+	}
+	fn, name, err := r.Resolve(b.Index())
+	if err != nil || name != "b" {
+		t.Fatalf("Resolve(1) = %q, %v", name, err)
+	}
+	if got := fn(0, 0, nil); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("resolved wrong function: %v", got)
+	}
+	if got := r.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestResolveUnknownIndex(t *testing.T) {
+	r := NewRegistry[int]()
+	r.Register("only", func(h, from int, args []byte) []byte { return nil })
+	_, _, err := r.Resolve(7)
+	if err == nil {
+		t.Fatal("Resolve of unregistered index should error")
+	}
+	if !strings.Contains(err.Error(), "index 7") || !strings.Contains(err.Error(), "same order") {
+		t.Fatalf("error should name the index and the registration discipline: %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry[int]()
+	r.Register("dup", func(h, from int, args []byte) []byte { return nil })
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+		if !strings.Contains(p.(string), "dup") {
+			t.Fatalf("panic should name the task: %v", p)
+		}
+	}()
+	r.Register("dup", func(h, from int, args []byte) []byte { return nil })
+}
+
+func TestZeroTaskPanics(t *testing.T) {
+	var z Task
+	if z.Valid() {
+		t.Fatal("zero Task should be invalid")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index of zero Task should panic")
+		}
+	}()
+	z.Index()
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	args := []byte("hello args")
+	p := EncodeRequest(42, FlagReply, 7, 9, args)
+	req, err := DecodeRequest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Task != 42 || req.Flags != FlagReply || req.CallID != 7 || req.DoneID != 9 {
+		t.Fatalf("decoded header = %+v", req)
+	}
+	if !bytes.Equal(req.Args, args) {
+		t.Fatalf("args = %q", req.Args)
+	}
+	if _, err := DecodeRequest(p[:10]); err == nil {
+		t.Fatal("truncated request should error")
+	}
+}
+
+func TestReplyAndDoneRoundTrip(t *testing.T) {
+	callID, data, err := DecodeReply(EncodeReply(3, []byte("out")))
+	if err != nil || callID != 3 || !bytes.Equal(data, []byte("out")) {
+		t.Fatalf("reply round trip = %d, %q, %v", callID, data, err)
+	}
+	// Zero-length replies are legal (a task with no return value).
+	if _, data, err = DecodeReply(EncodeReply(4, nil)); err != nil || len(data) != 0 {
+		t.Fatalf("empty reply round trip = %q, %v", data, err)
+	}
+	if _, _, err := DecodeReply([]byte{1, 2}); err == nil {
+		t.Fatal("truncated reply should error")
+	}
+	id, err := DecodeDone(EncodeDone(11))
+	if err != nil || id != 11 {
+		t.Fatalf("done round trip = %d, %v", id, err)
+	}
+	if _, err := DecodeDone([]byte{1}); err == nil {
+		t.Fatal("malformed done-ack should error")
+	}
+}
+
+func TestArgCodec(t *testing.T) {
+	b := U64s(1, 2, 3)
+	v, rest := U64(b)
+	if v != 1 {
+		t.Fatalf("first word = %d", v)
+	}
+	v, rest = U64(rest)
+	if v != 2 {
+		t.Fatalf("second word = %d", v)
+	}
+	v, rest = U64(rest)
+	if v != 3 || len(rest) != 0 {
+		t.Fatalf("third word = %d, rest %d bytes", v, len(rest))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underflow should panic")
+		}
+	}()
+	U64(rest)
+}

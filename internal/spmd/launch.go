@@ -14,11 +14,14 @@ import (
 	"upcxx/internal/transport"
 )
 
-// rendezvousTimeout bounds the whole address exchange. A rank that dies
+// RendezvousTimeout bounds the whole address exchange. A rank that dies
 // before registering (or a parent that dies before answering) would
 // otherwise hang every surviving process forever; localhost rendezvous
-// completes in milliseconds, so expiry always means a lost peer.
-const rendezvousTimeout = 30 * time.Second
+// completes in milliseconds, so expiry always means a lost peer. The
+// default suits localhost; launchers spawning ranks across slow or
+// congested hosts may raise it (upcxx-run's -rendezvous-timeout flag),
+// and tests may shrink it. Set it before any rendezvous begins.
+var RendezvousTimeout = 30 * time.Second
 
 // Launch protocol for multi-process wire jobs, shared by the upcxx-run
 // launcher and the in-process tests: every rank listens for active
@@ -33,7 +36,7 @@ const rendezvousTimeout = 30 * time.Second
 // answers each with the complete address table. It returns once every
 // child has been answered.
 func Rendezvous(ln net.Listener, n int) error {
-	deadline := time.Now().Add(rendezvousTimeout)
+	deadline := time.Now().Add(RendezvousTimeout)
 	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
 		d.SetDeadline(deadline)
 	}
@@ -82,12 +85,12 @@ func Rendezvous(ln net.Listener, n int) error {
 // DialRendezvous runs the child side: announce this rank's AM address
 // and return the full address table, indexed by rank.
 func DialRendezvous(rendezvous string, rank, n int, amAddr string) ([]string, error) {
-	conn, err := net.DialTimeout("tcp", rendezvous, rendezvousTimeout)
+	conn, err := net.DialTimeout("tcp", rendezvous, RendezvousTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("spmd: dialing rendezvous %s: %w", rendezvous, err)
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+	conn.SetDeadline(time.Now().Add(RendezvousTimeout))
 	if _, err := fmt.Fprintf(conn, "%d %s\n", rank, amAddr); err != nil {
 		return nil, fmt.Errorf("spmd: registering with rendezvous: %w", err)
 	}

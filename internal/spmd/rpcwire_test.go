@@ -1,0 +1,131 @@
+package spmd
+
+// Wire-conduit coverage for the registered-task invocation layer:
+// distributed Finish (nested scopes, RPC-spawns-RPC chains across OS
+// address-space boundaries simulated by RunWireLocal's per-rank
+// endpoints/segments) and future replies. The taskgraph program
+// asserts the same properties end to end; these tests pin them at the
+// core-API level so a regression names the broken primitive instead of
+// a checksum.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"upcxx/internal/core"
+	"upcxx/internal/gasnet"
+	"upcxx/internal/rpc"
+)
+
+var (
+	twChain core.Task
+	twEcho  = core.RegisterTask("spmd_test.echo", func(me *core.Rank, from int, args []byte) []byte {
+		seed, _ := rpc.U64(args)
+		return rpc.U64s(mix(seed + uint64(me.ID()+1)))
+	})
+)
+
+func init() {
+	// Chain: xor a (depth, rank)-tagged mark into the root's cell and
+	// spawn the remainder on the next rank.
+	twChain = core.RegisterTask("spmd_test.chain", func(me *core.Rank, from int, args []byte) []byte {
+		cellRank, rest := rpc.U64(args)
+		cellOff, rest := rpc.U64(rest)
+		depth, _ := rpc.U64(rest)
+		core.AggXor64(me, core.PtrAt[uint64](int(cellRank), cellOff),
+			mix(depth<<8+uint64(me.ID()+1)), nil)
+		if depth > 0 {
+			core.AsyncTask(me, core.On((me.ID()+1)%me.Ranks()), twChain,
+				rpc.U64s(cellRank, cellOff, depth-1))
+		}
+		return nil
+	})
+}
+
+func TestWireDistributedFinishChain(t *testing.T) {
+	const n, depth = 4, 11
+	_, err := RunWireLocal(n, 1<<17, core.Config{}, func(me *core.Rank) {
+		if me.ID() == 0 {
+			cell := core.Allocate[uint64](me, 0, 1)
+			core.Write(me, cell, 0)
+			core.Finish(me, func() {
+				core.AsyncTask(me, core.On(1), twChain,
+					rpc.U64s(uint64(cell.Where()), cell.Offset(), depth))
+			})
+			// Finish returned: every hop of the chain — each an RPC
+			// spawned by an RPC on another address space — must have
+			// executed and had its aggregated mark applied.
+			var want uint64
+			r := 1
+			for d := depth; ; d-- {
+				want ^= mix(uint64(d)<<8 + uint64(r+1))
+				if d == 0 {
+					break
+				}
+				r = (r + 1) % n
+			}
+			if got := core.Read(me, cell); got != want {
+				t.Errorf("chain fold after Finish = %#x, want %#x", got, want)
+			}
+		}
+		me.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireFutureAndSignal(t *testing.T) {
+	_, err := RunWireLocal(3, 1<<17, core.Config{}, func(me *core.Rank) {
+		if me.ID() == 0 {
+			ev := core.NewEvent()
+			futs := make([]*core.Future[[]byte], me.Ranks())
+			for r := range futs {
+				futs[r] = core.AsyncTaskFuture(me, r, twEcho, rpc.U64s(40), core.Signal(ev))
+			}
+			ev.Wait(me) // fires once every body has replied
+			for r, f := range futs {
+				if !f.Ready() {
+					t.Errorf("future %d not ready after signal event fired", r)
+				}
+				got, _ := rpc.U64(f.Get())
+				if want := mix(40 + uint64(r+1)); got != want {
+					t.Errorf("reply from rank %d = %#x, want %#x", r, got, want)
+				}
+			}
+		}
+		me.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireRawClosureStillRejected pins that the loud degradation
+// contract survives the RPC layer: raw closures to remote ranks still
+// panic, now with a hint pointing at the registered-function API.
+func TestWireRawClosureStillRejected(t *testing.T) {
+	_, err := RunWireLocal(2, 1<<17, core.Config{}, func(me *core.Rank) {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Error("raw closure crossed the wire without panicking")
+					return
+				}
+				err, ok := p.(error)
+				if !ok || !errors.Is(err, gasnet.ErrNotWireCapable) {
+					t.Errorf("panic = %v, want ErrNotWireCapable", p)
+				} else if !strings.Contains(err.Error(), "RegisterTask") {
+					t.Errorf("panic %v should point at RegisterTask", err)
+				}
+			}()
+			core.Async(me, core.On(1-me.ID()), func(*core.Rank) {})
+		}()
+		me.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

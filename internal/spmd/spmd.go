@@ -70,6 +70,15 @@ var registry = []Prog{
 		},
 		Run: runDHT,
 	},
+	{
+		Name:         "taskgraph",
+		Desc:         "event-driven task DAG over registered-function RPC: async/async_after with events, futures, distributed finish over RPC-spawned chains (paper §III-G Listing 1)",
+		DefaultScale: 12, // spawn-chain depth
+		SegBytes: func(ranks, scale int) int {
+			return 1 << 17
+		},
+		Run: taskgraph,
+	},
 }
 
 // runDHT is the dht program body: every rank inserts `scale` keys with

@@ -1,0 +1,177 @@
+package spmd
+
+import (
+	"fmt"
+
+	"upcxx/internal/core"
+	"upcxx/internal/rpc"
+)
+
+// The taskgraph program ports examples/taskgraph — the paper's
+// Listing 1 / Figure 1 event-driven task DAG — onto the registered-
+// function invocation layer, so the same dependency graph runs over
+// both conduit backends: async with signal events, async_after
+// dependencies, futures carrying reply payloads, and distributed
+// finish over chains of RPCs that spawn RPCs on other ranks. Every
+// task deposits a placement-tagged mark in rank 0's segment through
+// the aggregation layer; rank 0 verifies the folds against a pure
+// reference computation and panics on any mismatch, so the printed
+// checksum certifies that every task ran, ran on the intended rank,
+// and was waited for correctly.
+//
+// Tasks are registered at package init, per the registry's SPMD
+// discipline (same names, same order, every process).
+var (
+	tgMark  core.Task // [cellRank][cellOff][val]: xor val into the cell
+	tgValue core.Task // [seed]: reply [mix(seed ^ rank+1)]
+	tgSpawn core.Task // [cellRank][cellOff][depth][salt]: mark, then spawn depth-1 on the next rank
+)
+
+func init() {
+	tgMark = core.RegisterTask("spmd.taskgraph.mark", func(me *core.Rank, from int, args []byte) []byte {
+		cellRank, rest := rpc.U64(args)
+		cellOff, rest := rpc.U64(rest)
+		val, _ := rpc.U64(rest)
+		core.AggXor64(me, core.PtrAt[uint64](int(cellRank), cellOff), val, nil)
+		return nil
+	})
+	tgValue = core.RegisterTask("spmd.taskgraph.value", func(me *core.Rank, from int, args []byte) []byte {
+		seed, _ := rpc.U64(args)
+		return rpc.U64s(tgReply(seed, me.ID()))
+	})
+	tgSpawn = core.RegisterTask("spmd.taskgraph.spawn", func(me *core.Rank, from int, args []byte) []byte {
+		cellRank, rest := rpc.U64(args)
+		cellOff, rest := rpc.U64(rest)
+		depth, rest := rpc.U64(rest)
+		salt, _ := rpc.U64(rest)
+		core.AggXor64(me, core.PtrAt[uint64](int(cellRank), cellOff),
+			tgChainMark(salt, depth, me.ID()), nil)
+		if depth > 0 {
+			next := (me.ID() + 1) % me.Ranks()
+			core.AsyncTask(me, core.On(next), tgSpawn,
+				rpc.U64s(cellRank, cellOff, depth-1, salt))
+		}
+		return nil
+	})
+}
+
+// tgDagMark is the mark DAG task i deposits when it executes on rank.
+func tgDagMark(i int, rank int) uint64 {
+	return mix(0xDA6<<20 + uint64(i)<<8 + uint64(rank+1))
+}
+
+// tgChainMark is the mark a chain hop deposits: tagged with the
+// chain's salt, the remaining depth, and the executing rank, so a hop
+// landing on the wrong rank breaks the fold.
+func tgChainMark(salt, depth uint64, rank int) uint64 {
+	return mix(salt<<24 + depth<<8 + uint64(rank+1))
+}
+
+// tgReply is the value task's deterministic reply.
+func tgReply(seed uint64, rank int) uint64 {
+	return mix(seed ^ 0xF00D ^ uint64(rank+1))
+}
+
+// tgExpectChain folds the marks of one spawn chain: rooted on
+// startRank with the given depth, hopping to the next rank each level.
+func tgExpectChain(n, startRank int, depth, salt uint64) uint64 {
+	var sum uint64
+	r := startRank
+	for d := depth; ; d-- {
+		sum ^= tgChainMark(salt, d, r)
+		if d == 0 {
+			return sum
+		}
+		r = (r + 1) % n
+	}
+}
+
+// taskgraph is the program body. Rank 0 drives; the other ranks
+// proceed to the barrier, where they execute incoming tasks while
+// waiting (the runtime's progress rule).
+func taskgraph(me *core.Rank, scale int) uint64 {
+	n := me.Ranks()
+	depth := uint64(scale)
+
+	var dagCell, chainCell core.GlobalPtr[uint64]
+	if me.ID() == 0 {
+		dagCell = core.Allocate[uint64](me, 0, 1)
+		chainCell = core.Allocate[uint64](me, 0, 1)
+		core.Write(me, dagCell, 0)
+		core.Write(me, chainCell, 0)
+	}
+	me.Barrier()
+
+	var sum uint64
+	if me.ID() == 0 {
+		cellArgs := func(p core.GlobalPtr[uint64]) []byte {
+			return rpc.U64s(uint64(p.Where()), p.Offset())
+		}
+		mark := func(i int) core.Place { return core.On(i % n) }
+
+		// Listing 1, over registered tasks: the t1..t6 DAG wired with
+		// events, every task depositing its placement-tagged mark.
+		var expDag uint64
+		launch := func(i int, opts ...core.AsyncOpt) {
+			expDag ^= tgDagMark(i, i%n)
+			core.AsyncTask(me, mark(i), tgMark,
+				append(cellArgs(dagCell), rpc.U64s(tgDagMark(i, i%n))...), opts...)
+		}
+		core.Finish(me, func() {
+			e1, e2, e3 := core.NewEvent(), core.NewEvent(), core.NewEvent()
+			launch(1, core.Signal(e1))
+			launch(2, core.Signal(e1))
+			launch(3, core.After(e1), core.Signal(e2))
+			launch(4, core.Signal(e2))
+			launch(5, core.After(e2), core.Signal(e3))
+			launch(6, core.After(e2), core.Signal(e3))
+			e3.Wait(me)
+		})
+		if got := core.Read(me, dagCell); got != expDag {
+			panic(fmt.Sprintf("spmd: taskgraph DAG fold = %#x, want %#x", got, expDag))
+		}
+
+		// Futures: one value task per rank, replies folded in rank
+		// order and each verified against the reference.
+		futs := make([]*core.Future[[]byte], n)
+		for r := 0; r < n; r++ {
+			futs[r] = core.AsyncTaskFuture(me, r, tgValue, rpc.U64s(depth))
+		}
+		var vsum uint64
+		for r, f := range futs {
+			got, _ := rpc.U64(f.Get())
+			if want := tgReply(depth, r); got != want {
+				panic(fmt.Sprintf("spmd: taskgraph reply from rank %d = %#x, want %#x", r, got, want))
+			}
+			vsum = mix(vsum ^ got)
+		}
+
+		// Distributed finish over RPC-spawns-RPC chains: one chain
+		// rooted on every rank, each hop spawning the next hop on the
+		// next rank; half the roots launch from a nested scope. The
+		// outer Finish returns only when every hop of every chain has
+		// executed and its mark has been applied.
+		var expChain uint64
+		core.Finish(me, func() {
+			for r := 0; r < n; r += 2 {
+				expChain ^= tgExpectChain(n, r, depth, uint64(r+1))
+				core.AsyncTask(me, core.On(r), tgSpawn,
+					append(cellArgs(chainCell), rpc.U64s(depth, uint64(r+1))...))
+			}
+			core.Finish(me, func() {
+				for r := 1; r < n; r += 2 {
+					expChain ^= tgExpectChain(n, r, depth, uint64(r+1))
+					core.AsyncTask(me, core.On(r), tgSpawn,
+						append(cellArgs(chainCell), rpc.U64s(depth, uint64(r+1))...))
+				}
+			})
+		})
+		if got := core.Read(me, chainCell); got != expChain {
+			panic(fmt.Sprintf("spmd: taskgraph chain fold = %#x, want %#x", got, expChain))
+		}
+
+		sum = mix(expDag ^ mix(expChain) ^ vsum)
+	}
+	me.Barrier()
+	return core.Broadcast(me, sum, 0)
+}

@@ -3,6 +3,7 @@ package upcxx
 import (
 	"upcxx/internal/core"
 	"upcxx/internal/ndarray"
+	"upcxx/internal/rpc"
 	"upcxx/internal/sim"
 )
 
@@ -174,7 +175,63 @@ func TaskFlops(f float64) AsyncOpt { return core.TaskFlops(f) }
 
 // Finish waits for every async launched in body's dynamic scope (the
 // paper's finish construct; a higher-order function replaces C++ RAII).
+// Registered tasks (AsyncTask) are waited on transitively, across
+// address spaces: the scope drains only when every remote descendant —
+// including RPCs spawned by RPCs — has quiesced.
 func Finish(me *Rank, body func()) { core.Finish(me, body) }
+
+// Registered-function remote invocation (paper §III-G, wire-capable):
+// Go closures cannot cross address spaces, so multi-process jobs ship
+// a registered function's index plus POD-encoded arguments instead —
+// the same compiler-free recipe real UPC++ uses (a function pointer
+// and a trivially-copyable argument tuple). Register once per process,
+// before the job starts, in the same order everywhere; then AsyncTask
+// and AsyncTaskFuture run on both conduit backends, with requests,
+// replies and finish acks coalescing on the wire's aggregation plane.
+
+// Task is the portable handle of a registered function.
+type Task = core.Task
+
+// TaskBody is a registered task's implementation: it runs on the
+// target rank with the calling rank and POD-encoded args, returning
+// the reply bytes (nil when the caller asked for none). Bodies run
+// inside progress dispatch and must not block.
+type TaskBody = core.TaskBody
+
+// RegisterTask registers fn under a unique name (panicking on
+// duplicates) and returns the handle AsyncTask launches it by.
+func RegisterTask(name string, fn TaskBody) Task { return core.RegisterTask(name, fn) }
+
+// AsyncTask launches a registered task on every rank of place with
+// POD-encoded arguments — the wire-capable async(place)(function,
+// args...). Completion is observed through a surrounding Finish (which
+// waits for the task's whole subtree), a Signal event (which fires
+// when the body ran), or AsyncTaskFuture. After and TaskFlops work as
+// with Async.
+func AsyncTask(me *Rank, place Place, t Task, args []byte, opts ...AsyncOpt) {
+	core.AsyncTask(me, place, t, args, opts...)
+}
+
+// AsyncTaskFuture launches a registered task on the target rank and
+// returns a future resolving with the body's reply bytes.
+func AsyncTaskFuture(me *Rank, target int, t Task, args []byte, opts ...AsyncOpt) *Future[[]byte] {
+	return core.AsyncTaskFuture(me, target, t, args, opts...)
+}
+
+// PtrAt reconstructs a global pointer from its (rank, offset) pair —
+// the deserialization half of passing global pointers through task
+// arguments (encode with Where() and Offset()).
+func PtrAt[T any](rank int, off uint64) GlobalPtr[T] { return core.PtrAt[T](rank, off) }
+
+// TaskArgs packs u64 words — offsets, ranks, seeds, global-pointer
+// halves — as a task-argument buffer, and TaskArgU64 consumes one word
+// from the front (panicking on underflow: argument layout is part of a
+// task's contract). Arbitrary POD layouts may of course be built with
+// encoding/binary directly.
+func TaskArgs(vs ...uint64) []byte { return rpc.U64s(vs...) }
+
+// TaskArgU64 consumes one u64 from the front of an argument buffer.
+func TaskArgU64(b []byte) (uint64, []byte) { return rpc.U64(b) }
 
 // Message aggregation (beyond the paper; internal/agg): the Agg*
 // operations buffer small remote ops into per-destination batches and
