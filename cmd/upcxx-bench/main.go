@@ -7,6 +7,7 @@
 //
 // Usage:
 //
+//	upcxx-bench -list                            # the experiment registry
 //	upcxx-bench -exp all                         # every table and figure (full scale)
 //	upcxx-bench -exp fig4 -quick                 # one experiment, reduced sweep
 //	upcxx-bench -exp fig8 -markdown              # emit a markdown table
@@ -20,7 +21,8 @@
 // exits non-zero. This is the CI bench-regression gate.
 //
 // Experiments: fig4, tableiv (alias tab4), fig5, fig6, fig7, fig8,
-// dhtbench (alias dht; wire-conduit aggregation on/off), all.
+// dhtbench (alias dht), rpcbench (alias rpc), futbench (alias fut),
+// all — run -list for descriptions.
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: "+strings.Join(harness.Names(), ", "))
+	list := flag.Bool("list", false, "list the experiment registry (ids, aliases, titles) and exit")
 	quick := flag.Bool("quick", false, "reduced sweeps for fast runs")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
@@ -42,6 +45,11 @@ func main() {
 	diff := flag.String("diff", "", "regenerate the sweep and diff headline metrics against this baseline JSON artifact")
 	tol := flag.Float64("tol", harness.DefaultTolerance, "relative drift tolerance for -diff")
 	flag.Parse()
+
+	if *list {
+		listExperiments(os.Stdout)
+		return
+	}
 
 	if *markdown && *jsonOut {
 		fmt.Fprintln(os.Stderr, "-markdown and -json are mutually exclusive")
@@ -157,5 +165,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// listExperiments prints the experiment registry, one line per
+// experiment, mirroring upcxx-run's program-registry printout.
+func listExperiments(w io.Writer) {
+	for _, e := range harness.Experiments() {
+		name := e.ID
+		if len(e.Aliases) > 0 {
+			name += " (" + strings.Join(e.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(w, "%-22s [%s] %s\n", name, e.PaperRef, e.Title)
 	}
 }

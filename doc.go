@@ -26,6 +26,17 @@
 //		})
 //	})
 //
+// Completion is futures-first, the direction the UPC++ lineage took
+// after the paper: every asynchronous operation can resolve a
+// chainable Future[T] (ReadAsync, WriteAsync, CopyAsync,
+// ReadSliceAsync, AsyncFuture, AsyncTaskFuture), continuations attach
+// with Then/ThenAsync and compose with WhenAll/WhenAny, and a
+// surrounding Finish waits for whole continuation chains. Operations
+// complete into any completion object through one seam (Completer):
+// a *Promise (NewPromise/Finalize), a legacy *Event, an Onto(...)
+// combination, or the enclosing Finish via ToFinish(). See DESIGN.md
+// §3 "Completion model" for execution-context and quiescence rules.
+//
 // The API is a facade over internal/core (the paper's programming
 // constructs) and internal/ndarray (the multidimensional array library);
 // both are fully documented at their definitions.

@@ -2,7 +2,12 @@
 // 3-D 7-point Jacobi iteration for the heat equation over a grid
 // distributed across all ranks, with ghost zones exchanged by the
 // multidimensional array library's one-statement copy
-// (A.Constrict(ghost).CopyFrom(B), paper §III-E).
+// (A.Constrict(ghost).CopyFromAsync(B), paper §III-E) — in the
+// futures-first style: all face pulls complete into one Promise, the
+// deep interior (which needs no ghosts) is updated while they travel,
+// and the boundary shell is finished after the promise's future
+// resolves. This is the communication/computation overlap the
+// completion model exists for.
 //
 //	go run ./examples/heat3d -ranks 8 -box 16 -iters 10
 package main
@@ -70,26 +75,44 @@ func main() {
 				nbrs = append(nbrs, nbr{rankAt(cx, cy, cz+1), 2, +1})
 			}
 
+			update := func(src, dst *upcxx.NDArray[float64], p upcxx.Point) {
+				c := src.Get(me, p)
+				sum := src.Get(me, p.Add(upcxx.P(1, 0, 0))) + src.Get(me, p.Add(upcxx.P(-1, 0, 0))) +
+					src.Get(me, p.Add(upcxx.P(0, 1, 0))) + src.Get(me, p.Add(upcxx.P(0, -1, 0))) +
+					src.Get(me, p.Add(upcxx.P(0, 0, 1))) + src.Get(me, p.Add(upcxx.P(0, 0, -1)))
+				dst.Set(me, p, c+0.1*(sum-6*c))
+			}
+			// Cells strictly inside the rank's block read no ghosts, so
+			// they can be updated while the face pulls are in flight.
+			deep := interior.Shrink(1)
+
 			src, dst := A, B
 			srcRefs, dstRefs := refsA, refsB
 			for it := 0; it < *iters; it++ {
-				// Pull each ghost face from its owning neighbor; the
-				// domain intersection does all the addressing (one
-				// statement per face, paper §III-E).
+				// Start every ghost-face pull, all completing into one
+				// promise; the domain intersection does the addressing
+				// (one statement per face, paper §III-E).
+				ghosts := upcxx.NewPromise(me)
 				for _, nb := range nbrs {
 					ghost := src.Domain().Face(nb.dim, nb.side, 1)
-					src.Constrict(ghost).CopyFrom(me, upcxx.NDFromRef(srcRefs[nb.rank]))
+					src.Constrict(ghost).CopyFromAsync(me, upcxx.NDFromRef(srcRefs[nb.rank]), ghosts)
 				}
-				me.Barrier()
+				arrived := ghosts.Finalize()
 
-				// Jacobi update.
+				// Overlap: the deep interior needs no ghost data.
+				deep.ForEach(func(p upcxx.Point) { update(src, dst, p) })
+
+				// The boundary shell waits for the ghosts.
+				arrived.Wait()
 				interior.ForEach(func(p upcxx.Point) {
-					c := src.Get(me, p)
-					sum := src.Get(me, p.Add(upcxx.P(1, 0, 0))) + src.Get(me, p.Add(upcxx.P(-1, 0, 0))) +
-						src.Get(me, p.Add(upcxx.P(0, 1, 0))) + src.Get(me, p.Add(upcxx.P(0, -1, 0))) +
-						src.Get(me, p.Add(upcxx.P(0, 0, 1))) + src.Get(me, p.Add(upcxx.P(0, 0, -1)))
-					dst.Set(me, p, c+0.1*(sum-6*c))
+					if !deep.Contains(p) {
+						update(src, dst, p)
+					}
 				})
+
+				// One barrier per step: neighbors must not start pulling
+				// the next iteration's faces (the dst we just wrote)
+				// before everyone finished reading this iteration's src.
 				me.Barrier()
 				src, dst = dst, src
 				srcRefs, dstRefs = dstRefs, srcRefs

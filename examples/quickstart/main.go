@@ -1,14 +1,16 @@
-// Quickstart: the paper's core constructs in one small SPMD program —
-// shared arrays with direct indexing, global pointers, remote allocation,
-// async remote function invocation with finish, and collectives.
+// Quickstart: the paper's core constructs in one small SPMD program,
+// written in the futures-first style — shared arrays with direct
+// indexing, global pointers, remote allocation, non-blocking one-sided
+// access chained through futures (ReadAsync/Then/WhenAll), async
+// remote function invocation with finish, and collectives.
 //
 //	go run ./examples/quickstart -ranks 8
 //
 // This runs on the in-process conduit backend (ranks are goroutines).
 // To see the same programming model execute as separate OS processes
-// over the TCP wire conduit, use the launcher's ring walkthrough:
+// over the TCP wire conduit, use the launcher's futures walkthrough:
 //
-//	go run ./cmd/upcxx-run -n 4 -backend tcp ring
+//	go run ./cmd/upcxx-run -n 4 -backend tcp pipeline
 package main
 
 import (
@@ -24,35 +26,51 @@ func main() {
 
 	upcxx.Run(upcxx.Config{Ranks: *ranks}, func(me *upcxx.Rank) {
 		// shared_array<uint64> hist(ranks): each rank tallies into its
-		// own slot, then everyone reads everything.
+		// own slot, then rank 0 reads every slot asynchronously — the
+		// reads overlap, and WhenAll joins them.
 		hist := upcxx.NewSharedArray[uint64](me, me.Ranks(), 1)
 		hist.Set(me, me.ID(), uint64(me.ID()*me.ID()))
 		me.Barrier()
 
 		if me.ID() == 0 {
+			reads := make([]*upcxx.Future[uint64], hist.Len())
+			for i := range reads {
+				reads[i] = upcxx.ReadAsync(me, hist.Ptr(i))
+			}
 			fmt.Print("squares via shared array: ")
-			for i := 0; i < hist.Len(); i++ {
-				fmt.Printf("%d ", hist.Get(me, i))
+			for _, v := range upcxx.WhenAll(reads...).Get() {
+				fmt.Printf("%d ", v)
 			}
 			fmt.Println()
 		}
 		me.Barrier()
 
 		// Remote allocation (paper §III-C): rank 0 allocates 64 ints on
-		// the last rank and fills them with one-sided writes.
+		// the last rank, fills them with non-blocking writes completing
+		// into one promise, then chains the remotely computed sum
+		// through a continuation.
 		if me.ID() == 0 {
-			sp := upcxx.Allocate[int32](me, me.Ranks()-1, 64)
-			for i := 0; i < 64; i++ {
-				upcxx.Write(me, sp.Add(i), int32(100+i))
+			last := me.Ranks() - 1
+			sp := upcxx.Allocate[int32](me, last, 64)
+			writes := upcxx.NewPromise(me)
+			vals := make([]int32, 64)
+			for i := range vals {
+				vals[i] = int32(100 + i)
 			}
-			sum := upcxx.AsyncFuture(me, me.Ranks()-1, func(r *upcxx.Rank) int32 {
+			upcxx.WriteSliceAsync(me, sp, vals, writes)
+			writes.Finalize().Wait()
+
+			sum := upcxx.AsyncFuture(me, last, func(r *upcxx.Rank) int32 {
 				var s int32
 				for i := 0; i < 64; i++ {
 					s += upcxx.Read(r, sp.Add(i))
 				}
 				return s
-			}).Get()
-			fmt.Printf("sum of remote allocation (computed remotely): %d\n", sum)
+			})
+			report := upcxx.Then(sum, func(s int32) string {
+				return fmt.Sprintf("sum of remote allocation (computed remotely): %d", s)
+			})
+			fmt.Println(report.Get())
 		}
 		me.Barrier()
 

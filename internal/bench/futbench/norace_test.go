@@ -1,0 +1,5 @@
+//go:build !race
+
+package futbench
+
+const raceEnabled = false

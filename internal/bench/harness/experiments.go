@@ -2,6 +2,7 @@ package harness
 
 import (
 	"upcxx/internal/bench/dhtbench"
+	"upcxx/internal/bench/futbench"
 	"upcxx/internal/bench/gups"
 	"upcxx/internal/bench/lulesh"
 	"upcxx/internal/bench/raytrace"
@@ -184,6 +185,51 @@ func RPCBench(o Options) Result {
 			})
 		})
 		return Point{Ranks: p, Value: r.RPCsPerSec,
+			WallSeconds: wall, Counters: r.Counters()}
+	}
+	for _, p := range ranks {
+		res.Series[0].Points = append(res.Series[0].Points, run(p, true))
+		res.Series[1].Points = append(res.Series[1].Points, run(p, false))
+	}
+	return res
+}
+
+// FutBench measures the futures-first completion model on the real TCP
+// wire conduit: chained non-blocking reads (ReadAsync + Then, resolved
+// from progress dispatch as replies land) against blocking Reads, in
+// reader/server rank pairs where round-trip latency dominates. Both
+// modes are verified against a pure reference fold inside the
+// benchmark. Wall-clock, like DHTBench, and gated with the same wide
+// tolerance.
+func FutBench(o Options) Result {
+	res := Result{
+		ID: "futbench", PaperRef: "§III-D / §V-E (beyond the paper)",
+		Title:  "Chained ReadAsync+Then vs blocking Reads over the wire conduit",
+		Metric: "throughput", Unit: "reads/s",
+		Quick:   o.Quick,
+		Profile: sim.NewProfile(sim.Local, sim.SWUPCXX),
+		Series: []Series{
+			{Name: "futures", System: "upcxx"},
+			{Name: "blocking", System: "upcxx"},
+		},
+		SweepLabel: "ranks", Format: "%.3g", Ratio: true,
+		// Wall-clock throughput on shared CI runners drifts far more
+		// than the virtual-time sweeps; gate only order-of-magnitude.
+		DiffTolerance: 0.9,
+	}
+	ranks := []int{2, 4}
+	reads := 8192
+	if o.Quick {
+		ranks = []int{2}
+		reads = 2048
+	}
+	run := func(p int, futures bool) Point {
+		r, wall := timed(func() futbench.Result {
+			return futbench.Run(futbench.Params{
+				Ranks: p, ReadsPerRank: reads, Futures: futures,
+			})
+		})
+		return Point{Ranks: p, Value: r.ReadsPerSec,
 			WallSeconds: wall, Counters: r.Counters()}
 	}
 	for _, p := range ranks {

@@ -170,6 +170,8 @@ var registry = []Experiment{
 		Title: "DHT inserts over the wire conduit, aggregation on vs off", Run: DHTBench},
 	{ID: "rpcbench", Aliases: []string{"rpc"}, PaperRef: "§III-G / §IV (beyond the paper)",
 		Title: "Registered-task RPCs over the wire conduit, batched vs unbatched", Run: RPCBench},
+	{ID: "futbench", Aliases: []string{"fut"}, PaperRef: "§III-D / §V-E (beyond the paper)",
+		Title: "Chained ReadAsync+Then vs blocking Reads over the wire conduit", Run: FutBench},
 }
 
 // Experiments returns the registered experiments in paper order.

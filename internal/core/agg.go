@@ -152,20 +152,20 @@ func (r *Rank) aggPreBlock() {
 }
 
 // aggDefer registers a buffered op with the surrounding Finish scope
-// and event, returning the completion callback the aggregator fires on
-// acknowledgement.
-func (r *Rank) aggDefer(ev *Event) func() {
+// and completion object, returning the completion callback the
+// aggregator fires on acknowledgement.
+func (r *Rank) aggDefer(done Completer) func() {
 	fs := r.currentFinish()
 	if fs != nil {
 		fs.add(1)
 	}
-	if ev != nil {
-		ev.register(1)
+	if done != nil {
+		done.compRegister(r, 1)
 	}
 	return func() {
 		t := r.Clock()
-		if ev != nil {
-			ev.signal(t, r)
+		if done != nil {
+			done.compComplete(t, r)
 		}
 		if fs != nil {
 			fs.childDone(t, r)
@@ -175,40 +175,43 @@ func (r *Rank) aggDefer(ev *Event) func() {
 
 // AggPut writes v to the shared object at p through the aggregation
 // layer: buffered per destination, applied when the batch ships, and
-// complete (visible at the owner) when ev fires — or, with a nil ev,
-// by the next barrier. See the package notes above for ordering.
-func AggPut[T any](me *Rank, p GlobalPtr[T], v T, ev *Event) {
+// complete (visible at the owner) when done completes — an *Event, a
+// *Promise, or an Onto(...) set; with nil, by the next barrier. See
+// the package notes above for ordering.
+func AggPut[T any](me *Rank, p GlobalPtr[T], v T, done Completer) {
 	me.enter()
 	defer me.exit()
+	done = normCompleter(done)
 	n := int(sizeOf[T]())
 	me.ep.Stats.Puts.Add(1)
 	me.ep.Stats.PutBytes.Add(int64(n))
 	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(p.rank), n))
 	if me.agg == nil || int(p.rank) == me.id {
 		me.mustCd(me.cd.Put(int(p.rank), p.Offset(), valueBytes(&v)))
-		SignalNow(ev, me)
+		completeNow(done, me)
 		return
 	}
-	me.agg.Put(int(p.rank), p.Offset(), valueBytes(&v), me.aggDefer(ev))
+	me.agg.Put(int(p.rank), p.Offset(), valueBytes(&v), me.aggDefer(done))
 }
 
 // AggXor64 xors val into the shared word at p through the aggregation
 // layer. Unlike AtomicXor the updated value does not travel back —
 // aggregated xors are fire-and-forget updates (the GUPS access
 // pattern), which is exactly what lets them coalesce.
-func AggXor64(me *Rank, p GlobalPtr[uint64], val uint64, ev *Event) {
+func AggXor64(me *Rank, p GlobalPtr[uint64], val uint64, done Completer) {
 	me.enter()
 	defer me.exit()
+	done = normCompleter(done)
 	me.ep.Stats.Puts.Add(1)
 	me.ep.Stats.PutBytes.Add(8)
 	me.ep.Clock.Advance(me.job.model.PutCost(me.id, int(p.rank), 8))
 	if me.agg == nil || int(p.rank) == me.id {
 		_, err := me.cd.Xor64(int(p.rank), p.Offset(), val)
 		me.mustCd(err)
-		SignalNow(ev, me)
+		completeNow(done, me)
 		return
 	}
-	me.agg.Xor64(int(p.rank), p.Offset(), val, me.aggDefer(ev))
+	me.agg.Xor64(int(p.rank), p.Offset(), val, me.aggDefer(done))
 }
 
 // AggSend delivers payload to the AM handler registered under id on
@@ -217,10 +220,11 @@ func AggXor64(me *Rank, p GlobalPtr[uint64], val uint64, ev *Event) {
 // other ops bound for the target; in-process it rides the engine's
 // active messages (and a self-send on the wire applies immediately),
 // so semantics match across backends: the handler runs on the target's
-// goroutine, and completion (ev / Finish) means it has run.
-func AggSend(me *Rank, target int, id uint16, payload []byte, ev *Event) {
+// goroutine, and completion (done / Finish) means it has run.
+func AggSend(me *Rank, target int, id uint16, payload []byte, done Completer) {
 	me.enter()
 	defer me.exit()
+	done = normCompleter(done)
 	if target < 0 || target >= me.Ranks() {
 		panic(fmt.Sprintf("upcxx: AggSend to invalid rank %d of %d", target, me.Ranks()))
 	}
@@ -228,10 +232,10 @@ func AggSend(me *Rank, target int, id uint16, payload []byte, ev *Event) {
 	if me.agg != nil {
 		if target == me.id {
 			rankApplier{r: me, from: me.id}.AM(id, payload)
-			SignalNow(ev, me)
+			completeNow(done, me)
 			return
 		}
-		me.agg.Send(target, id, payload, me.aggDefer(ev))
+		me.agg.Send(target, id, payload, me.aggDefer(done))
 		return
 	}
 
@@ -241,8 +245,8 @@ func AggSend(me *Rank, target int, id uint16, payload []byte, ev *Event) {
 	if fs != nil {
 		fs.add(1)
 	}
-	if ev != nil {
-		ev.register(1)
+	if done != nil {
+		done.compRegister(me, 1)
 	}
 	me.aggEv.register(1)
 	job := me.job
@@ -254,14 +258,14 @@ func AggSend(me *Rank, target int, id uint16, payload []byte, ev *Event) {
 	me.ep.SendAt(target, arrival, len(pl), func(tep *gasnet.Endpoint) {
 		tgt := job.ranks[tep.Rank]
 		rankApplier{r: tgt, from: from}.AM(id, pl)
-		done := tgt.Clock()
-		if ev != nil {
-			ev.signal(done, tgt)
+		t := tgt.Clock()
+		if done != nil {
+			done.compComplete(t, tgt)
 		}
 		if fs != nil {
-			fs.childDone(done, tgt)
+			fs.childDone(t, tgt)
 		}
-		me.aggEv.signal(done, tgt)
+		me.aggEv.signal(t, tgt)
 	})
 }
 

@@ -43,29 +43,45 @@ type TaskFn func(me *Rank)
 type asyncCfg struct {
 	payload int
 	after   *Event
-	signal  *Event
-	flops   float64
+	// done is the launch's completion object: an *Event (via Signal),
+	// a *Promise or Onto(...) set, or a chain of them. It completes
+	// when the task body has run.
+	done  Completer
+	flops float64
 }
 
-// AsyncOpt configures an Async launch.
-type AsyncOpt func(*asyncCfg)
+// AsyncOpt configures an Async / AsyncTask launch. It is an interface
+// (rather than a bare func type) so completion objects built with Onto
+// can be passed directly as options alongside Payload/After/TaskFlops.
+type AsyncOpt interface {
+	applyAsync(*asyncCfg)
+}
+
+// asyncOptFn adapts a plain option function to AsyncOpt.
+type asyncOptFn func(*asyncCfg)
+
+func (f asyncOptFn) applyAsync(c *asyncCfg) { f(c) }
 
 // Payload declares the modeled size in bytes of the task's serialized
 // arguments (default 64).
-func Payload(bytes int) AsyncOpt { return func(c *asyncCfg) { c.payload = bytes } }
+func Payload(bytes int) AsyncOpt { return asyncOptFn(func(c *asyncCfg) { c.payload = bytes }) }
 
 // After defers the launch until ev fires — the paper's
 // async_after(place, after, ...) dependency construct.
-func After(ev *Event) AsyncOpt { return func(c *asyncCfg) { c.after = ev } }
+func After(ev *Event) AsyncOpt { return asyncOptFn(func(c *asyncCfg) { c.after = ev }) }
 
 // Signal registers the task(s) with ev; ev fires when they (and every
 // other registered operation) complete — the paper's
-// async(place, event* ack) form.
-func Signal(ev *Event) AsyncOpt { return func(c *asyncCfg) { c.signal = ev } }
+// async(place, event* ack) form. It is the event-flavored spelling of
+// the unified completion option: Signal(ev) and Onto(ev) are the same
+// thing, and Onto additionally accepts promises and ToFinish().
+func Signal(ev *Event) AsyncOpt {
+	return asyncOptFn(func(c *asyncCfg) { c.done = chainCompleter(c.done, ev) })
+}
 
 // TaskFlops charges the given modeled compute to the target when the task
 // runs (in addition to any charges the body itself makes).
-func TaskFlops(f float64) AsyncOpt { return func(c *asyncCfg) { c.flops = f } }
+func TaskFlops(f float64) AsyncOpt { return asyncOptFn(func(c *asyncCfg) { c.flops = f }) }
 
 // Async launches fn asynchronously on every rank of place, the paper's
 // async(place)(function, args...). The launch is non-blocking; completion
@@ -74,7 +90,7 @@ func TaskFlops(f float64) AsyncOpt { return func(c *asyncCfg) { c.flops = f } }
 func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) {
 	cfg := asyncCfg{payload: 64}
 	for _, o := range opts {
-		o(&cfg)
+		o.applyAsync(&cfg)
 	}
 	// Asyncs ship Go closures, which do not serialize: on a wire-backed
 	// job only self-targeted tasks are allowed.
@@ -86,8 +102,8 @@ func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) {
 	if fs != nil {
 		fs.add(len(place.ranks))
 	}
-	if cfg.signal != nil {
-		cfg.signal.register(len(place.ranks))
+	if cfg.done != nil {
+		cfg.done.compRegister(me, len(place.ranks))
 	}
 	me.exit()
 
@@ -101,8 +117,8 @@ func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) {
 			}
 			fn(tgt)
 			done := tgt.Clock()
-			if cfg.signal != nil {
-				cfg.signal.signal(done, tgt)
+			if cfg.done != nil {
+				cfg.done.compComplete(done, tgt)
 			}
 			if fs != nil {
 				fs.childDone(done, tgt)
@@ -122,30 +138,24 @@ func AsyncAfter(me *Rank, place Place, after *Event, signal *Event, fn TaskFn, o
 	Async(me, place, fn, opts...)
 }
 
-// Future holds the eventual return value of an AsyncFuture or
-// AsyncTaskFuture call, like the paper's future<T> (requires C++11
-// there; requires nothing special here). Only the launching rank may
-// Get it.
-type Future[T any] struct {
-	owner *Rank
-	done  bool
-	val   T
-}
-
 // AsyncFuture launches fn on the target rank and returns a future for its
 // result: future<T> f = async(place)(function, args...). The reply travels
 // back as a message and its latency is charged when the value is consumed.
+// The returned future is chainable — see Then/ThenAsync in future.go.
 func AsyncFuture[T any](me *Rank, target int, fn func(me *Rank) T, opts ...AsyncOpt) *Future[T] {
 	cfg := asyncCfg{payload: 64}
 	for _, o := range opts {
-		o(&cfg)
+		o.applyAsync(&cfg)
 	}
 	me.noWire("AsyncFuture", target)
-	f := &Future[T]{owner: me}
+	f := newFuture[T](me)
 	me.enter()
 	fs := me.currentFinish()
 	if fs != nil {
 		fs.add(1)
+	}
+	if cfg.done != nil {
+		cfg.done.compRegister(me, 1)
 	}
 	me.exit()
 	job := me.job
@@ -163,32 +173,19 @@ func AsyncFuture[T any](me *Rank, target int, fn func(me *Rank) T, opts ...Async
 		v := fn(tgt)
 		done := tgt.Clock()
 		repArrival := done + job.model.Lat(tgt.id, me.id) + job.model.WireNs(repBytes)
-		tep.SendAt(me.id, repArrival, repBytes, func(*gasnet.Endpoint) {
-			f.val = v
-			f.done = true
+		tep.SendAt(me.id, repArrival, repBytes, func(rep *gasnet.Endpoint) {
+			// The reply executes on the owner's goroutine; resolution
+			// fires any attached continuations there.
+			f.resolve(v, rep.Clock.Now(), me)
 		})
-		if cfg.signal != nil {
-			cfg.signal.signal(done, tgt)
+		if cfg.done != nil {
+			cfg.done.compComplete(done, tgt)
 		}
 		if fs != nil {
 			fs.childDone(done, tgt)
 		}
 	})
 	return f
-}
-
-// Ready reports whether the value has arrived, servicing progress once.
-func (f *Future[T]) Ready() bool {
-	f.owner.Advance()
-	return f.done
-}
-
-// Get blocks until the value arrives — servicing async tasks and, on a
-// wire job, conduit traffic and aggregation flushes meanwhile — and
-// returns it, the paper's future.get().
-func (f *Future[T]) Get() T {
-	f.owner.waitProgress(func() bool { return f.done })
-	return f.val
 }
 
 // finishScope tracks operations launched in the dynamic extent of one

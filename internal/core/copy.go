@@ -211,21 +211,21 @@ func moveBytes[T any](me *Rank, src, dst GlobalPtr[T], bytes int) {
 }
 
 // AsyncCopy initiates a non-blocking one-sided bulk transfer (the paper's
-// async_copy). If ev is non-nil the operation registers with it and
-// signals on completion; otherwise completion attaches to the rank's
+// async_copy). If done is non-nil — an *Event (the legacy handle), a
+// *Promise, or an Onto(...) combination — the operation registers with
+// it and completes into it; otherwise completion attaches to the rank's
 // implicit handle set, synchronized by AsyncCopyFence / Fence. The data
 // movement itself is performed eagerly (so program results are ready at
 // synchronization); the cost model accounts initiation now and transfer
 // completion at the modeled finish time, which is what enables
-// communication/computation overlap in virtual time.
-func AsyncCopy[T any](me *Rank, src, dst GlobalPtr[T], count int, ev *Event) {
+// communication/computation overlap in virtual time. For a future-
+// returning variant with real wire overlap see CopyAsync.
+func AsyncCopy[T any](me *Rank, src, dst GlobalPtr[T], count int, done Completer) {
 	me.enter()
 	defer me.exit()
+	done = normCompleter(done)
 	if count <= 0 {
-		if ev != nil {
-			ev.register(1)
-			ev.signal(me.Clock(), me)
-		}
+		completeNow(done, me)
 		return
 	}
 	bytes := count * int(sizeOf[T]())
@@ -239,11 +239,13 @@ func AsyncCopy[T any](me *Rank, src, dst GlobalPtr[T], count int, ev *Event) {
 	me.ep.Clock.Advance(mo.NBInitCost())
 	completion := me.Clock() + mo.NBCompleteCost(me.id, peer, bytes)
 
+	if done != nil {
+		done.compRegister(me, 1)
+	}
 	moveBytes(me, src, dst, bytes)
 
-	if ev != nil {
-		ev.register(1)
-		ev.signal(completion, me)
+	if done != nil {
+		done.compComplete(completion, me)
 	} else {
 		if completion > me.implicitMax {
 			me.implicitMax = completion
@@ -304,21 +306,25 @@ func WriteSlice[T any](me *Rank, dst GlobalPtr[T], src []T) {
 }
 
 // WriteSliceAsync is the non-blocking WriteSlice: initiation is charged
-// now, completion attaches to ev (or the implicit set if ev is nil).
-func WriteSliceAsync[T any](me *Rank, dst GlobalPtr[T], src []T, ev *Event) {
+// now, completion attaches to done — any completion object — or the
+// implicit set when done is nil.
+func WriteSliceAsync[T any](me *Rank, dst GlobalPtr[T], src []T, done Completer) {
 	me.enter()
+	done = normCompleter(done)
 	bytes := len(src) * int(sizeOf[T]())
 	mo := me.job.model
 	me.ep.Stats.Puts.Add(1)
 	me.ep.Stats.PutBytes.Add(int64(bytes))
 	me.ep.Clock.Advance(mo.NBInitCost())
 	completion := me.Clock() + mo.NBCompleteCost(me.id, int(dst.rank), bytes)
+	if done != nil {
+		done.compRegister(me, 1)
+	}
 	me.aggPreBlock()
 	me.mustCd(me.cd.Put(int(dst.rank), dst.Offset(), sliceBytes(src)))
 	me.exit()
-	if ev != nil {
-		ev.register(1)
-		ev.signal(completion, me)
+	if done != nil {
+		done.compComplete(completion, me)
 	} else {
 		if completion > me.implicitMax {
 			me.implicitMax = completion

@@ -171,6 +171,12 @@ type Rank struct {
 
 	mu sync.Mutex // Concurrent-mode serialization
 
+	// gid is the id of the goroutine this rank's SPMD main runs on
+	// (captured by Run/RunWire). Future consumption checks it in
+	// Serialized mode: Get/Ready/Then from another rank's goroutine
+	// would drive the wrong progress engine. 0 = not yet bound.
+	gid uint64
+
 	finish []*finishScope
 
 	// Registered-task RPC state (rpc.go), wire jobs only: calls awaits
@@ -244,6 +250,7 @@ func Run(cfg Config, main func(me *Rank)) Stats {
 		wg.Add(1)
 		go func(r *Rank) {
 			defer wg.Done()
+			r.gid = goid()
 			main(r)
 			r.quiesce()
 		}(r)
@@ -300,6 +307,7 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 	r.installRPC()
 
 	start := time.Now()
+	r.gid = goid()
 	main(r)
 	r.quiesce()
 	wall := time.Since(start)

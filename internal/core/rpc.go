@@ -73,11 +73,11 @@ func RegisterTask(name string, fn TaskBody) Task {
 }
 
 // pendingCall is one outstanding reply on the calling rank: a future
-// awaiting the body's return bytes, a signal event awaiting body
+// awaiting the body's return bytes, a completion object awaiting body
 // completion, or both.
 type pendingCall struct {
-	fut *Future[[]byte]
-	ev  *Event
+	fut  *Future[[]byte]
+	done Completer
 }
 
 // installRPC wires the runtime's reserved AM handlers into this rank's
@@ -144,11 +144,12 @@ func (r *Rank) rpcReply(payload []byte) {
 	t := r.Clock()
 	if pc.fut != nil {
 		// The payload aliases the batch buffer; the future outlives it.
-		pc.fut.val = append([]byte(nil), data...)
-		pc.fut.done = true
+		// Resolution fires attached continuations here, inside batch
+		// application on the owner's goroutine.
+		pc.fut.resolve(append([]byte(nil), data...), t, r)
 	}
-	if pc.ev != nil {
-		pc.ev.signal(t, r)
+	if pc.done != nil {
+		pc.done.compComplete(t, r)
 	}
 }
 
@@ -236,24 +237,24 @@ func mustTask(t Task) uint16 {
 }
 
 // wireTask ships one registered-task request over the aggregation
-// plane. sig and fut attach to the executor's reply; fs receives the
+// plane. done and fut attach to the executor's reply; fs receives the
 // done-ack when the task's subtree quiesces.
 func (r *Rank) wireTask(target int, idx uint16, args []byte,
-	sig *Event, fut *Future[[]byte], fs *finishScope) {
+	done Completer, fut *Future[[]byte], fs *finishScope) {
 	if r.agg == nil {
 		panic(fmt.Errorf("upcxx: rank %d: conduit has no batch plane for task requests: %w",
 			r.id, gasnet.ErrNotWireCapable))
 	}
 	var flags byte
 	var callID uint64
-	if sig != nil || fut != nil {
+	if done != nil || fut != nil {
 		flags |= rpc.FlagReply
 		r.nextCall++
 		callID = r.nextCall
 		if r.calls == nil {
 			r.calls = make(map[uint64]*pendingCall)
 		}
-		r.calls[callID] = &pendingCall{fut: fut, ev: sig}
+		r.calls[callID] = &pendingCall{fut: fut, done: done}
 	}
 	var doneID uint64
 	if fs != nil {
@@ -274,7 +275,7 @@ func AsyncTask(me *Rank, place Place, t Task, args []byte, opts ...AsyncOpt) {
 	idx := mustTask(t)
 	cfg := asyncCfg{payload: taskWireBytes(len(args))}
 	for _, o := range opts {
-		o(&cfg)
+		o.applyAsync(&cfg)
 	}
 	args = append([]byte(nil), args...)
 	me.enter()
@@ -282,20 +283,20 @@ func AsyncTask(me *Rank, place Place, t Task, args []byte, opts ...AsyncOpt) {
 	if fs != nil {
 		fs.add(len(place.ranks))
 	}
-	if cfg.signal != nil {
-		cfg.signal.register(len(place.ranks))
+	if cfg.done != nil {
+		cfg.done.compRegister(me, len(place.ranks))
 	}
 	me.exit()
 
 	launchOne := func(from *Rank, target int, arrival float64) {
 		if me.onWire() && target != me.id {
-			me.wireTask(target, idx, args, cfg.signal, nil, fs)
+			me.wireTask(target, idx, args, cfg.done, nil, fs)
 			return
 		}
 		me.launchTaskInProc(from, target, arrival, idx, args, cfg,
 			func(_ []byte, done float64, tgt *Rank) {
-				if cfg.signal != nil {
-					cfg.signal.signal(done, tgt)
+				if cfg.done != nil {
+					cfg.done.compComplete(done, tgt)
 				}
 			}, fs)
 	}
@@ -313,35 +314,34 @@ func AsyncTaskFuture(me *Rank, target int, t Task, args []byte, opts ...AsyncOpt
 	idx := mustTask(t)
 	cfg := asyncCfg{payload: taskWireBytes(len(args))}
 	for _, o := range opts {
-		o(&cfg)
+		o.applyAsync(&cfg)
 	}
 	args = append([]byte(nil), args...)
-	f := &Future[[]byte]{owner: me}
+	f := newFuture[[]byte](me)
 	me.enter()
 	fs := me.currentFinish()
 	if fs != nil {
 		fs.add(1)
 	}
-	if cfg.signal != nil {
-		cfg.signal.register(1)
+	if cfg.done != nil {
+		cfg.done.compRegister(me, 1)
 	}
 	me.exit()
 
 	job := me.job
 	me.fanOut(Place{ranks: []int{target}}, cfg, func(from *Rank, target int, arrival float64) {
 		if me.onWire() && target != me.id {
-			me.wireTask(target, idx, args, cfg.signal, f, fs)
+			me.wireTask(target, idx, args, cfg.done, f, fs)
 			return
 		}
 		me.launchTaskInProc(from, target, arrival, idx, args, cfg,
 			func(reply []byte, done float64, tgt *Rank) {
 				repArrival := done + job.model.Lat(tgt.id, me.id) + job.model.WireNs(len(reply))
-				tgt.ep.SendAt(me.id, repArrival, len(reply), func(*gasnet.Endpoint) {
-					f.val = reply
-					f.done = true
+				tgt.ep.SendAt(me.id, repArrival, len(reply), func(rep *gasnet.Endpoint) {
+					f.resolve(reply, rep.Clock.Now(), me)
 				})
-				if cfg.signal != nil {
-					cfg.signal.signal(done, tgt)
+				if cfg.done != nil {
+					cfg.done.compComplete(done, tgt)
 				}
 			}, fs)
 	})

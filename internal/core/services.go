@@ -67,3 +67,27 @@ func SignalNow(ev *Event, from *Rank) {
 	ev.register(1)
 	ev.signal(from.Now(), from)
 }
+
+// The Completer analogs, for substrates whose protocols complete into
+// any completion object (event, promise, Onto set) — the ndarray
+// library's asynchronous ghost copies use these.
+
+// RegisterWith records n more pending operations with the completion
+// object (nil-safe).
+func RegisterWith(c Completer, me *Rank, n int) {
+	if c = normCompleter(c); c != nil {
+		c.compRegister(me, n)
+	}
+}
+
+// CompleteAt credits one completion at modeled time t; sig is the rank
+// whose goroutine delivers it (nil-safe).
+func CompleteAt(c Completer, t float64, sig *Rank) {
+	if c = normCompleter(c); c != nil {
+		c.compComplete(t, sig)
+	}
+}
+
+// CompleteNow registers and immediately completes one operation — the
+// no-op-operation case (nil-safe).
+func CompleteNow(c Completer, me *Rank) { completeNow(c, me) }

@@ -103,6 +103,32 @@ type BatchConduit interface {
 	WaitFor(pred func() bool) error
 }
 
+// AsyncConduit is the optional extension the futures-based one-sided
+// operations (core.ReadAsync, WriteAsync, CopyAsync, ReadSliceAsync)
+// use for genuinely non-blocking data movement: the request frames
+// leave now, the initiating rank keeps computing, and onDone fires
+// from the rank's progress dispatch (Poll or a blocking call's wait
+// loop) when the last reply arrives. Only conduits whose transfers
+// have real wire latency implement it — WireConduit does; ProcConduit
+// does not, because an in-process access completes in the same
+// instruction stream and the core's virtual-time path models the
+// overlap instead. The core type-asserts this interface and falls
+// back to the eager-move-plus-modeled-completion path when absent.
+type AsyncConduit interface {
+	Conduit
+
+	// GetAsync starts copying len(p) bytes from rank's segment at off
+	// into p without blocking; onDone runs on the calling rank's
+	// goroutine once every byte has landed. p must stay untouched
+	// until then.
+	GetAsync(rank int, off uint64, p []byte, onDone func()) error
+
+	// PutAsync starts copying p into rank's segment at off without
+	// blocking; onDone runs on the calling rank's goroutine once the
+	// target has applied every byte.
+	PutAsync(rank int, off uint64, p []byte, onDone func()) error
+}
+
 // CounterSource is implemented by conduits that meter their own
 // traffic (WireConduit's per-handler frame/byte counters); the runtime
 // folds these into job statistics and the bench harness into its JSON

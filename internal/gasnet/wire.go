@@ -73,7 +73,11 @@ type WireConduit struct {
 
 	nextToken uint64
 	replies   map[uint64][]byte
-	acks      map[uint64]func() // batch tokens -> completion callbacks
+	// acks holds reply callbacks for tokens whose requester did not
+	// block: aggregation batches and the async data plane (GetAsync /
+	// PutAsync chunks). Tokens without a callback park in replies for
+	// the blocking request path.
+	acks map[uint64]func(payload []byte)
 
 	// batchHandler decodes and applies one aggregation batch; installed
 	// by the layer above (core) via SetBatchHandler.
@@ -132,7 +136,7 @@ func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
 		tep:          tep,
 		mem:          mem,
 		replies:      make(map[uint64][]byte),
-		acks:         make(map[uint64]func()),
+		acks:         make(map[uint64]func(payload []byte)),
 		locks:        make(map[uint64]*wireLockState),
 		gatherParts:  make(map[uint64][][]byte),
 		gatherCount:  make(map[uint64]int),
@@ -243,11 +247,12 @@ func (c *WireConduit) reply(m transport.Message, payload []byte) {
 }
 
 func (c *WireConduit) onReply(_ *transport.TCPEndpoint, m transport.Message) {
-	// Batch acknowledgements carry a callback instead of a parked
-	// requester; everything else parks in the replies map.
+	// Batch acknowledgements and async-data-plane replies carry a
+	// callback instead of a parked requester; everything else parks in
+	// the replies map.
 	if cb, ok := c.acks[m.Arg]; ok {
 		delete(c.acks, m.Arg)
-		cb()
+		cb(m.Payload)
 		return
 	}
 	c.replies[m.Arg] = m.Payload
@@ -335,6 +340,94 @@ func (c *WireConduit) onPut(_ *transport.TCPEndpoint, m transport.Message) {
 	c.reply(m, nil)
 }
 
+// GetAsync is the non-blocking Get: every chunk request leaves now and
+// onDone runs, on this rank's goroutine, when the last chunk's reply
+// has been copied into p. Replies ride the same tokened hReply path as
+// blocking requests — the callback registered per token is what makes
+// the requester free to keep working instead of parking in WaitFor.
+func (c *WireConduit) GetAsync(rank int, off uint64, p []byte, onDone func()) error {
+	if rank == c.Rank() {
+		c.mem.Read(off, p)
+		onDone()
+		return nil
+	}
+	if len(p) == 0 {
+		onDone()
+		return nil
+	}
+	remaining := (len(p) + maxChunk - 1) / maxChunk
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		dst := p[:n]
+		var req [16]byte
+		putU64(req[0:], off)
+		putU64(req[8:], uint64(n))
+		c.nextToken++
+		c.acks[c.nextToken] = func(rep []byte) {
+			if len(rep) != len(dst) {
+				panic(fmt.Sprintf("gasnet: wire async get of %d bytes returned %d", len(dst), len(rep)))
+			}
+			copy(dst, rep)
+			remaining--
+			if remaining == 0 {
+				onDone()
+			}
+		}
+		if err := c.send(transport.Message{
+			To: int32(rank), Handler: hGet, Arg: c.nextToken, Payload: req[:],
+		}); err != nil {
+			delete(c.acks, c.nextToken)
+			return err
+		}
+		p = p[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
+// PutAsync is the non-blocking Put: chunked requests leave now, and
+// onDone runs when the target has acknowledged the last chunk.
+func (c *WireConduit) PutAsync(rank int, off uint64, p []byte, onDone func()) error {
+	if rank == c.Rank() {
+		c.mem.Write(off, p)
+		onDone()
+		return nil
+	}
+	if len(p) == 0 {
+		onDone()
+		return nil
+	}
+	remaining := (len(p) + maxChunk - 1) / maxChunk
+	for len(p) > 0 {
+		n := len(p)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		req := make([]byte, 8+n)
+		putU64(req, off)
+		copy(req[8:], p[:n])
+		c.nextToken++
+		c.acks[c.nextToken] = func([]byte) {
+			remaining--
+			if remaining == 0 {
+				onDone()
+			}
+		}
+		if err := c.send(transport.Message{
+			To: int32(rank), Handler: hPut, Arg: c.nextToken, Payload: req,
+		}); err != nil {
+			delete(c.acks, c.nextToken)
+			return err
+		}
+		p = p[n:]
+		off += uint64(n)
+	}
+	return nil
+}
+
 // Xor64 performs the remote atomic update and returns the new value.
 func (c *WireConduit) Xor64(rank int, off uint64, val uint64) (uint64, error) {
 	if rank == c.Rank() {
@@ -381,7 +474,7 @@ func (c *WireConduit) SendBatch(to int, payload []byte, onAck func()) error {
 	if onAck == nil {
 		onAck = func() {} // the ack must still be consumed, or it parks in the replies map forever
 	}
-	c.acks[tok] = onAck
+	c.acks[tok] = func([]byte) { onAck() }
 	err := c.send(transport.Message{
 		To: int32(to), Handler: hBatch, Arg: tok, Payload: payload,
 	})
@@ -618,6 +711,9 @@ func (c *WireConduit) AllGather(contrib []byte) ([][]byte, error) {
 				return nil, err
 			}
 		}
+		// The result frames were sent after this rank's wait completed;
+		// nothing downstream is guaranteed to block, so ship them now.
+		c.tep.Flush()
 		return parts, nil
 	}
 	if err := c.sendFragmented(0, hGather, g, contrib); err != nil {

@@ -110,33 +110,36 @@ func (a *Array[T]) CopyFrom(me *core.Rank, b *Array[T]) {
 	}
 }
 
-// CopyFromAsync is CopyFrom completing into an event instead of blocking:
-// the initiator returns as soon as the protocol is launched, and ev fires
-// when the destination has unpacked. Overlapping several ghost exchanges
-// is the paper's motivating use of events.
-func (a *Array[T]) CopyFromAsync(me *core.Rank, b *Array[T], ev *core.Event) {
+// CopyFromAsync is CopyFrom completing into a completion object instead
+// of blocking: the initiator returns as soon as the protocol is
+// launched, and done completes (an *Event fires, a *Promise counts
+// down) when the destination has unpacked. Overlapping several ghost
+// exchanges is the paper's motivating use of events; pass one *Promise
+// to a batch of face copies and chain on its future for the
+// futures-first spelling (see examples/heat3d).
+func (a *Array[T]) CopyFromAsync(me *core.Rank, b *Array[T], done core.Completer) {
 	inter := a.dom.Intersect(b.dom)
 	if inter.IsEmpty() {
-		core.SignalNow(ev, me)
+		core.CompleteNow(done, me)
 		return
 	}
 	bytes := inter.Size() * a.elemBytes()
 	mo := me.Model()
-	core.Register(ev, 1)
+	core.RegisterWith(done, me, 1)
 
 	switch {
 	case a.owner == me.ID() && b.owner == me.ID():
 		ad, bd := a.storage(me), b.storage(me)
 		inter.ForEach(func(p Point) { ad[a.index(p)] = bd[b.index(p)] })
 		me.MemWork(float64(2 * bytes))
-		core.SignalAt(ev, me.Now(), me)
+		core.CompleteAt(done, me.Now(), me)
 
 	case b.owner == me.ID():
 		buf := b.pack(me, inter)
 		arrival := me.Now() + mo.Lat(me.ID(), a.owner) + mo.WireNs(bytes)
 		me.AMAt(a.owner, arrival, bytes, func(dst *core.Rank) {
 			a.unpack(dst, inter, buf)
-			core.SignalAt(ev, dst.Now(), dst)
+			core.CompleteAt(done, dst.Now(), dst)
 		})
 
 	default:
@@ -145,7 +148,7 @@ func (a *Array[T]) CopyFromAsync(me *core.Rank, b *Array[T], ev *core.Event) {
 			arrival := src.Now() + mo.Lat(src.ID(), a.owner) + mo.WireNs(bytes)
 			src.AMAt(a.owner, arrival, bytes, func(dst *core.Rank) {
 				a.unpack(dst, inter, buf)
-				core.SignalAt(ev, dst.Now(), dst)
+				core.CompleteAt(done, dst.Now(), dst)
 			})
 		})
 	}

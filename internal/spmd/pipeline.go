@@ -1,0 +1,112 @@
+package spmd
+
+import (
+	"fmt"
+
+	"upcxx/internal/core"
+)
+
+// The pipeline program is the acceptance gate of the futures-first
+// completion model (future.go): every rank drives `scale` independent
+// multi-hop Read→Then→AggPut chains, all overlapped under one Finish,
+// and rank 0 verifies every chain's result against a pure reference
+// fold. Each hop is a non-blocking ReadAsync of a cell owned by a
+// different rank; its Then continuation folds the value into the
+// chain's accumulator and issues the next hop from inside progress
+// dispatch — the continuation-issues-the-next-async idiom — and the
+// final continuation deposits the accumulator through the aggregation
+// layer. The surrounding Finish must therefore wait for continuations
+// attached after its body returned, transitively, on both conduit
+// backends; a single dropped hop, wrong-order fold, or lost AggPut
+// breaks the checksum.
+
+// pipeHops is the chain depth: each chain reads from this many
+// distinct neighbor ranks (wrapping) before depositing its result.
+const pipeHops = 3
+
+// pipeSrc is the value rank r publishes in source cell j.
+func pipeSrc(r, j int) uint64 { return mix(uint64(r)<<32 + uint64(j)) }
+
+// pipeSeed is chain (r, j)'s starting accumulator.
+func pipeSeed(r, j int) uint64 { return mix(uint64(r)<<16 ^ uint64(j) ^ 0xC0FFEE) }
+
+// pipeFold is one hop's fold of the value read into the accumulator.
+func pipeFold(acc, v uint64, hop int) uint64 { return mix(acc ^ (v + uint64(hop+1))) }
+
+// pipeExpect is the pure reference: chain (r, j)'s final accumulator.
+func pipeExpect(n, r, j int) uint64 {
+	acc := pipeSeed(r, j)
+	for h := 0; h < pipeHops; h++ {
+		acc = pipeFold(acc, pipeSrc((r+1+h)%n, j), h)
+	}
+	return acc
+}
+
+// pipeline is the program body. scale is the number of chains per rank.
+func pipeline(me *core.Rank, scale int) uint64 {
+	n := me.Ranks()
+
+	// Source table: scale cells in this rank's segment, published
+	// through an allgathered pointer directory (global pointers are
+	// POD and travel over the wire like any shared value).
+	src := core.Allocate[uint64](me, me.ID(), scale)
+	for j := 0; j < scale; j++ {
+		core.Write(me, src.Add(j), pipeSrc(me.ID(), j))
+	}
+	dir := core.AllGather(me, src)
+
+	// Result area: n*scale cells on rank 0, one per chain.
+	var res core.GlobalPtr[uint64]
+	if me.ID() == 0 {
+		res = core.Allocate[uint64](me, 0, n*scale)
+		zero := make([]uint64, n*scale)
+		core.WriteSlice(me, res, zero)
+	}
+	res = core.Broadcast(me, res, 0)
+	me.Barrier()
+
+	// All chains of this rank, overlapped under one Finish: hop h of
+	// chain j reads dir[(me+1+h)%n].Add(j); the last continuation
+	// AggPuts the accumulator into the chain's result cell. The Finish
+	// returns only when every hop of every chain has run and every
+	// deposit has been acknowledged.
+	core.Finish(me, func() {
+		for j := 0; j < scale; j++ {
+			j := j
+			var hop func(h int, acc uint64)
+			hop = func(h int, acc uint64) {
+				if h == pipeHops {
+					core.AggPut(me, res.Add(me.ID()*scale+j), acc, nil)
+					return
+				}
+				f := core.ReadAsync(me, dir[(me.ID()+1+h)%n].Add(j))
+				core.Then(f, func(v uint64) struct{} {
+					hop(h+1, pipeFold(acc, v, h))
+					return struct{}{}
+				})
+			}
+			hop(0, pipeSeed(me.ID(), j))
+		}
+	})
+	me.Barrier()
+
+	// Rank 0 verifies every chain against the reference and folds the
+	// checksum; everyone agrees through the broadcast.
+	var sum uint64
+	if me.ID() == 0 {
+		got := make([]uint64, n*scale)
+		core.ReadSlice(me, res, got)
+		for r := 0; r < n; r++ {
+			for j := 0; j < scale; j++ {
+				want := pipeExpect(n, r, j)
+				if got[r*scale+j] != want {
+					panic(fmt.Sprintf("spmd: pipeline chain (rank %d, #%d) = %#x, want %#x",
+						r, j, got[r*scale+j], want))
+				}
+				sum ^= mix(want + uint64(r*scale+j))
+			}
+		}
+	}
+	me.Barrier()
+	return core.Broadcast(me, sum, 0)
+}

@@ -71,6 +71,15 @@ var registry = []Prog{
 		Run: runDHT,
 	},
 	{
+		Name:         "pipeline",
+		Desc:         "futures-first overlap: per-rank batches of multi-hop ReadAsync→Then→AggPut chains under one Finish, verified against a pure fold",
+		DefaultScale: 256, // chains per rank
+		SegBytes: func(ranks, scale int) int {
+			return ranks*scale*8 + scale*8 + (1 << 17)
+		},
+		Run: pipeline,
+	},
+	{
 		Name:         "taskgraph",
 		Desc:         "event-driven task DAG over registered-function RPC: async/async_after with events, futures, distributed finish over RPC-spawned chains (paper §III-G Listing 1)",
 		DefaultScale: 12, // spawn-chain depth

@@ -13,6 +13,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -63,7 +64,8 @@ type TCPEndpoint struct {
 	handlers []Handler
 
 	mu    sync.Mutex
-	conns []net.Conn // by peer rank; nil for self
+	conns []net.Conn      // by peer rank; nil for self
+	outs  []*bufio.Writer // buffered write side of conns, same indexing
 
 	inbox     chan Message
 	done      chan struct{}
@@ -232,6 +234,19 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 	if acceptErr != nil {
 		return acceptErr
 	}
+	// Buffer the write side of every connection: frames accumulate and
+	// ship in few large writes instead of a syscall pair each, which is
+	// what lets pipelined non-blocking operations (GetAsync storms, the
+	// aggregation plane) actually overlap instead of serializing on
+	// per-frame write cost. Flushed whenever this rank is about to
+	// block (WaitFor) and at the end of every Poll, so no frame can sit
+	// buffered while its sender sleeps.
+	ep.outs = make([]*bufio.Writer, ep.n)
+	for r, c := range ep.conns {
+		if c != nil {
+			ep.outs[r] = bufio.NewWriterSize(c, 1<<16)
+		}
+	}
 	// One reader goroutine per peer feeds the inbox. A read error with
 	// the endpoint still open means the peer died mid-job: surface it
 	// and tear down, so ranks blocked on that peer fail loudly instead
@@ -274,9 +289,13 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 	return nil
 }
 
-// Send delivers a message to the target rank (loopback is delivered
-// through the inbox like any other message). Payloads over MaxPayload
-// and sends on a closed endpoint are rejected up front.
+// Send queues a message for the target rank (loopback is delivered
+// through the inbox like any other message). Remote frames accumulate
+// in a per-peer write buffer and ship when the buffer fills, when this
+// endpoint is about to block in WaitFor, at the end of Poll, or at an
+// explicit Flush — so a caller that sends and then stops making
+// progress calls must Flush. Payloads over MaxPayload and sends on a
+// closed endpoint are rejected up front.
 func (ep *TCPEndpoint) Send(m Message) error {
 	if len(m.Payload) > MaxPayload {
 		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(m.Payload))
@@ -297,15 +316,36 @@ func (ep *TCPEndpoint) Send(m Message) error {
 	}
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	c := ep.conns[m.To]
-	if c == nil {
+	w := ep.outs[m.To]
+	if w == nil {
 		return fmt.Errorf("transport: no connection to rank %d", m.To)
 	}
-	return writeFrame(c, m)
+	return writeFrame(w, m)
+}
+
+// Flush ships every buffered frame now. Callers that send and then
+// neither poll nor wait (a collective root answering its children
+// after its own wait completed) must flush, or the frames sit in the
+// buffer while the peers sleep.
+func (ep *TCPEndpoint) Flush() { ep.flushOut() }
+
+// flushOut ships every buffered frame. Errors are deliberately not
+// surfaced here: a broken connection is detected (and the endpoint
+// torn down) by that peer's reader goroutine, which is the single
+// authority on peer loss.
+func (ep *TCPEndpoint) flushOut() {
+	ep.mu.Lock()
+	for _, w := range ep.outs {
+		if w != nil {
+			_ = w.Flush()
+		}
+	}
+	ep.mu.Unlock()
 }
 
 // Poll dispatches queued messages to their handlers without blocking and
-// reports how many ran.
+// reports how many ran. Buffered outgoing frames (including replies the
+// handlers just wrote) are flushed before returning.
 func (ep *TCPEndpoint) Poll() int {
 	n := 0
 	for {
@@ -314,14 +354,24 @@ func (ep *TCPEndpoint) Poll() int {
 			ep.dispatch(m)
 			n++
 		default:
+			ep.flushOut()
 			return n
 		}
 	}
 }
 
-// WaitFor polls (blocking) until pred() is true.
+// WaitFor polls (blocking) until pred() is true. Buffered outgoing
+// frames are flushed whenever the wait is about to block, so a peer
+// can never be left waiting on a frame parked in our write buffer.
 func (ep *TCPEndpoint) WaitFor(pred func() bool) error {
 	for !pred() {
+		select {
+		case m := <-ep.inbox:
+			ep.dispatch(m)
+			continue
+		default:
+		}
+		ep.flushOut()
 		select {
 		case m := <-ep.inbox:
 			ep.dispatch(m)
@@ -329,6 +379,7 @@ func (ep *TCPEndpoint) WaitFor(pred func() bool) error {
 			return ep.closedErr()
 		}
 	}
+	ep.flushOut()
 	return nil
 }
 
@@ -340,12 +391,13 @@ func (ep *TCPEndpoint) WaitFor(pred func() bool) error {
 func (ep *TCPEndpoint) Goodbye() {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	for r, c := range ep.conns {
-		if c == nil {
+	for r, w := range ep.outs {
+		if w == nil {
 			continue
 		}
 		// Best-effort: an unreachable peer is already tearing down.
-		writeFrame(c, Message{From: ep.rank, To: int32(r), Handler: byeHandler})
+		writeFrame(w, Message{From: ep.rank, To: int32(r), Handler: byeHandler})
+		w.Flush()
 	}
 }
 

@@ -114,6 +114,7 @@ func TestPayloadIntegrity(t *testing.T) {
 	if err := eps[0].Send(Message{To: 1, Handler: 2, Payload: payload}); err != nil {
 		t.Fatal(err)
 	}
+	eps[0].Flush() // the sender performs no further progress calls
 	if err := eps[1].WaitFor(func() bool { return got.Load() != nil }); err != nil {
 		t.Fatal(err)
 	}
@@ -179,6 +180,7 @@ func TestOversizedPayloadRejected(t *testing.T) {
 	if err := eps[0].Send(Message{To: 1, Handler: 1, Arg: 9}); err != nil {
 		t.Fatal(err)
 	}
+	eps[0].Flush()
 	if err := eps[1].WaitFor(ok.Load); err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +247,7 @@ func TestHandlerIndexOutOfRange(t *testing.T) {
 	if err := eps[0].Send(Message{To: 1, Handler: 7}); err != nil {
 		t.Fatal(err)
 	}
+	eps[0].Flush()
 	if err := eps[1].WaitFor(ok.Load); err != nil {
 		t.Fatal(err)
 	}
@@ -272,6 +275,7 @@ func TestManyMessagesOrdered(t *testing.T) {
 				return
 			}
 		}
+		eps[0].Flush()
 	}()
 	if err := eps[1].WaitFor(func() bool { return last.Load() == msgs }); err != nil {
 		t.Fatal(err)

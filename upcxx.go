@@ -105,9 +105,10 @@ func AtomicXor(me *Rank, p GlobalPtr[uint64], val uint64) uint64 {
 func Copy[T any](me *Rank, src, dst GlobalPtr[T], count int) { core.Copy(me, src, dst, count) }
 
 // AsyncCopy is the non-blocking bulk transfer async_copy, completing into
-// ev (or the implicit handle set when ev is nil).
-func AsyncCopy[T any](me *Rank, src, dst GlobalPtr[T], count int, ev *Event) {
-	core.AsyncCopy(me, src, dst, count, ev)
+// done — an *Event, a *Promise, or an Onto(...) combination — or the
+// implicit handle set when done is nil.
+func AsyncCopy[T any](me *Rank, src, dst GlobalPtr[T], count int, done Completer) {
+	core.AsyncCopy(me, src, dst, count, done)
 }
 
 // ReadSlice stages shared memory into a private slice.
@@ -116,9 +117,44 @@ func ReadSlice[T any](me *Rank, src GlobalPtr[T], dst []T) { core.ReadSlice(me, 
 // WriteSlice stages a private slice into shared memory.
 func WriteSlice[T any](me *Rank, dst GlobalPtr[T], src []T) { core.WriteSlice(me, dst, src) }
 
-// WriteSliceAsync is the non-blocking WriteSlice.
-func WriteSliceAsync[T any](me *Rank, dst GlobalPtr[T], src []T, ev *Event) {
-	core.WriteSliceAsync(me, dst, src, ev)
+// WriteSliceAsync is the non-blocking WriteSlice, completing into done
+// (or the implicit handle set when done is nil).
+func WriteSliceAsync[T any](me *Rank, dst GlobalPtr[T], src []T, done Completer) {
+	core.WriteSliceAsync(me, dst, src, done)
+}
+
+// Futures-first one-sided operations: non-blocking reads, writes and
+// copies returning a chainable *Future. On the wire conduit the
+// request leaves immediately and the future resolves from progress
+// dispatch when the reply lands — real overlap; in-process the data
+// stages eagerly and the future carries the modeled completion time.
+
+// ReadAsync starts a non-blocking one-sided read and returns its
+// future; chain with Then to consume the value on arrival.
+func ReadAsync[T any](me *Rank, p GlobalPtr[T]) *Future[T] { return core.ReadAsync(me, p) }
+
+// WriteAsync starts a non-blocking one-sided write and returns its
+// completion future.
+func WriteAsync[T any](me *Rank, p GlobalPtr[T], v T) *Future[struct{}] {
+	return core.WriteAsync(me, p, v)
+}
+
+// CopyAsync starts a non-blocking bulk transfer and returns its
+// completion future (the future-returning async_copy).
+func CopyAsync[T any](me *Rank, src, dst GlobalPtr[T], count int) *Future[struct{}] {
+	return core.CopyAsync(me, src, dst, count)
+}
+
+// ReadSliceAsync starts staging shared memory into dst; the future
+// resolves with dst once every element has landed.
+func ReadSliceAsync[T any](me *Rank, src GlobalPtr[T], dst []T) *Future[[]T] {
+	return core.ReadSliceAsync(me, src, dst)
+}
+
+// WriteSliceFuture starts the non-blocking WriteSlice and returns its
+// completion future.
+func WriteSliceFuture[T any](me *Rank, dst GlobalPtr[T], src []T) *Future[struct{}] {
+	return core.WriteSliceFuture(me, dst, src)
 }
 
 // AsyncCopyFence completes all implicit-handle async copies (the
@@ -132,13 +168,26 @@ func Fence(me *Rank) { core.Fence(me) }
 type (
 	// Event synchronizes non-blocking operations and async tasks.
 	Event = core.Event
-	// Future holds an async's eventual return value.
+	// Future is the chainable completion object every asynchronous
+	// operation can resolve: compose with Then/ThenAsync/WhenAll/
+	// WhenAny, consume with Get/Wait/Ready on the owning rank.
 	Future[T any] = core.Future[T]
+	// Promise is the producer half of a future: operations complete
+	// into it (Onto or anywhere an *Event is accepted), Finalize
+	// returns the future of the set.
+	Promise = core.Promise
+	// Completer is the unified completion-target seam: *Event,
+	// *Promise, Onto(...) sets and ToFinish() all satisfy it.
+	Completer = core.Completer
+	// Completion is an Onto(...) combination of completion targets;
+	// it is a Completer and also an Async/AsyncTask option.
+	Completion = core.Completion
 	// Place designates async targets (a rank or group).
 	Place = core.Place
 	// TaskFn is an async task body.
 	TaskFn = core.TaskFn
-	// AsyncOpt configures Async (Payload, After, Signal, TaskFlops).
+	// AsyncOpt configures Async (Payload, After, Signal, TaskFlops,
+	// and Onto completion objects).
 	AsyncOpt = core.AsyncOpt
 	// Lock is a global mutual-exclusion lock (upc_lock).
 	Lock = core.Lock
@@ -146,6 +195,41 @@ type (
 
 // NewEvent returns a fresh event.
 func NewEvent() *Event { return core.NewEvent() }
+
+// NewPromise creates a promise owned by the calling rank; complete
+// operations into it and Finalize for the future of the whole set.
+func NewPromise(me *Rank) *Promise { return core.NewPromise(me) }
+
+// Onto combines completion targets (events, promises, ToFinish()) into
+// one completion object, accepted by every *Event-taking operation and
+// as an AsyncTask/Async option.
+func Onto(targets ...Completer) *Completion { return core.Onto(targets...) }
+
+// ToFinish returns a completion target attaching one operation to the
+// enclosing Finish.
+func ToFinish() Completer { return core.ToFinish() }
+
+// Then attaches a synchronous continuation to a future; the returned
+// future resolves with fn's result. Continuations run on the owning
+// rank from progress dispatch and must not block (they may issue
+// further asynchronous operations — the multi-hop chain idiom).
+func Then[T, U any](f *Future[T], fn func(v T) U) *Future[U] { return core.Then(f, fn) }
+
+// ThenAsync is Then with the continuation running as a task, with the
+// owning rank's handle and task-dispatch cost.
+func ThenAsync[T, U any](f *Future[T], fn func(me *Rank, v T) U) *Future[U] {
+	return core.ThenAsync(f, fn)
+}
+
+// WhenAll joins futures: the result resolves with every value, in
+// order, when the last input resolves.
+func WhenAll[T any](fs ...*Future[T]) *Future[[]T] { return core.WhenAll(fs...) }
+
+// WhenAny races futures: the result resolves with the first value.
+func WhenAny[T any](fs ...*Future[T]) *Future[T] { return core.WhenAny(fs...) }
+
+// Resolved returns an already-fulfilled future, for seeding chains.
+func Resolved[T any](me *Rank, v T) *Future[T] { return core.Resolved(me, v) }
 
 // On places an async on a single rank; OnRanks on a group; Everywhere on
 // all ranks.
@@ -247,17 +331,20 @@ type AMHandler = core.AMHandler
 // every rank must register the same ids before use.
 func RegisterAMHandler(me *Rank, id uint16, fn AMHandler) { core.RegisterAMHandler(me, id, fn) }
 
-// AggPut writes v through the aggregation layer.
-func AggPut[T any](me *Rank, p GlobalPtr[T], v T, ev *Event) { core.AggPut(me, p, v, ev) }
+// AggPut writes v through the aggregation layer, completing into done
+// (any completion object, nil for barrier visibility).
+func AggPut[T any](me *Rank, p GlobalPtr[T], v T, done Completer) { core.AggPut(me, p, v, done) }
 
 // AggXor64 xors val into a shared word through the aggregation layer
 // (fire-and-forget: no value travels back).
-func AggXor64(me *Rank, p GlobalPtr[uint64], val uint64, ev *Event) { core.AggXor64(me, p, val, ev) }
+func AggXor64(me *Rank, p GlobalPtr[uint64], val uint64, done Completer) {
+	core.AggXor64(me, p, val, done)
+}
 
 // AggSend delivers payload to the target rank's registered handler
 // through the aggregation layer.
-func AggSend(me *Rank, target int, id uint16, payload []byte, ev *Event) {
-	core.AggSend(me, target, id, payload, ev)
+func AggSend(me *Rank, target int, id uint16, payload []byte, done Completer) {
+	core.AggSend(me, target, id, payload, done)
 }
 
 // AggFlush ships every buffered aggregation batch without waiting.

@@ -70,6 +70,40 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		}
 		me.Barrier()
 
+		// Futures-first completion: chains, joins, promises, Onto.
+		if me.ID() == 0 {
+			chained := 0.0
+			upcxx.Finish(me, func() {
+				f := upcxx.ReadAsync(me, next)
+				upcxx.Then(f, func(v float64) struct{} { chained = v + 1; return struct{}{} })
+			})
+			if chained == 0 {
+				t.Error("Then continuation did not run under Finish")
+			}
+
+			reads := []*upcxx.Future[float64]{
+				upcxx.ReadAsync(me, buf),
+				upcxx.ReadAsync(me, next),
+			}
+			if vals := upcxx.WhenAll(reads...).Get(); len(vals) != 2 {
+				t.Error("WhenAll")
+			}
+
+			pr := upcxx.NewPromise(me)
+			ev2 := upcxx.NewEvent()
+			upcxx.WriteAsync(me, next, 7.5).Wait()
+			upcxx.AsyncCopy(me, next, buf, 1, upcxx.Onto(pr, ev2))
+			pr.Finalize().Wait()
+			if !ev2.Test(me) {
+				t.Error("Onto event leg")
+			}
+			if upcxx.ReadAsync(me, buf).Get() != 7.5 {
+				t.Error("WriteAsync/CopyAsync pipeline")
+			}
+			upcxx.CopyAsync(me, buf, next, 1).Wait()
+		}
+		me.Barrier()
+
 		// Locks.
 		l := upcxx.Broadcast(me, upcxx.NewLock(me), 0)
 		l.Acquire(me)
