@@ -17,9 +17,20 @@
 // The line is backend-independent — the same program at the same size
 // must produce the same checksum on both backends — which is what the
 // CI smoke job asserts.
+//
+// Chaos mode injects a fault plan (internal/fault) into the job:
+//
+//	upcxx-run -n 4 -backend tcp -chaos "kill:rank=2,at=500ms" dhtchaos
+//
+// Transport rules (drop/delay/sever) act inside each rank's transport;
+// kill rules hard-exit the doomed wire rank (exit code 3, which the
+// parent treats as scripted) or mark it dead in-process. The reporting
+// rank is the lowest rank the plan does not kill, so a chaos run still
+// prints the one checksum line CI compares against the fault-free run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +40,7 @@ import (
 	"strconv"
 
 	"upcxx/internal/core"
+	"upcxx/internal/fault"
 	"upcxx/internal/spmd"
 )
 
@@ -46,8 +58,18 @@ func main() {
 	scale := flag.Int("scale", 0, "program size knob (0 = program default)")
 	rdvTimeout := flag.Duration("rendezvous-timeout", spmd.RendezvousTimeout,
 		"deadline for the tcp backend's address rendezvous (raise for slow or congested hosts)")
+	chaos := flag.String("chaos", "", `fault plan, e.g. "kill:rank=2,at=500ms" or "drop:rank=0,peer=1,op=3" (see internal/fault)`)
 	list := flag.Bool("list", false, "list registered programs")
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *chaos != "" {
+		var err error
+		if plan, err = fault.Parse(*chaos); err != nil {
+			fmt.Fprintln(os.Stderr, "upcxx-run: -chaos:", err)
+			os.Exit(2)
+		}
+	}
 
 	// Children inherit the flag through re-execution of os.Args, so the
 	// whole job — parent accept loop and every child's dial — shares one
@@ -85,15 +107,15 @@ func main() {
 	}
 
 	if rankStr := os.Getenv(envRank); rankStr != "" {
-		runChild(prog, *scale, rankStr)
+		runChild(prog, *scale, rankStr, plan)
 		return
 	}
 
 	switch *backend {
 	case "proc":
-		runProc(prog, *n, *scale)
+		runProc(prog, *n, *scale, plan)
 	case "tcp":
-		runTCP(prog, *n, *scale)
+		runTCP(prog, *n, *scale, plan)
 	default:
 		fmt.Fprintf(os.Stderr, "upcxx-run: unknown backend %q (want proc or tcp)\n", *backend)
 		os.Exit(2)
@@ -111,22 +133,40 @@ func report(prog spmd.Prog, n, scale int, sum uint64) {
 	fmt.Printf("%s ranks=%d scale=%d checksum=%016x\n", prog.Name, n, scale, sum)
 }
 
+// reportRank is the rank whose checksum the launcher prints: the
+// lowest one the plan does not kill (-1 if it kills them all).
+func reportRank(n int, plan *fault.Plan) int {
+	for r := 0; r < n; r++ {
+		if !plan.KillsRank(r) {
+			return r
+		}
+	}
+	return -1
+}
+
 // runProc executes the program on the in-process backend: one goroutine
 // per rank over the virtual-time engine, as upcxx.Run does.
-func runProc(prog spmd.Prog, n, scale int) {
+func runProc(prog spmd.Prog, n, scale int, plan *fault.Plan) {
+	rep := reportRank(n, plan)
 	var sum uint64
-	core.Run(core.Config{Ranks: n, SegmentBytes: prog.SegBytes(n, scale)}, func(me *core.Rank) {
+	core.Run(core.Config{
+		Ranks:        n,
+		SegmentBytes: prog.SegBytes(n, scale),
+		Fault:        plan,
+	}, func(me *core.Rank) {
 		s := prog.Run(me, scale)
-		if me.ID() == 0 {
+		if me.ID() == rep {
 			sum = s
 		}
 	})
-	report(prog, n, scale, sum)
+	if rep >= 0 {
+		report(prog, n, scale, sum)
+	}
 }
 
 // runTCP is the parent side of the wire launch: spawn one child process
 // per rank, serve the address rendezvous, and propagate failures.
-func runTCP(prog spmd.Prog, n, scale int) {
+func runTCP(prog spmd.Prog, n, scale int, plan *fault.Plan) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
@@ -164,10 +204,20 @@ func runTCP(prog spmd.Prog, n, scale int) {
 
 	failed := false
 	for i, c := range children {
-		if err := c.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", i, err)
-			failed = true
+		err := c.Wait()
+		if err == nil {
+			continue
 		}
+		// A rank the plan kills exits with ChaosExitCode from the armed
+		// timer — a scripted death, not a job failure. (It exits 0
+		// instead if the program finished before its death time.)
+		var xerr *exec.ExitError
+		if plan.KillsRank(i) && errors.As(err, &xerr) && xerr.ExitCode() == core.ChaosExitCode {
+			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d killed by fault plan\n", i)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", i, err)
+		failed = true
 	}
 	if err := <-rdvErr; err != nil && !failed {
 		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
@@ -178,8 +228,10 @@ func runTCP(prog spmd.Prog, n, scale int) {
 	}
 }
 
-// runChild is one rank of the wire job (re-executed by runTCP).
-func runChild(prog spmd.Prog, scale int, rankStr string) {
+// runChild is one rank of the wire job (re-executed by runTCP; the
+// -chaos flag rides along in os.Args, so every child parses the same
+// plan the parent did).
+func runChild(prog spmd.Prog, scale int, rankStr string, plan *fault.Plan) {
 	rank, err := strconv.Atoi(rankStr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "upcxx-run: bad %s=%q\n", envRank, rankStr)
@@ -191,10 +243,18 @@ func runChild(prog spmd.Prog, scale int, rankStr string) {
 		os.Exit(1)
 	}
 	rdv := os.Getenv(envRendezvous)
+	cfg := core.Config{
+		Resilient: prog.Resilient || plan != nil,
+		Fault:     plan,
+		// A real process backs this rank, so a kill rule may genuinely
+		// end it (core.ChaosArm arms the exit timer).
+		ChaosProcessExit: true,
+	}
+	rep := reportRank(n, plan)
 	var sum uint64
-	_, err = spmd.RunWireChild(rdv, rank, n, prog.SegBytes(n, scale), core.Config{}, func(me *core.Rank) {
+	_, err = spmd.RunWireChild(rdv, rank, n, prog.SegBytes(n, scale), cfg, func(me *core.Rank) {
 		s := prog.Run(me, scale)
-		if me.ID() == 0 {
+		if me.ID() == rep {
 			sum = s
 		}
 	})
@@ -202,7 +262,7 @@ func runChild(prog spmd.Prog, scale int, rankStr string) {
 		fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", rank, err)
 		os.Exit(1)
 	}
-	if rank == 0 {
+	if rank == rep {
 		report(prog, n, scale, sum)
 	}
 }

@@ -48,6 +48,10 @@ type asyncCfg struct {
 	// when the task body has run.
 	done  Completer
 	flops float64
+	// retry is the operation's retry policy (WithRetry); nil = single
+	// attempt. Honored by AsyncTaskFuture and the futures-first
+	// one-sided ops on resilient wire jobs; ignored elsewhere.
+	retry *RetryPolicy
 }
 
 // AsyncOpt configures an Async / AsyncTask launch. It is an interface

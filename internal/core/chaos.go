@@ -1,0 +1,129 @@
+package core
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"upcxx/internal/fault"
+)
+
+// Chaos mode: driving a job against an injected fault plan
+// (internal/fault, upcxx-run's -chaos flag). The plan's drop / delay /
+// sever rules act inside the transport seam and need no help from this
+// layer; kill rules need a backend-specific simulation of "the process
+// died at t", which is what lives here.
+//
+//   - Wire backend, launched processes (upcxx-run sets
+//     Config.ChaosProcessExit): a doomed rank arms a wall-clock timer
+//     at ChaosArm and exits with ChaosExitCode when it fires. Peers
+//     notice through the heartbeat plane like any real crash, and the
+//     launcher treats the exit code as planned.
+//   - In-process backend: ranks are goroutines of one test process, so
+//     nobody actually dies. ChaosArm starts a shared wall clock; each
+//     rank's failure-detector view (chaosSync, consulted by RankAlive
+//     and Advance) marks the doomed ranks dead once their time comes,
+//     and the doomed rank itself learns its fate from ChaosKilled and
+//     takes the program's ghost path. The surviving ranks' observable
+//     behavior — typed failures, re-routing, checksums — matches the
+//     wire backend's, which is what the chaos CI asserts.
+//
+// ChaosArm is collective in spirit: call it on every rank at the same
+// program point (right after a barrier) so the plan's clocks align.
+
+// ChaosExitCode is the exit status of a wire rank killed by plan — the
+// launcher's signal that the death was scripted, not a crash.
+const ChaosExitCode = 3
+
+// procChaos is the in-process backend's shared chaos clock.
+type procChaos struct {
+	plan  *fault.Plan
+	mu    sync.Mutex
+	armed time.Time
+}
+
+func (c *procChaos) arm() {
+	c.mu.Lock()
+	if c.armed.IsZero() {
+		c.armed = time.Now()
+	}
+	c.mu.Unlock()
+}
+
+func (c *procChaos) armedAt() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.armed
+}
+
+// chaosSync folds the shared chaos clock into this rank's failure-
+// detector view: kill rules whose time has come mark their ranks dead
+// locally (exactly once; markRankDead guards repeats and self).
+// In-process backend only; a no-op everywhere else.
+func (r *Rank) chaosSync() {
+	c := r.job.chaos
+	if c == nil {
+		return
+	}
+	at := c.armedAt()
+	if at.IsZero() {
+		return
+	}
+	elapsed := time.Since(at)
+	for _, rule := range c.plan.Rules {
+		if rule.Kind == fault.Kill && elapsed >= rule.At {
+			r.markRankDead(rule.Rank)
+		}
+	}
+}
+
+// ChaosArm starts the job's fault plan clock on this rank: time-
+// triggered rules (at=) begin counting now, and kill rules arm their
+// timers. Without a plan it is a no-op. Call on every rank at the same
+// program point, after a barrier.
+func ChaosArm(me *Rank) {
+	plan := me.job.cfg.Fault
+	if plan == nil {
+		return
+	}
+	if c := me.job.chaos; c != nil {
+		c.arm()
+		return
+	}
+	inj := plan.ForRank(me.id)
+	inj.Arm()
+	if d, ok := inj.KillAfter(); ok && me.job.cfg.ChaosProcessExit {
+		// The scripted death of a launched wire rank: hard exit, no
+		// goodbye — peers must detect it, not be told.
+		go func() {
+			time.Sleep(d)
+			os.Exit(ChaosExitCode)
+		}()
+	}
+}
+
+// ChaosKilled reports whether this rank's scripted death time has
+// passed — the in-process backend's substitute for actually dying. A
+// doomed rank polls it and, once true, stops doing useful work and
+// skips to the program's final barrier (the "ghost path"); its peers
+// are simultaneously marking it dead via chaosSync. Always false on
+// the wire backend, where a killed process really exits.
+func ChaosKilled(me *Rank) bool {
+	c := me.job.chaos
+	if c == nil {
+		return false
+	}
+	at := c.armedAt()
+	if at.IsZero() {
+		return false
+	}
+	d, ok := c.plan.ForRank(me.id).KillAfter()
+	return ok && time.Since(at) >= d
+}
+
+// ChaosHorizon returns the latest time trigger in the job's fault plan
+// (zero without one): after ChaosArm + ChaosHorizon + detection slack,
+// every scripted fault has fired.
+func ChaosHorizon(me *Rank) time.Duration {
+	return me.job.cfg.Fault.Horizon()
+}

@@ -52,7 +52,8 @@ type Future[T any] struct {
 	done  bool
 	t     float64 // modeled completion time
 	val   T
-	conts []func(v T, t float64, sig *Rank)
+	err   error // non-nil iff the future settled by failing
+	conts []func(v T, err error, t float64, sig *Rank)
 }
 
 // newFuture builds an unresolved future owned by me, remembering the
@@ -89,6 +90,14 @@ func (f *Future[T]) resolve(v T, t float64, sig *Rank) {
 	}
 	f.mu.Lock()
 	if f.done {
+		if f.err != nil {
+			// A success racing a failure (a straggler reply landing after
+			// the target was declared dead, say): the failure already
+			// settled the future and ran its continuations; drop the
+			// value. Two *successful* resolutions are still a bug.
+			f.mu.Unlock()
+			return
+		}
 		f.mu.Unlock()
 		panic("upcxx: future resolved twice")
 	}
@@ -99,18 +108,49 @@ func (f *Future[T]) resolve(v T, t float64, sig *Rank) {
 	f.conts = nil
 	f.mu.Unlock()
 	for _, c := range conts {
-		c(v, t, sig)
+		c(v, nil, t, sig)
+	}
+}
+
+// fail settles the future with err at modeled time t: Get panics with
+// the typed cause, Then-derived futures fail without running their
+// continuation, and WhenAll fails out. First settle wins — a failure
+// arriving after a success (or a second failure) is a silent no-op, so
+// a retry layer may race a late reply against its own timeout safely.
+func (f *Future[T]) fail(err error, t float64, sig *Rank) {
+	if sig != nil && sig != f.owner {
+		owner := f.owner
+		arrival := t + sig.job.model.Lat(sig.id, owner.id)
+		sig.ep.SendAt(owner.id, arrival, 0, func(*gasnet.Endpoint) {
+			f.fail(err, arrival, owner)
+		})
+		return
+	}
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
+	f.err = err
+	f.t = t
+	f.done = true
+	conts := f.conts
+	f.conts = nil
+	f.mu.Unlock()
+	var zero T
+	for _, c := range conts {
+		c(zero, err, t, sig)
 	}
 }
 
 // attach runs c when the future resolves — immediately, on the calling
 // goroutine, if it already has.
-func (f *Future[T]) attach(c func(v T, t float64, sig *Rank)) {
+func (f *Future[T]) attach(c func(v T, err error, t float64, sig *Rank)) {
 	f.mu.Lock()
 	if f.done {
-		v, t := f.val, f.t
+		v, err, t := f.val, f.err, f.t
 		f.mu.Unlock()
-		c(v, t, f.owner)
+		c(v, err, t, f.owner)
 		return
 	}
 	f.conts = append(f.conts, c)
@@ -139,12 +179,31 @@ func (f *Future[T]) Get() T {
 		return f.done
 	})
 	f.owner.ep.Clock.AdvanceTo(f.t)
+	if f.err != nil {
+		panic(fmt.Errorf("upcxx: future failed: %w", f.err))
+	}
 	return f.val
 }
 
 // Wait is Get discarding the value, reading better for Future[struct{}]
 // completion futures.
 func (f *Future[T]) Wait() { f.Get() }
+
+// Err blocks until the future settles and returns its failure, nil on
+// success — the non-panicking observation of a failed future (Get
+// panics with the same cause wrapped). Use it when a failure is an
+// expected outcome the caller handles, e.g. an operation under a
+// RetryPolicy whose target may legitimately die.
+func (f *Future[T]) Err() error {
+	f.checkOwner("Err")
+	f.owner.waitProgress(func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.done
+	})
+	f.owner.ep.Clock.AdvanceTo(f.t)
+	return f.err
+}
 
 // checkOwner panics when a future is consumed from a goroutine other
 // than its owning rank's. Futures are bound to their owner's progress
@@ -233,7 +292,21 @@ func thenImpl[T, U any](f *Future[T], fn func(me *Rank, v T) U, task bool) *Futu
 	if fs != nil {
 		fs.add(1)
 	}
-	f.attach(func(v T, t float64, _ *Rank) {
+	f.attach(func(v T, err error, t float64, _ *Rank) {
+		if err != nil {
+			// Failure propagates down the chain without running the
+			// continuation; the scope is still credited so a Finish over
+			// the chain drains instead of hanging on the dead link.
+			done := t
+			if now := me.Clock(); now > done {
+				done = now
+			}
+			out.fail(err, done, me)
+			if fs != nil {
+				fs.childDone(done, me)
+			}
+			return
+		}
 		if task {
 			me.ep.Stats.Tasks.Add(1)
 			me.ep.Clock.Advance(me.job.model.TaskDispatchCost())
@@ -284,11 +357,28 @@ func WhenAll[T any](fs ...*Future[T]) *Future[[]T] {
 	var mu sync.Mutex
 	vals := make([]T, len(fs))
 	pending := len(fs)
+	failed := false
 	var maxT float64
 	for i, f := range fs {
 		i, f := i, f
-		f.attach(func(v T, t float64, sig *Rank) {
+		f.attach(func(v T, err error, t float64, sig *Rank) {
+			if err != nil {
+				// First failure fails the join; stragglers (successes or
+				// further failures) are dropped silently.
+				mu.Lock()
+				already := failed
+				failed = true
+				mu.Unlock()
+				if !already {
+					out.fail(err, t, sig)
+				}
+				return
+			}
 			mu.Lock()
+			if failed {
+				mu.Unlock()
+				return
+			}
 			vals[i] = v
 			if t > maxT {
 				maxT = t
@@ -317,14 +407,21 @@ func WhenAny[T any](fs ...*Future[T]) *Future[T] {
 	var mu sync.Mutex
 	won := false
 	for _, f := range fs {
-		f.attach(func(v T, t float64, sig *Rank) {
+		f.attach(func(v T, err error, t float64, sig *Rank) {
 			mu.Lock()
 			lost := won
 			won = true
 			mu.Unlock()
-			if !lost {
-				out.resolve(v, t, sig)
+			if lost {
+				return
 			}
+			// The first settle wins, failure included: racing a read
+			// against a replica that may die must not hang on the corpse.
+			if err != nil {
+				out.fail(err, t, sig)
+				return
+			}
+			out.resolve(v, t, sig)
 		})
 	}
 	return out

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"upcxx/internal/agg"
+	"upcxx/internal/fault"
 	"upcxx/internal/gasnet"
 	"upcxx/internal/segment"
 	"upcxx/internal/sim"
@@ -76,6 +77,26 @@ type Config struct {
 	// "aggregation off" baseline). Ignored on the in-process backend,
 	// where the Agg* operations execute immediately.
 	Agg agg.Config
+
+	// Resilient opts a wire-backed job into survivable mode: the
+	// conduit's heartbeat failure detector runs, a peer's death fails
+	// operations addressed to it with typed ErrRankDead (instead of
+	// tearing the job down or hanging), and RetryPolicy-equipped
+	// operations gain per-attempt reply deadlines. Default off — the
+	// paper's failed-process-aborts-the-job model. Ignored in-process
+	// except as enabling the chaos death simulation.
+	Resilient bool
+	// HeartbeatInterval / HeartbeatTimeout tune the failure detector
+	// (defaults in gasnet.ResilienceConfig: 50ms / 250ms).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Fault is an injected fault plan for chaos runs (see internal/
+	// fault and upcxx-run's -chaos flag); nil for normal operation.
+	Fault *fault.Plan
+	// ChaosProcessExit lets a kill rule actually exit this process
+	// (wire ranks launched by upcxx-run). Off in tests, where an
+	// in-process simulated death is wanted instead.
+	ChaosProcessExit bool
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +155,11 @@ type Job struct {
 	eng   *gasnet.Engine
 	segs  []*segment.Segment
 	ranks []*Rank
+
+	// chaos is the in-process backend's shared chaos clock when the
+	// job carries a fault plan (see chaos.go); nil otherwise and on
+	// wire jobs, where the plan acts in the transport seam instead.
+	chaos *procChaos
 }
 
 // Rank is one SPMD execution unit's handle; all UPC++ operations take it.
@@ -187,6 +213,21 @@ type Rank struct {
 	doneTab  map[uint64]*finishScope
 	nextDone uint64
 
+	// Failure-handling state (health.go / retry.go), populated on
+	// resilient or chaos-enabled jobs. rcd is the conduit's resilience
+	// extension (nil otherwise); deadRanks is this rank's local view of
+	// declared deaths; deathCbs are OnRankDeath registrations.
+	// remoteSlots[target][fs] counts done-acks target owes fs, the
+	// credits markRankDead restores when target dies; voidCalls holds
+	// retired call ids whose late/duplicate replies must be dropped
+	// rather than treated as protocol corruption.
+	rcd         gasnet.ResilientConduit
+	resilient   bool
+	deadRanks   []bool
+	deathCbs    []func(rank int)
+	remoteSlots map[int]map[*finishScope]int
+	voidCalls   map[uint64]struct{}
+
 	// Implicit-handle non-blocking operation state (async_copy without an
 	// event; completed by Fence / AsyncCopyFence).
 	implicitMax float64
@@ -233,6 +274,9 @@ func newJob(cfg Config) *Job {
 			seg: j.segs[i],
 			cd:  conduits[i],
 		}
+	}
+	if cfg.Fault != nil {
+		j.chaos = &procChaos{plan: cfg.Fault}
 	}
 	return j
 }
@@ -305,6 +349,17 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 		r.initAgg(bc, cfg.Agg)
 	}
 	r.installRPC()
+	if cfg.Resilient || cfg.Fault != nil {
+		if rc, ok := cd.(gasnet.ResilientConduit); ok {
+			r.rcd = rc
+			r.resilient = true
+			r.deadRanks = make([]bool, cfg.Ranks)
+			rc.EnableResilience(gasnet.ResilienceConfig{
+				HeartbeatInterval: cfg.HeartbeatInterval,
+				HeartbeatTimeout:  cfg.HeartbeatTimeout,
+			}, r.markRankDead)
+		}
+	}
 
 	start := time.Now()
 	r.gid = goid()
@@ -386,6 +441,7 @@ func (r *Rank) Barrier() {
 func (r *Rank) Advance() int {
 	r.enter()
 	defer r.exit()
+	r.chaosSync()
 	n := r.ep.Poll()
 	if r.onWire() {
 		n += r.cd.Poll()

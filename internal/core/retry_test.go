@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.MaxAttempts != 3 {
+		t.Errorf("default MaxAttempts = %d, want 3", p.MaxAttempts)
+	}
+	if p.Backoff != time.Millisecond {
+		t.Errorf("default Backoff = %v, want 1ms", p.Backoff)
+	}
+	if p.AttemptTimeout != 0 {
+		t.Errorf("default AttemptTimeout = %v, want 0 (death-only)", p.AttemptTimeout)
+	}
+	// Explicit settings survive.
+	q := RetryPolicy{MaxAttempts: 7, Backoff: 5 * time.Millisecond}.withDefaults()
+	if q.MaxAttempts != 7 || q.Backoff != 5*time.Millisecond {
+		t.Errorf("withDefaults clobbered explicit settings: %+v", q)
+	}
+}
+
+func TestRetryPolicyRetryablePredicate(t *testing.T) {
+	p := RetryPolicy{}
+	if !p.retryable(ErrTimeout) {
+		t.Error("default predicate refuses to retry a timeout")
+	}
+	if !p.retryable(fmt.Errorf("wrapped: %w", ErrTimeout)) {
+		t.Error("default predicate must unwrap")
+	}
+	if p.retryable(ErrRankDead) {
+		t.Error("default predicate retries against a dead rank")
+	}
+	custom := RetryPolicy{Retryable: func(error) bool { return false }}
+	if custom.retryable(ErrTimeout) {
+		t.Error("custom predicate ignored")
+	}
+}
+
+// TestFutureFailureObservers pins the failure half of the future
+// contract: Err blocks and returns the cause without panicking, Get
+// panics with a wrapping error, and a late success is silently dropped
+// (first settle wins) while the failure sticks.
+func TestFutureFailureObservers(t *testing.T) {
+	boom := errors.New("boom")
+	Run(testCfg(1), func(me *Rank) {
+		f := newFuture[int](me)
+		f.fail(boom, me.Clock(), me)
+		if err := f.Err(); !errors.Is(err, boom) {
+			t.Errorf("Err() = %v, want boom", err)
+		}
+		func() {
+			defer func() {
+				r := recover()
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, boom) {
+					t.Errorf("Get panicked with %v, want wrapped boom", r)
+				}
+			}()
+			f.Get()
+		}()
+		// Success after failure: dropped, not a panic — the race is real
+		// on resilient jobs (a reply landing after the death sweep).
+		f.resolve(42, me.Clock(), me)
+		if err := f.Err(); !errors.Is(err, boom) {
+			t.Errorf("failure did not stick after late success: %v", err)
+		}
+	})
+}
+
+// TestFutureFailurePropagation: Then-chains forward failure without
+// running their functions; WhenAll fails on the first failed input;
+// WhenAny settles with a failure if it arrives first.
+func TestFutureFailurePropagation(t *testing.T) {
+	boom := errors.New("boom")
+	Run(testCfg(1), func(me *Rank) {
+		f := newFuture[int](me)
+		ran := false
+		g := Then(f, func(v int) int { ran = true; return v + 1 })
+		h := Then(g, func(v int) int { ran = true; return v * 2 })
+		f.fail(boom, me.Clock(), me)
+		if err := h.Err(); !errors.Is(err, boom) {
+			t.Errorf("chain tail Err() = %v, want boom", err)
+		}
+		if ran {
+			t.Error("continuation body ran on a failed chain")
+		}
+
+		a, b := newFuture[int](me), newFuture[int](me)
+		all := WhenAll(a, b)
+		a.resolve(1, me.Clock(), me)
+		b.fail(boom, me.Clock(), me)
+		if err := all.Err(); !errors.Is(err, boom) {
+			t.Errorf("WhenAll Err() = %v, want boom", err)
+		}
+
+		c, d := newFuture[int](me), newFuture[int](me)
+		any := WhenAny(c, d)
+		c.fail(boom, me.Clock(), me)
+		d.resolve(9, me.Clock(), me)
+		if err := any.Err(); !errors.Is(err, boom) {
+			t.Errorf("WhenAny Err() = %v, want boom (first settle)", err)
+		}
+	})
+}
+
+// TestRankAliveDefaults: on a plain job every rank is alive and no
+// typed death error exists to observe.
+func TestRankAliveDefaults(t *testing.T) {
+	Run(testCfg(2), func(me *Rank) {
+		for r := 0; r < me.Ranks(); r++ {
+			if !me.RankAlive(r) {
+				t.Errorf("rank %d reported dead on a fault-free job", r)
+			}
+		}
+		me.Barrier()
+	})
+}

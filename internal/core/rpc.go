@@ -74,10 +74,16 @@ func RegisterTask(name string, fn TaskBody) Task {
 
 // pendingCall is one outstanding reply on the calling rank: a future
 // awaiting the body's return bytes, a completion object awaiting body
-// completion, or both.
+// completion, or both. target is the executor rank, so a death sweep
+// can fail exactly the calls the corpse owed. A retried call (launched
+// under a RetryPolicy) carries its finish scope here instead of a
+// done-ack id — the credit rides the reply, see wireTaskRetry.
 type pendingCall struct {
-	fut  *Future[[]byte]
-	done Completer
+	fut     *Future[[]byte]
+	done    Completer
+	target  int
+	fs      *finishScope
+	retried bool
 }
 
 // installRPC wires the runtime's reserved AM handlers into this rank's
@@ -138,10 +144,22 @@ func (r *Rank) rpcReply(payload []byte) {
 	}
 	pc := r.calls[callID]
 	if pc == nil {
+		// A reply for a call that was already retired: a duplicate from
+		// a retried request whose earlier attempt also got through, or a
+		// straggler for a call the failure path already failed. Expected
+		// under retries — drop it. Any other unknown id is corruption.
+		if _, void := r.voidCalls[callID]; void {
+			return
+		}
 		panic(fmt.Errorf("upcxx: rank %d: task reply for unknown call %d", r.id, callID))
 	}
 	delete(r.calls, callID)
 	t := r.Clock()
+	if pc.retried {
+		// Further attempts may still be in flight; their replies must be
+		// dropped, not panicked on.
+		r.voidCall(callID)
+	}
 	if pc.fut != nil {
 		// The payload aliases the batch buffer; the future outlives it.
 		// Resolution fires attached continuations here, inside batch
@@ -150,6 +168,43 @@ func (r *Rank) rpcReply(payload []byte) {
 	}
 	if pc.done != nil {
 		pc.done.compComplete(t, r)
+	}
+	if pc.retried && pc.fs != nil {
+		// Retried calls carry no done-ack id; the finish credit rides
+		// the (first) reply instead.
+		pc.fs.childDone(t, r)
+	}
+}
+
+// voidCall marks a retired call id whose late replies must be ignored.
+func (r *Rank) voidCall(callID uint64) {
+	if r.voidCalls == nil {
+		r.voidCalls = make(map[uint64]struct{})
+	}
+	r.voidCalls[callID] = struct{}{}
+}
+
+// failCall retires one pending call with a failure: the future fails
+// typed, the completion object completes (events observe completion,
+// not success), and a retried call's finish credit is restored. Late
+// replies for the id are dropped thereafter. No-op if the call already
+// completed.
+func (r *Rank) failCall(callID uint64, err error) {
+	pc := r.calls[callID]
+	if pc == nil {
+		return
+	}
+	delete(r.calls, callID)
+	r.voidCall(callID)
+	t := r.Clock()
+	if pc.fut != nil {
+		pc.fut.fail(err, t, r)
+	}
+	if pc.done != nil {
+		pc.done.compComplete(t, r)
+	}
+	if pc.retried && pc.fs != nil {
+		pc.fs.childDone(t, r)
 	}
 }
 
@@ -162,6 +217,17 @@ func (r *Rank) rpcDone(from int, payload []byte) {
 	fs := r.doneTab[id]
 	if fs == nil {
 		panic(fmt.Errorf("upcxx: rank %d: done-ack from rank %d for unknown scope %d", r.id, from, id))
+	}
+	if r.resilient {
+		// The ack arrived, so the sender no longer owes it: release the
+		// credit the death sweep would otherwise restore.
+		if m := r.remoteSlots[from]; m != nil {
+			if m[fs] > 1 {
+				m[fs]--
+			} else {
+				delete(m, fs)
+			}
+		}
 	}
 	fs.childDone(r.Clock(), r)
 }
@@ -254,14 +320,82 @@ func (r *Rank) wireTask(target int, idx uint16, args []byte,
 		if r.calls == nil {
 			r.calls = make(map[uint64]*pendingCall)
 		}
-		r.calls[callID] = &pendingCall{fut: fut, done: done}
+		r.calls[callID] = &pendingCall{fut: fut, done: done, target: target}
 	}
 	var doneID uint64
 	if fs != nil {
 		doneID = r.doneIDFor(fs)
+		if r.resilient {
+			// Record the done-ack debt so the target's death can repay
+			// it (markRankDead's sweep) instead of hanging the Finish.
+			if r.remoteSlots == nil {
+				r.remoteSlots = make(map[int]map[*finishScope]int)
+			}
+			m := r.remoteSlots[target]
+			if m == nil {
+				m = make(map[*finishScope]int)
+				r.remoteSlots[target] = m
+			}
+			m[fs]++
+		}
 	}
 	r.ep.Stats.AMs.Add(1)
 	r.agg.Send(target, amRPCReq, rpc.EncodeRequest(idx, flags, callID, doneID, args), nil)
+}
+
+// wireTaskRetry ships a registered-task request under a RetryPolicy.
+// The call always requests a reply (the reply is the per-attempt
+// liveness signal), carries no done-ack id — a re-executed body must
+// not double-credit the Finish, so the scope's single credit rides the
+// first reply (or the failure) via pendingCall.fs — and re-sends the
+// SAME call id on each attempt: the executor's body may therefore run
+// more than once (at-least-once semantics; see AsyncTaskFuture).
+func (r *Rank) wireTaskRetry(target int, idx uint16, args []byte,
+	done Completer, fut *Future[[]byte], fs *finishScope, pol RetryPolicy) {
+	if r.agg == nil {
+		panic(fmt.Errorf("upcxx: rank %d: conduit has no batch plane for task requests: %w",
+			r.id, gasnet.ErrNotWireCapable))
+	}
+	r.nextCall++
+	callID := r.nextCall
+	if r.calls == nil {
+		r.calls = make(map[uint64]*pendingCall)
+	}
+	r.calls[callID] = &pendingCall{fut: fut, done: done, target: target, fs: fs, retried: true}
+	payload := rpc.EncodeRequest(idx, rpc.FlagReply, callID, 0, args)
+	r.sendCallAttempt(callID, target, payload, pol, 1)
+}
+
+// sendCallAttempt issues attempt n of a retried call and, when the
+// policy carries a per-attempt deadline, arms the timer that either
+// re-sends or fails the call if the reply has not landed by then.
+func (r *Rank) sendCallAttempt(callID uint64, target int, payload []byte, pol RetryPolicy, attempt int) {
+	if r.calls[callID] == nil {
+		return // completed (or failed) while the retry timer was pending
+	}
+	if !r.RankAlive(target) {
+		r.failCall(callID, r.deadErrFor(target))
+		return
+	}
+	r.ep.Stats.AMs.Add(1)
+	r.agg.Send(target, amRPCReq, payload, nil)
+	// Ship now: the attempt deadline measures the network round trip,
+	// not this rank's next age-flush.
+	r.agg.FlushAll()
+	if pol.AttemptTimeout <= 0 || r.rcd == nil {
+		return // no deadline — only target death can fail the call
+	}
+	r.rcd.After(pol.AttemptTimeout, func() {
+		if r.calls[callID] == nil {
+			return
+		}
+		timeout := &gasnet.TimeoutError{Rank: target, After: pol.AttemptTimeout}
+		if attempt >= pol.MaxAttempts || !pol.retryable(timeout) {
+			r.failCall(callID, timeout)
+			return
+		}
+		r.sendCallAttempt(callID, target, payload, pol, attempt+1)
+	})
 }
 
 // AsyncTask launches the registered task on every rank of place with
@@ -310,6 +444,15 @@ func AsyncTask(me *Rank, place Place, t Task, args []byte, opts ...AsyncOpt) {
 // friends for word payloads). The After, Signal and TaskFlops options
 // work as with AsyncTask; with After, the future resolves only after
 // the dependency has fired and the deferred task has replied.
+//
+// With WithRetry (resilient wire jobs), a silent attempt — no reply
+// within the policy's AttemptTimeout — re-sends the request, and the
+// future fails typed (ErrTimeout / ErrRankDead) when the policy is
+// exhausted or the target dies. A re-sent request may execute the body
+// again if the first request was merely slow, so retried task launches
+// have at-least-once semantics: bodies should be idempotent, or the
+// caller must tolerate duplicate execution. A surrounding Finish waits
+// for the (first) reply of a retried call, not the executor's subtree.
 func AsyncTaskFuture(me *Rank, target int, t Task, args []byte, opts ...AsyncOpt) *Future[[]byte] {
 	idx := mustTask(t)
 	cfg := asyncCfg{payload: taskWireBytes(len(args))}
@@ -331,6 +474,10 @@ func AsyncTaskFuture(me *Rank, target int, t Task, args []byte, opts ...AsyncOpt
 	job := me.job
 	me.fanOut(Place{ranks: []int{target}}, cfg, func(from *Rank, target int, arrival float64) {
 		if me.onWire() && target != me.id {
+			if cfg.retry != nil {
+				me.wireTaskRetry(target, idx, args, cfg.done, f, fs, cfg.retry.withDefaults())
+				return
+			}
 			me.wireTask(target, idx, args, cfg.done, f, fs)
 			return
 		}

@@ -22,12 +22,18 @@ func wireAllGather(me *Rank, contrib []byte) [][]byte {
 	return parts
 }
 
-// wireExchange allgathers one POD value per rank.
+// wireExchange allgathers one POD value per rank. On a resilient job a
+// dead rank's slot comes back empty (the conduit completes the gather
+// without it); its entry stays the zero T, and callers that care must
+// consult RankAlive. A wrong non-zero length is still corruption.
 func wireExchange[T any](me *Rank, v T) []T {
 	checkPOD[T]()
 	parts := wireAllGather(me, valueBytes(&v))
 	out := make([]T, len(parts))
 	for i, p := range parts {
+		if len(p) == 0 {
+			continue // dead rank: zero value
+		}
 		if uint64(len(p)) != sizeOf[T]() {
 			panic(fmt.Sprintf("upcxx: wire collective: rank %d contributed %d bytes, want %d",
 				i, len(p), sizeOf[T]()))
@@ -44,6 +50,11 @@ func wireBroadcast[T any](me *Rank, v T, root int) T {
 		contrib = valueBytes(&v)
 	}
 	parts := wireAllGather(me, contrib)
+	if len(parts[root]) == 0 {
+		// Only death erases the root's contribution (it deposits before
+		// gathering when alive) — there is nothing to broadcast.
+		panic(fmt.Errorf("upcxx: wire broadcast: %w", me.deadErrFor(root)))
+	}
 	var out T
 	if uint64(len(parts[root])) != sizeOf[T]() {
 		panic(fmt.Sprintf("upcxx: wire broadcast: root contributed %d bytes, want %d",
@@ -55,11 +66,28 @@ func wireBroadcast[T any](me *Rank, v T, root int) T {
 
 // wireReduce folds one value per rank in rank order, on every rank —
 // the same deterministic fold order the in-process Reduce uses, so
-// floating-point results agree across backends.
+// floating-point results agree across backends. Dead ranks' missing
+// contributions are skipped: survivors fold the same surviving set in
+// the same order, so they still agree with each other.
 func wireReduce[T any](me *Rank, v T, op func(a, b T) T) T {
-	all := wireExchange(me, v)
-	acc := all[0]
-	for _, x := range all[1:] {
+	checkPOD[T]()
+	parts := wireAllGather(me, valueBytes(&v))
+	var acc T
+	first := true
+	for i, p := range parts {
+		if len(p) == 0 {
+			continue // dead rank
+		}
+		if uint64(len(p)) != sizeOf[T]() {
+			panic(fmt.Sprintf("upcxx: wire collective: rank %d contributed %d bytes, want %d",
+				i, len(p), sizeOf[T]()))
+		}
+		var x T
+		copy(valueBytes(&x), p)
+		if first {
+			acc, first = x, false
+			continue
+		}
 		acc = op(acc, x)
 	}
 	return acc
@@ -80,9 +108,18 @@ func wireReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int)
 		copy(sliceBytes(s), p)
 		return s
 	}
-	copy(out, decode(parts[0]))
-	for _, p := range parts[1:] {
-		for i, x := range decode(p) {
+	first := true
+	for _, p := range parts {
+		if len(p) == 0 && len(contrib) != 0 {
+			continue // dead rank
+		}
+		d := decode(p)
+		if first {
+			copy(out, d)
+			first = false
+			continue
+		}
+		for i, x := range d {
 			out[i] = op(out[i], x)
 		}
 	}

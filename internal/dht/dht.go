@@ -14,6 +14,17 @@
 // over the engine's active messages, which is how CI proves both
 // backends compute the identical table.
 //
+// Replication (Config.Replicas = K > 1) keeps each key on K
+// consecutive ranks — successor placement, ReplicaRanks — so the
+// table survives rank death on a resilient job: writes fan out to
+// every live replica through the same aggregation plane, reads route
+// around dead replicas, and with Config.ReadRepair a lookup queries
+// all live replicas and re-inserts the value into any that have lost
+// it (a rank that missed writes while others already considered a
+// peer dead). Checksum counts each key exactly once — at its first
+// live replica — so it equals the unreplicated table's checksum and
+// is invariant under both replication and repair.
+//
 // A shard never moves and only its owner touches it, so there is no
 // locking anywhere: the handler executes on the owner's SPMD
 // goroutine, the same discipline the conduit itself follows.
@@ -67,6 +78,20 @@ func SegBytes(capPerRank int) int {
 	return capPerRank*BucketBytes + (1 << 17)
 }
 
+// Config tunes a Table beyond its shard capacity.
+type Config struct {
+	// Replicas is K, the number of ranks each key lives on (successor
+	// placement; see ReplicaRanks). 0 or 1 means unreplicated; values
+	// above the rank count are clamped. Size shards for K times the
+	// unreplicated load.
+	Replicas int
+	// ReadRepair makes every lookup query all live replicas and
+	// re-insert the winning value into replicas that answered "not
+	// found" — convergence after partial writes. Without it a lookup
+	// consults only the first live replica.
+	ReadRepair bool
+}
+
 // Table is one job-wide distributed hash table. Construction is
 // collective; thereafter each rank calls Insert/Lookup with its own
 // handle, and methods must run on the rank's SPMD goroutine.
@@ -74,30 +99,56 @@ type Table struct {
 	capacity int
 	mask     uint64
 	local    []Bucket // this rank's shard, in its own segment
+	cfg      Config
+	k        int // effective replica count (cfg.Replicas clamped)
 
-	pending map[uint64]*Lookup
+	pending map[uint64]*query
 	nextReq uint64
 
 	inserts   int64 // Insert calls issued by this rank
 	lookups   int64 // Lookup calls issued by this rank
 	localOps  int64 // of those, owner-local fast paths
 	served    int64 // remote ops this rank's shard applied
+	repairs   int64 // read-repair re-inserts this rank issued
 	occupancy int64 // live buckets in the local shard
 }
 
-// New collectively creates a table whose per-rank shard holds
-// capPerRank buckets (rounded up to a power of two). Every rank must
-// call it before any rank inserts. Only one Table may be live per job:
-// its AM handler ids are global, and registering them twice panics.
+// query is one outstanding per-replica probe of a Lookup, tracked by
+// request id so an answer — or the target's death — settles exactly
+// this probe.
+type query struct {
+	l      *Lookup
+	target int
+}
+
+// New collectively creates an unreplicated table whose per-rank shard
+// holds capPerRank buckets (rounded up to a power of two). Every rank
+// must call it before any rank inserts. Only one Table may be live per
+// job: its AM handler ids are global, and registering them twice
+// panics.
 func New(me *core.Rank, capPerRank int) *Table {
+	return NewWithConfig(me, capPerRank, Config{})
+}
+
+// NewWithConfig is New with replication and read-repair settings.
+func NewWithConfig(me *core.Rank, capPerRank int, cfg Config) *Table {
 	capacity := 1
 	for capacity < capPerRank {
 		capacity <<= 1
 	}
+	k := cfg.Replicas
+	if k < 1 {
+		k = 1
+	}
+	if k > me.Ranks() {
+		k = me.Ranks()
+	}
 	t := &Table{
 		capacity: capacity,
 		mask:     uint64(capacity - 1),
-		pending:  make(map[uint64]*Lookup),
+		cfg:      cfg,
+		k:        k,
+		pending:  make(map[uint64]*query),
 	}
 	shard := core.Allocate[Bucket](me, me.ID(), capacity)
 	t.local = core.LocalSlice(me, shard, capacity)
@@ -107,14 +158,55 @@ func New(me *core.Rank, capPerRank int) *Table {
 	core.RegisterAMHandler(me, hInsert, t.onInsert)
 	core.RegisterAMHandler(me, hLookup, t.onLookup)
 	core.RegisterAMHandler(me, hAnswer, t.onAnswer)
+	if t.survivable() {
+		core.OnRankDeath(me, func(rank int) { t.onRankDeath(me, rank) })
+	}
 	me.Barrier()
 	return t
 }
 
-// Owner returns the rank whose shard holds key — a pure function of
-// the key, identical on every rank and backend.
+// survivable reports whether the table routes around dead ranks (and
+// must therefore tolerate the protocol leftovers death produces, e.g.
+// answers for requests a death sweep already settled).
+func (t *Table) survivable() bool { return t.k > 1 || t.cfg.ReadRepair }
+
+// ReplicaRanks returns the ranks holding key under successor
+// placement: the primary owner followed by the k-1 next ranks mod the
+// job size (clamped to at most ranks, so the copies are always on
+// distinct ranks). A pure function of its arguments — identical on
+// every rank and backend, so any rank routes without metadata traffic.
+func ReplicaRanks(key uint64, ranks, k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	if k > ranks {
+		k = ranks
+	}
+	owner := int(gups.Mix64(key) % uint64(ranks))
+	out := make([]int, k)
+	for i := range out {
+		out[i] = (owner + i) % ranks
+	}
+	return out
+}
+
+// Owner returns the rank whose shard primarily holds key — the first
+// replica.
 func (t *Table) Owner(me *core.Rank, key uint64) int {
 	return int(gups.Mix64(key) % uint64(me.Ranks()))
+}
+
+// liveReplicas returns key's replica ranks that are still alive, in
+// placement order. Fault-free this is exactly ReplicaRanks.
+func (t *Table) liveReplicas(me *core.Rank, key uint64) []int {
+	all := ReplicaRanks(key, me.Ranks(), t.k)
+	live := all[:0]
+	for _, r := range all {
+		if me.RankAlive(r) {
+			live = append(live, r)
+		}
+	}
+	return live
 }
 
 // slot returns the probe start for key within a shard.
@@ -122,25 +214,32 @@ func (t *Table) slot(key uint64) uint64 {
 	return gups.Mix64(key^0xD6E8FEB86659FD93) & t.mask
 }
 
-// Insert stores (key, val), overwriting any previous value for key.
-// Owner-local inserts apply immediately; remote ones travel as
-// aggregated AMs and are visible at the owner once an event passed as
-// ev fires (nil: by the caller's next barrier). Like all aggregated
-// ops, inserts to one owner apply in issue order, so the last insert
-// of a key wins deterministically.
+// Insert stores (key, val), overwriting any previous value for key —
+// on every live replica, fanned out through the aggregation plane.
+// Owner-local copies apply immediately; remote ones travel as
+// aggregated AMs and are visible at their replicas once an event
+// passed as ev fires (nil: by the caller's next barrier). Like all
+// aggregated ops, inserts to one replica apply in issue order, so the
+// last insert of a key wins deterministically at each replica.
+// Panics typed (core.ErrRankDead) if no replica is left alive.
 func (t *Table) Insert(me *core.Rank, key, val uint64, ev *core.Event) {
 	t.inserts++
-	owner := t.Owner(me, key)
-	if owner == me.ID() {
-		t.localOps++
-		t.put(key, val)
-		core.SignalNow(ev, me)
-		return
+	live := t.liveReplicas(me, key)
+	if len(live) == 0 {
+		panic(fmt.Errorf("dht: insert of key %#x: every replica dead: %w", key, core.ErrRankDead))
 	}
 	var p [16]byte
 	binary.LittleEndian.PutUint64(p[0:], key)
 	binary.LittleEndian.PutUint64(p[8:], val)
-	core.AggSend(me, owner, hInsert, p[:], ev)
+	for _, r := range live {
+		if r == me.ID() {
+			t.localOps++
+			t.put(key, val)
+			core.SignalNow(ev, me)
+			continue
+		}
+		core.AggSend(me, r, hInsert, p[:], ev)
+	}
 }
 
 func (t *Table) onInsert(me *core.Rank, _ int, payload []byte) {
@@ -184,32 +283,133 @@ func (t *Table) get(key uint64) (uint64, bool) {
 
 // Lookup is one in-flight lookup's handle.
 type Lookup struct {
-	done  bool
-	found bool
-	val   uint64
+	key       uint64
+	remaining int   // per-replica probes still outstanding
+	answered  int   // probes that actually answered (vs died)
+	stale     []int // replicas that answered "not found" (repair targets)
+	failed    error // every replica dead — Wait panics with this
+	done      bool
+	found     bool
+	val       uint64
 }
 
 // Lookup starts a (possibly remote) probe for key and returns its
 // handle; issue a batch of lookups and then Wait each to let requests
-// — and the owners' replies — coalesce.
+// — and the owners' replies — coalesce. Unreplicated (or without
+// ReadRepair), the probe goes to the first live replica; with
+// ReadRepair every live replica is consulted and lagging ones are
+// repaired from the winning value when the last answer arrives.
 func (t *Table) Lookup(me *core.Rank, key uint64) *Lookup {
 	t.lookups++
-	l := &Lookup{}
-	owner := t.Owner(me, key)
-	if owner == me.ID() {
-		t.localOps++
-		l.val, l.found = t.get(key)
+	l := &Lookup{key: key}
+	live := t.liveReplicas(me, key)
+	if len(live) == 0 {
+		l.failed = fmt.Errorf("dht: lookup of key %#x: every replica dead: %w", key, core.ErrRankDead)
 		l.done = true
 		return l
 	}
+	targets := live
+	if !t.cfg.ReadRepair {
+		targets = live[:1]
+	}
+	l.remaining = len(targets)
+	for _, r := range targets {
+		t.probe(me, l, r)
+	}
+	return l
+}
+
+// probe issues one per-replica query: a local shard read when the
+// target is this rank, an aggregated request/answer pair otherwise.
+func (t *Table) probe(me *core.Rank, l *Lookup, target int) {
+	if target == me.ID() {
+		t.localOps++
+		v, ok := t.get(l.key)
+		t.absorb(me, l, target, v, ok)
+		return
+	}
 	t.nextReq++
 	req := t.nextReq
-	t.pending[req] = l
+	t.pending[req] = &query{l: l, target: target}
 	var p [16]byte
 	binary.LittleEndian.PutUint64(p[0:], req)
-	binary.LittleEndian.PutUint64(p[8:], key)
-	core.AggSend(me, owner, hLookup, p[:], nil)
-	return l
+	binary.LittleEndian.PutUint64(p[8:], l.key)
+	core.AggSend(me, target, hLookup, p[:], nil)
+}
+
+// absorb folds one replica's answer into the lookup, finishing it when
+// the last probe settles.
+func (t *Table) absorb(me *core.Rank, l *Lookup, target int, val uint64, found bool) {
+	l.remaining--
+	l.answered++
+	if found {
+		if !l.found {
+			l.found = true
+			l.val = val
+		}
+	} else {
+		l.stale = append(l.stale, target)
+	}
+	if l.remaining == 0 {
+		t.finishLookup(me, l)
+	}
+}
+
+// finishLookup settles the handle and, in repair mode, re-inserts the
+// winning value into live replicas that had lost it.
+func (t *Table) finishLookup(me *core.Rank, l *Lookup) {
+	if l.answered == 0 {
+		// Every queried replica died before answering (and none is left:
+		// re-routing happens at death time): the key is unreachable.
+		l.failed = fmt.Errorf("dht: lookup of key %#x: every replica dead: %w", l.key, core.ErrRankDead)
+		l.done = true
+		return
+	}
+	l.done = true
+	if !l.found || !t.cfg.ReadRepair || len(l.stale) == 0 {
+		return
+	}
+	var p [16]byte
+	binary.LittleEndian.PutUint64(p[0:], l.key)
+	binary.LittleEndian.PutUint64(p[8:], l.val)
+	for _, r := range l.stale {
+		if !me.RankAlive(r) {
+			continue
+		}
+		t.repairs++
+		if r == me.ID() {
+			t.put(l.key, l.val)
+			continue
+		}
+		core.AggSend(me, r, hInsert, p[:], nil)
+	}
+}
+
+// onRankDeath settles every probe outstanding against the dead rank:
+// repair-mode lookups simply lose one voter; single-target lookups
+// re-route to the next live replica.
+func (t *Table) onRankDeath(me *core.Rank, rank int) {
+	var doomed []uint64
+	for req, q := range t.pending {
+		if q.target == rank {
+			doomed = append(doomed, req)
+		}
+	}
+	for _, req := range doomed {
+		q := t.pending[req]
+		delete(t.pending, req)
+		l := q.l
+		if !t.cfg.ReadRepair {
+			if live := t.liveReplicas(me, l.key); len(live) > 0 {
+				t.probe(me, l, live[0])
+				continue
+			}
+		}
+		l.remaining--
+		if l.remaining == 0 {
+			t.finishLookup(me, l)
+		}
+	}
 }
 
 func (t *Table) onLookup(me *core.Rank, from int, payload []byte) {
@@ -227,24 +427,37 @@ func (t *Table) onLookup(me *core.Rank, from int, payload []byte) {
 	core.AggSend(me, from, hAnswer, rep[:], nil)
 }
 
-func (t *Table) onAnswer(me *core.Rank, _ int, payload []byte) {
+func (t *Table) onAnswer(me *core.Rank, from int, payload []byte) {
 	req := binary.LittleEndian.Uint64(payload)
-	l := t.pending[req]
-	if l == nil {
+	q := t.pending[req]
+	if q == nil {
+		// On a survivable table an answer can legitimately outlive its
+		// request: the death sweep settled the probe, then the "dead"
+		// rank's in-flight reply landed anyway (chaos simulation, or a
+		// frame that beat the detector). Drop it.
+		if t.survivable() {
+			return
+		}
 		panic(fmt.Sprintf("dht: rank %d: answer for unknown request %d", me.ID(), req))
 	}
 	delete(t.pending, req)
-	l.val = binary.LittleEndian.Uint64(payload[8:])
-	l.found = payload[16] == 1
-	l.done = true
+	t.absorb(me, q.l, from, binary.LittleEndian.Uint64(payload[8:]), payload[16] == 1)
 }
+
+// Key returns the key this lookup probes — handy when Waiting a batch.
+func (l *Lookup) Key() uint64 { return l.key }
 
 // Wait blocks until the lookup's answer arrives (servicing progress,
 // which also flushes the request if it is still buffered) and returns
-// the value and whether the key was present.
+// the value and whether the key was present. If every replica of the
+// key died, Wait panics with a core.ErrRankDead-typed cause rather
+// than report a false miss.
 func (l *Lookup) Wait(me *core.Rank) (uint64, bool) {
 	if !l.done {
 		me.WaitUntil(func() bool { return l.done })
+	}
+	if l.failed != nil {
+		panic(l.failed)
 	}
 	return l.val, l.found
 }
@@ -252,21 +465,43 @@ func (l *Lookup) Wait(me *core.Rank) (uint64, bool) {
 // Checksum barriers (draining all in-flight inserts) and folds the
 // whole table into one value, identical on every rank. The fold is
 // insertion-order- and probe-placement-independent — each occupied
-// bucket contributes a mix of its (key, value) pair under xor — so
-// the checksum depends only on the table's contents, which is what
-// lets CI compare conduit backends.
+// bucket contributes a mix of its (key, value) pair under xor — and
+// counts every key exactly once, at its first LIVE replica, so the
+// checksum is invariant under replication, rank death and read-repair:
+// it always equals ExpectedChecksum of the logical contents, which is
+// what lets CI compare conduit backends and chaos runs against
+// fault-free ones. A rank whose scripted death has passed (the
+// in-process chaos ghost) contributes nothing.
 func (t *Table) Checksum(me *core.Rank) uint64 {
 	me.Barrier()
 	var sum uint64
+	var entries int64
+	ghost := core.ChaosKilled(me)
 	for i := range t.local {
 		b := &t.local[i]
-		if b.Used != 0 {
-			sum ^= gups.Mix64(b.Key*0x9E3779B97F4A7C15 + gups.Mix64(b.Val))
+		if b.Used == 0 {
+			continue
+		}
+		if ghost || !t.countsHere(me, b.Key) {
+			continue
+		}
+		sum ^= gups.Mix64(b.Key*0x9E3779B97F4A7C15 + gups.Mix64(b.Val))
+		entries++
+	}
+	total := core.Reduce(me, entries, func(a, b int64) int64 { return a + b })
+	sum = core.Reduce(me, sum, func(a, b uint64) uint64 { return a ^ b })
+	return gups.Mix64(sum ^ uint64(total))
+}
+
+// countsHere reports whether this rank is key's first live replica —
+// the one copy of the key Checksum counts.
+func (t *Table) countsHere(me *core.Rank, key uint64) bool {
+	for _, r := range ReplicaRanks(key, me.Ranks(), t.k) {
+		if me.RankAlive(r) {
+			return r == me.ID()
 		}
 	}
-	entries := core.Reduce(me, t.occupancy, func(a, b int64) int64 { return a + b })
-	sum = core.Reduce(me, sum, func(a, b uint64) uint64 { return a ^ b })
-	return gups.Mix64(sum ^ uint64(entries))
+	return false
 }
 
 // ExpectedChecksum computes, with no job at all, the checksum a Table
@@ -291,6 +526,7 @@ func (t *Table) Counters() map[string]float64 {
 		"dht_lookups":   float64(t.lookups),
 		"dht_local_ops": float64(t.localOps),
 		"dht_served":    float64(t.served),
+		"dht_repairs":   float64(t.repairs),
 		"dht_entries":   float64(t.occupancy),
 	}
 }

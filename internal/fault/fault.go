@@ -1,0 +1,401 @@
+// Package fault is the deterministic fault-injection plan threaded
+// through the transport and wire-conduit layers. A Plan is a set of
+// Rules — drop this frame, delay that one, sever a connection
+// mid-frame, kill a whole rank — each triggered either by an outgoing
+// operation count or by elapsed time since the plan was armed. The
+// seam is a no-op when no plan is installed (every consult is a
+// nil-receiver method call), so production paths pay one branch; with
+// a plan installed every failure scenario in the test suite is
+// reproducible in-process under `go test -race`.
+//
+// Plans parse from the compact text form the upcxx-run launcher's
+// -chaos flag takes:
+//
+//	kill:rank=2,at=500ms
+//	drop:rank=1,peer=0,handler=1,op=1;delay:rank=0,peer=2,op=3,delay=20ms
+//
+// Rules are ';'-separated; each is "kind:key=value,...". Every rule
+// names the rank it runs on (rank=). Transport rules (drop, delay,
+// sever) optionally filter by destination peer (peer=) and frame
+// handler id (handler=), and trigger on the Nth matching outgoing
+// frame (op=, 1-based) or at a duration after arming (at=). Kill
+// rules take only at= and are executed by the launcher/runtime, not
+// the transport.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates what a rule does when it fires.
+type Kind int
+
+const (
+	// Drop silently discards one outgoing frame.
+	Drop Kind = iota
+	// Delay stalls one outgoing frame by Rule.Delay before sending.
+	Delay
+	// Sever writes a frame header and then closes the connection, so
+	// the peer observes a mid-frame stream cut (unexpected EOF).
+	Sever
+	// Kill terminates the whole rank at Rule.At after arming. The
+	// transport never consults Kill rules; the runtime (core.ChaosArm)
+	// and the launcher execute them.
+	Kill
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Sever:
+		return "sever"
+	case Kill:
+		return "kill"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", int(k))
+}
+
+// AnyPeer / AnyHandler are the wildcard filter values.
+const (
+	AnyPeer    = -1
+	AnyHandler = -1
+)
+
+// Rule is one injected fault. Zero filter semantics: Peer/Handler
+// default to the wildcards via Parse; a hand-built Rule must set them
+// explicitly (0 is a valid rank and a valid handler id).
+type Rule struct {
+	Kind Kind
+	// Rank is the rank whose injector fires this rule.
+	Rank int
+	// Peer filters transport rules by destination rank (AnyPeer: any).
+	Peer int
+	// Handler filters transport rules by frame handler id (AnyHandler:
+	// any).
+	Handler int
+	// AtOp triggers on the Nth matching outgoing frame, 1-based.
+	// 0 means the rule is not op-triggered.
+	AtOp int64
+	// At triggers once this much time elapsed since Injector.Arm.
+	// 0 means the rule is not time-triggered.
+	At time.Duration
+	// Delay is the stall applied by Delay rules.
+	Delay time.Duration
+}
+
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:rank=%d", r.Kind, r.Rank)
+	if r.Peer != AnyPeer {
+		fmt.Fprintf(&b, ",peer=%d", r.Peer)
+	}
+	if r.Handler != AnyHandler {
+		fmt.Fprintf(&b, ",handler=%d", r.Handler)
+	}
+	if r.AtOp != 0 {
+		fmt.Fprintf(&b, ",op=%d", r.AtOp)
+	}
+	if r.At != 0 {
+		fmt.Fprintf(&b, ",at=%s", r.At)
+	}
+	if r.Delay != 0 {
+		fmt.Fprintf(&b, ",delay=%s", r.Delay)
+	}
+	return b.String()
+}
+
+// Plan is a parsed fault plan. It is safe for concurrent use; the
+// per-rank Injectors it hands out are cached, so the transport and
+// the runtime arming the plan on the same rank share one trigger
+// state and every rule fires exactly once.
+type Plan struct {
+	Rules []Rule
+
+	mu        sync.Mutex
+	injectors map[int]*Injector
+}
+
+// Parse builds a Plan from the ';'-separated rule list described in
+// the package comment.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("fault: empty plan %q", spec)
+	}
+	return p, nil
+}
+
+func parseRule(spec string) (Rule, error) {
+	kind, fields, ok := strings.Cut(spec, ":")
+	if !ok {
+		return Rule{}, fmt.Errorf("fault: rule %q: want kind:key=value,...", spec)
+	}
+	r := Rule{Rank: -1, Peer: AnyPeer, Handler: AnyHandler}
+	switch strings.TrimSpace(kind) {
+	case "drop":
+		r.Kind = Drop
+	case "delay":
+		r.Kind = Delay
+	case "sever":
+		r.Kind = Sever
+	case "kill":
+		r.Kind = Kill
+	default:
+		return Rule{}, fmt.Errorf("fault: rule %q: unknown kind %q", spec, kind)
+	}
+	for _, kv := range strings.Split(fields, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad field %q", spec, kv)
+		}
+		var err error
+		switch key {
+		case "rank":
+			r.Rank, err = strconv.Atoi(val)
+		case "peer":
+			r.Peer, err = strconv.Atoi(val)
+		case "handler":
+			r.Handler, err = strconv.Atoi(val)
+		case "op":
+			r.AtOp, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && r.AtOp < 1 {
+				err = fmt.Errorf("op must be >= 1")
+			}
+		case "at":
+			r.At, err = time.ParseDuration(val)
+		case "delay":
+			r.Delay, err = time.ParseDuration(val)
+		default:
+			err = fmt.Errorf("unknown key")
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("fault: rule %q: field %q: %v", spec, kv, err)
+		}
+	}
+	if r.Rank < 0 {
+		return Rule{}, fmt.Errorf("fault: rule %q: missing rank=", spec)
+	}
+	switch r.Kind {
+	case Kill:
+		if r.At == 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: kill needs at=", spec)
+		}
+		if r.AtOp != 0 || r.Peer != AnyPeer || r.Handler != AnyHandler {
+			return Rule{}, fmt.Errorf("fault: rule %q: kill takes only rank= and at=", spec)
+		}
+	case Delay:
+		if r.Delay <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: delay rule needs delay=", spec)
+		}
+		fallthrough
+	default:
+		if r.AtOp == 0 && r.At == 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: needs op= or at= trigger", spec)
+		}
+	}
+	return r, nil
+}
+
+// String renders the plan back to its parseable text form.
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ForRank returns the (cached) Injector carrying rank's rules. The
+// same *Injector is returned on every call, so independent layers
+// consulting the plan share exactly-once trigger state. Nil-safe: a
+// nil plan returns a nil injector, which is itself a no-op.
+func (p *Plan) ForRank(rank int) *Injector {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.injectors == nil {
+		p.injectors = make(map[int]*Injector)
+	}
+	if in, ok := p.injectors[rank]; ok {
+		return in
+	}
+	in := &Injector{rank: rank}
+	for _, r := range p.Rules {
+		if r.Rank == rank {
+			in.rules = append(in.rules, &ruleState{rule: r})
+		}
+	}
+	p.injectors[rank] = in
+	return in
+}
+
+// KillsRank reports whether the plan kills rank — launchers use this
+// to treat that rank's death as expected rather than a job failure.
+func (p *Plan) KillsRank(rank int) bool {
+	if p == nil {
+		return false
+	}
+	for _, r := range p.Rules {
+		if r.Kind == Kill && r.Rank == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// Horizon is the latest time-trigger in the whole plan, from arming.
+// Programs that must survive the plan keep verifying past this point.
+func (p *Plan) Horizon() time.Duration {
+	if p == nil {
+		return 0
+	}
+	var h time.Duration
+	for _, r := range p.Rules {
+		if r.At > h {
+			h = r.At
+		}
+	}
+	return h
+}
+
+// KillRanks lists the ranks the plan kills, ascending.
+func (p *Plan) KillRanks() []int {
+	if p == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range p.Rules {
+		if r.Kind == Kill && !seen[r.Rank] {
+			seen[r.Rank] = true
+			out = append(out, r.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Action is what OnSend tells the transport to do to one frame.
+type Action struct {
+	Kind  Kind
+	Delay time.Duration
+}
+
+type ruleState struct {
+	rule  Rule
+	ops   int64 // matching frames seen so far
+	fired bool
+}
+
+// Injector holds one rank's live trigger state. All methods are
+// nil-receiver safe (the unset seam) and safe for concurrent use.
+type Injector struct {
+	rank int
+
+	mu    sync.Mutex
+	armed bool
+	base  time.Time
+	rules []*ruleState
+}
+
+// Arm starts the time base for time-triggered rules. Idempotent; the
+// first call wins. Op-count rules are live before arming.
+func (in *Injector) Arm() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.armed {
+		in.armed = true
+		in.base = time.Now()
+	}
+}
+
+// Armed reports whether the time base has started.
+func (in *Injector) Armed() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.armed
+}
+
+// OnSend consults the plan for one outgoing frame to peer with the
+// given handler id. At most one rule fires per frame (first match in
+// plan order); each rule fires exactly once over the injector's
+// lifetime. The op counter advances per rule on every frame matching
+// that rule's filters, whether or not it fires.
+func (in *Injector) OnSend(peer int, handler uint16) (Action, bool) {
+	if in == nil {
+		return Action{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	now := time.Now()
+	for _, rs := range in.rules {
+		r := rs.rule
+		if r.Kind == Kill {
+			continue
+		}
+		if r.Peer != AnyPeer && r.Peer != peer {
+			continue
+		}
+		if r.Handler != AnyHandler && r.Handler != int(handler) {
+			continue
+		}
+		rs.ops++
+		if rs.fired {
+			continue
+		}
+		hit := r.AtOp != 0 && rs.ops == r.AtOp
+		if !hit && r.At != 0 && in.armed && now.Sub(in.base) >= r.At {
+			hit = true
+		}
+		if hit {
+			rs.fired = true
+			return Action{Kind: r.Kind, Delay: r.Delay}, true
+		}
+	}
+	return Action{}, false
+}
+
+// KillAfter returns the delay from arming until this rank's earliest
+// kill rule fires, if the plan kills this rank.
+func (in *Injector) KillAfter() (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var best time.Duration
+	found := false
+	for _, rs := range in.rules {
+		if rs.rule.Kind == Kill && (!found || rs.rule.At < best) {
+			best, found = rs.rule.At, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseValidPlans(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Rule
+	}{
+		{
+			"kill:rank=2,at=500ms",
+			[]Rule{{Kind: Kill, Rank: 2, Peer: AnyPeer, Handler: AnyHandler, At: 500 * time.Millisecond}},
+		},
+		{
+			"drop:rank=1,peer=0,handler=1,op=1",
+			[]Rule{{Kind: Drop, Rank: 1, Peer: 0, Handler: 1, AtOp: 1}},
+		},
+		{
+			"sever:rank=0,peer=2,op=3;delay:rank=3,op=1,delay=20ms",
+			[]Rule{
+				{Kind: Sever, Rank: 0, Peer: 2, Handler: AnyHandler, AtOp: 3},
+				{Kind: Delay, Rank: 3, Peer: AnyPeer, Handler: AnyHandler, AtOp: 1, Delay: 20 * time.Millisecond},
+			},
+		},
+		{
+			" drop:rank=0,op=2 ; kill:rank=1,at=1s ",
+			[]Rule{
+				{Kind: Drop, Rank: 0, Peer: AnyPeer, Handler: AnyHandler, AtOp: 2},
+				{Kind: Kill, Rank: 1, Peer: AnyPeer, Handler: AnyHandler, At: time.Second},
+			},
+		},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if len(p.Rules) != len(c.want) {
+			t.Errorf("Parse(%q): %d rules, want %d", c.spec, len(p.Rules), len(c.want))
+			continue
+		}
+		for i, r := range p.Rules {
+			if r != c.want[i] {
+				t.Errorf("Parse(%q) rule %d = %+v, want %+v", c.spec, i, r, c.want[i])
+			}
+		}
+		// The plan must round-trip through its text form.
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("Parse(String(%q)): %v", c.spec, err)
+			continue
+		}
+		for i, r := range back.Rules {
+			if r != c.want[i] {
+				t.Errorf("round trip of %q rule %d = %+v, want %+v", c.spec, i, r, c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseRejectsBadPlans(t *testing.T) {
+	cases := []struct{ spec, errFrag string }{
+		{"", "empty plan"},
+		{"explode:rank=0,op=1", "unknown kind"},
+		{"drop:op=1", "missing rank"},
+		{"drop:rank=0", "needs op= or at="},
+		{"drop:rank=0,op=0", "op must be >= 1"},
+		{"delay:rank=0,op=1", "needs delay="},
+		{"kill:rank=2", "kill needs at="},
+		{"kill:rank=2,at=1s,op=3", "only rank= and at="},
+		{"drop:rank=0,op=1,shape=round", "unknown key"},
+		{"drop rank=0", "want kind:key=value"},
+		{"drop:rank=zero,op=1", "invalid syntax"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.spec, c.errFrag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errFrag) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", c.spec, err, c.errFrag)
+		}
+	}
+}
+
+// TestOpTriggersFireExactlyOnce drives a frame sequence through an
+// injector and checks each rule fires on exactly the frame its op=
+// names, and never again.
+func TestOpTriggersFireExactlyOnce(t *testing.T) {
+	type frame struct {
+		peer    int
+		handler uint16
+	}
+	cases := []struct {
+		name   string
+		spec   string
+		frames []frame
+		// hits[i] is the expected fired action kind for frame i, or -1.
+		hits []Kind
+	}{
+		{
+			name:   "third frame any filter",
+			spec:   "drop:rank=0,op=3",
+			frames: []frame{{1, 9}, {1, 9}, {1, 9}, {1, 9}},
+			hits:   []Kind{-1, -1, Drop, -1},
+		},
+		{
+			name:   "peer filter counts only matching frames",
+			spec:   "sever:rank=0,peer=2,op=2",
+			frames: []frame{{2, 1}, {1, 1}, {1, 1}, {2, 1}, {2, 1}},
+			hits:   []Kind{-1, -1, -1, Sever, -1},
+		},
+		{
+			name:   "handler filter",
+			spec:   "delay:rank=0,handler=7,op=1,delay=1ms",
+			frames: []frame{{1, 6}, {1, 7}, {1, 7}},
+			hits:   []Kind{-1, Delay, -1},
+		},
+		{
+			name:   "two independent rules",
+			spec:   "drop:rank=0,peer=1,op=1;drop:rank=0,peer=2,op=1",
+			frames: []frame{{1, 3}, {2, 3}, {1, 3}, {2, 3}},
+			hits:   []Kind{Drop, Drop, -1, -1},
+		},
+		{
+			name:   "rules for other ranks are inert",
+			spec:   "drop:rank=5,op=1",
+			frames: []frame{{1, 1}, {1, 1}},
+			hits:   []Kind{-1, -1},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			plan, err := Parse(c.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := plan.ForRank(0)
+			for i, f := range c.frames {
+				act, fired := in.OnSend(f.peer, f.handler)
+				if want := c.hits[i]; want == -1 {
+					if fired {
+						t.Fatalf("frame %d: fired %v, want no fire", i, act.Kind)
+					}
+				} else {
+					if !fired {
+						t.Fatalf("frame %d: no fire, want %v", i, want)
+					}
+					if act.Kind != want {
+						t.Fatalf("frame %d: fired %v, want %v", i, act.Kind, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTimeTriggersDormantUntilArm: at= rules must not fire before the
+// plan is armed, and fire exactly once after the trigger elapses.
+func TestTimeTriggersDormantUntilArm(t *testing.T) {
+	plan, err := Parse("drop:rank=0,at=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := plan.ForRank(0)
+	if _, fired := in.OnSend(1, 1); fired {
+		t.Fatal("time rule fired before Arm")
+	}
+	in.Arm()
+	if !in.Armed() {
+		t.Fatal("Armed() false after Arm")
+	}
+	if _, fired := in.OnSend(1, 1); fired {
+		t.Fatal("time rule fired before its trigger elapsed")
+	}
+	time.Sleep(10 * time.Millisecond)
+	act, fired := in.OnSend(1, 1)
+	if !fired || act.Kind != Drop {
+		t.Fatalf("after trigger: (%v, %v), want (Drop, true)", act.Kind, fired)
+	}
+	if _, fired := in.OnSend(1, 1); fired {
+		t.Fatal("time rule fired twice")
+	}
+}
+
+func TestKillAfterAndPlanQueries(t *testing.T) {
+	plan, err := Parse("kill:rank=2,at=500ms;drop:rank=0,op=1;kill:rank=3,at=200ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := plan.ForRank(2).KillAfter(); !ok || d != 500*time.Millisecond {
+		t.Errorf("rank 2 KillAfter = (%v, %v), want (500ms, true)", d, ok)
+	}
+	if _, ok := plan.ForRank(0).KillAfter(); ok {
+		t.Error("rank 0 KillAfter fired on a non-kill plan")
+	}
+	if !plan.KillsRank(2) || !plan.KillsRank(3) || plan.KillsRank(0) {
+		t.Error("KillsRank wrong")
+	}
+	if got := plan.KillRanks(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("KillRanks = %v, want [2 3]", got)
+	}
+	if plan.Horizon() != 500*time.Millisecond {
+		t.Errorf("Horizon = %v, want 500ms", plan.Horizon())
+	}
+	// A nil plan is a fully inert seam.
+	var nilPlan *Plan
+	if nilPlan.ForRank(0) != nil || nilPlan.KillsRank(0) || nilPlan.Horizon() != 0 {
+		t.Error("nil plan not inert")
+	}
+	var nilInj *Injector
+	nilInj.Arm()
+	if _, fired := nilInj.OnSend(0, 0); fired {
+		t.Error("nil injector fired")
+	}
+}
+
+// TestForRankCaching: the transport and the runtime must share one
+// trigger state, so ForRank returns the identical injector.
+func TestForRankCaching(t *testing.T) {
+	plan, err := Parse("drop:rank=1,op=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := plan.ForRank(1), plan.ForRank(1)
+	if a != b {
+		t.Fatal("ForRank returned distinct injectors for one rank")
+	}
+	if _, fired := a.OnSend(0, 1); !fired {
+		t.Fatal("first consult did not fire")
+	}
+	if _, fired := b.OnSend(0, 1); fired {
+		t.Fatal("shared rule fired twice through the second handle")
+	}
+}

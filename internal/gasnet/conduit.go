@@ -1,6 +1,10 @@
 package gasnet
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 // Conduit is the backend seam of the runtime — the layer the paper's
 // Fig 2 draws between GASNet and the swappable network conduits. Every
@@ -119,15 +123,107 @@ type AsyncConduit interface {
 
 	// GetAsync starts copying len(p) bytes from rank's segment at off
 	// into p without blocking; onDone runs on the calling rank's
-	// goroutine once every byte has landed. p must stay untouched
-	// until then.
-	GetAsync(rank int, off uint64, p []byte, onDone func()) error
+	// goroutine once every byte has landed (err nil), or with the
+	// failure — a reply deadline expiry (timeout > 0 and resilience
+	// enabled) or the target rank's death. p must stay untouched until
+	// then. Contract: a non-nil return means onDone was not and will
+	// not be invoked; otherwise onDone runs exactly once.
+	GetAsync(rank int, off uint64, p []byte, timeout time.Duration, onDone func(err error)) error
 
 	// PutAsync starts copying p into rank's segment at off without
 	// blocking; onDone runs on the calling rank's goroutine once the
-	// target has applied every byte.
-	PutAsync(rank int, off uint64, p []byte, onDone func()) error
+	// target has applied every byte, or with the failure. Same timeout
+	// and exactly-once contract as GetAsync.
+	PutAsync(rank int, off uint64, p []byte, timeout time.Duration, onDone func(err error)) error
 }
+
+// ResilienceConfig tunes the heartbeat failure detector of a conduit
+// opted into resilient mode. Zero fields take defaults.
+type ResilienceConfig struct {
+	// HeartbeatInterval is how long a peer may stay silent before this
+	// rank pings it (default 50ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long an outstanding ping may go
+	// unanswered before the peer is declared dead (default 250ms).
+	HeartbeatTimeout time.Duration
+}
+
+func (rc ResilienceConfig) withDefaults() ResilienceConfig {
+	if rc.HeartbeatInterval <= 0 {
+		rc.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if rc.HeartbeatTimeout <= 0 {
+		rc.HeartbeatTimeout = 250 * time.Millisecond
+	}
+	return rc
+}
+
+// ResilientConduit is the optional extension a conduit implements when
+// it can survive individual rank deaths instead of aborting the job:
+// heartbeat-based failure detection over the AM plane, typed
+// ErrRankDead failures for operations addressed to dead ranks (instead
+// of hangs), dead-rank-skipping collectives, and a coarse timer
+// service the retry layer schedules backoffs on. Everything stays
+// dormant — byte-for-byte legacy behavior — until EnableResilience is
+// called. WireConduit implements it; ProcConduit does not (in-process
+// rank death is simulated above the conduit, in core's chaos plane).
+type ResilientConduit interface {
+	Conduit
+
+	// EnableResilience switches the conduit to survivable mode:
+	// heartbeats start, peer loss marks single ranks dead rather than
+	// tearing the job down, and onRankDeath (may be nil) runs on the
+	// calling rank's goroutine exactly once per dead rank.
+	EnableResilience(rc ResilienceConfig, onRankDeath func(rank int))
+
+	// RankDead reports whether rank has been declared dead.
+	RankDead(rank int) bool
+
+	// After schedules fn on the conduit's tick sweep once d has
+	// elapsed, running on the calling rank's goroutine. Requires
+	// resilient mode (the tick is what drives it).
+	After(d time.Duration, fn func())
+
+	// Abort closes the conduit immediately without the goodbye
+	// handshake, so peers observe this rank as dead — the in-process
+	// simulation of a killed rank.
+	Abort()
+}
+
+// ErrRankDead is the sentinel matched (via errors.Is) by every
+// RankDeadError: the target of an operation was declared dead by the
+// failure detector, so the operation failed fast instead of hanging.
+var ErrRankDead = errors.New("gasnet: rank dead")
+
+// RankDeadError reports which rank died and why.
+type RankDeadError struct {
+	Rank  int
+	Cause error
+}
+
+func (e *RankDeadError) Error() string {
+	if e.Cause == nil {
+		return fmt.Sprintf("gasnet: rank %d dead", e.Rank)
+	}
+	return fmt.Sprintf("gasnet: rank %d dead: %v", e.Rank, e.Cause)
+}
+func (e *RankDeadError) Is(target error) bool { return target == ErrRankDead }
+func (e *RankDeadError) Unwrap() error        { return e.Cause }
+
+// ErrTimeout is the sentinel matched by TimeoutError: a per-attempt
+// reply deadline expired with the target still considered alive.
+var ErrTimeout = errors.New("gasnet: reply deadline expired")
+
+// TimeoutError reports an expired reply deadline for one request.
+type TimeoutError struct {
+	Rank  int
+	After time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("gasnet: no reply from rank %d within %v", e.Rank, e.After)
+}
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
 
 // CounterSource is implemented by conduits that meter their own
 // traffic (WireConduit's per-handler frame/byte counters); the runtime

@@ -2,7 +2,9 @@ package gasnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"time"
 
 	"upcxx/internal/transport"
 )
@@ -24,6 +26,7 @@ const (
 	hGather  uint16 = 9  // Arg=generation, payload = contribution
 	hResult  uint16 = 10 // Arg=generation, payload = length-prefixed table
 	hBatch   uint16 = 11 // Arg=token, payload = aggregation batch (internal/agg encoding)
+	hPing    uint16 = 12 // Arg=token, no payload; heartbeat probe, replied immediately
 )
 
 // handlerName names each wire handler for the per-handler traffic
@@ -52,6 +55,8 @@ func handlerName(h uint16) string {
 		return "result"
 	case hBatch:
 		return "batch"
+	case hPing:
+		return "ping"
 	}
 	return fmt.Sprintf("h%d", h)
 }
@@ -77,7 +82,23 @@ type WireConduit struct {
 	// block: aggregation batches and the async data plane (GetAsync /
 	// PutAsync chunks). Tokens without a callback park in replies for
 	// the blocking request path.
-	acks map[uint64]func(payload []byte)
+	acks map[uint64]*wireAck
+	// void marks tokens whose requester gave up (rank death, deadline
+	// expiry): a late reply for one is dropped instead of parking in
+	// the replies map forever.
+	void map[uint64]struct{}
+
+	// Resilient mode (EnableResilience): nil slices mean legacy
+	// behavior everywhere.
+	resilient   bool
+	hb          ResilienceConfig
+	onRankDeath func(rank int)
+	dead        []bool
+	deadCause   []error
+	lastHeard   []time.Time // last frame received per peer
+	pingOut     []bool      // heartbeat probe outstanding per peer
+	timers      []wireTimer // After callbacks, swept on tick
+	lostBatches int64       // batches completed-as-lost to dead ranks
 
 	// batchHandler decodes and applies one aggregation batch; installed
 	// by the layer above (core) via SetBatchHandler.
@@ -89,6 +110,8 @@ type WireConduit struct {
 	gen          uint64              // collective generation (SPMD-ordered)
 	gatherParts  map[uint64][][]byte // rank 0: contributions by generation
 	gatherCount  map[uint64]int      // rank 0: deposits by generation
+	gatherSeen   map[uint64][]bool   // rank 0, resilient: which ranks deposited
+	gatherDone   uint64              // rank 0, resilient: highest completed generation
 	gatherResult map[uint64][]byte   // non-root: encoded table by generation
 
 	gatherFrags map[fragKey]*fragBuf // rank 0: partial contributions
@@ -104,6 +127,25 @@ type WireConduit struct {
 type wireStat struct {
 	frames int64
 	bytes  int64 // payload bytes (the fixed 26-byte frame header is not included)
+}
+
+// wireAck is one registered non-blocking reply callback.
+type wireAck struct {
+	to int // target rank, so rank death can fail matching tokens
+	// lossy marks aggregation-plane tokens: on target death the ack
+	// completes as success ("the batch is lost, not pending") so
+	// events and Finish scopes drain — replication above the batch
+	// plane is what preserves the data. Data-plane tokens instead fail
+	// with RankDeadError.
+	lossy    bool
+	deadline time.Time // zero: no reply deadline
+	fn       func(payload []byte, err error)
+}
+
+// wireTimer is one After callback.
+type wireTimer struct {
+	at time.Time
+	fn func()
 }
 
 // fragKey identifies one in-flight fragmented collective payload.
@@ -136,10 +178,12 @@ func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
 		tep:          tep,
 		mem:          mem,
 		replies:      make(map[uint64][]byte),
-		acks:         make(map[uint64]func(payload []byte)),
+		acks:         make(map[uint64]*wireAck),
+		void:         make(map[uint64]struct{}),
 		locks:        make(map[uint64]*wireLockState),
 		gatherParts:  make(map[uint64][][]byte),
 		gatherCount:  make(map[uint64]int),
+		gatherSeen:   make(map[uint64][]bool),
 		gatherResult: make(map[uint64][]byte),
 		gatherFrags:  make(map[fragKey]*fragBuf),
 		resultFrags:  make(map[uint64]*fragBuf),
@@ -157,13 +201,19 @@ func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
 	c.register(hGather, c.onGather)
 	c.register(hResult, c.onResult)
 	c.register(hBatch, c.onBatch)
+	c.register(hPing, c.onPing)
 	return c
 }
 
-// register installs a handler wrapped with receive-side counting.
+// register installs a handler wrapped with receive-side counting (and,
+// in resilient mode, liveness bookkeeping: any frame from a peer is
+// proof of life).
 func (c *WireConduit) register(h uint16, fn transport.Handler) {
 	c.tep.Register(h, func(ep *transport.TCPEndpoint, m transport.Message) {
 		c.count(c.rx, m.Handler, len(m.Payload))
+		if c.lastHeard != nil {
+			c.lastHeard[m.From] = time.Now()
+		}
 		fn(ep, m)
 	})
 }
@@ -219,25 +269,64 @@ func (c *WireConduit) WireCapable() bool { return true }
 
 // request sends one encoded-argument message and blocks until its
 // tokened reply arrives, dispatching incoming requests while waiting.
+// In resilient mode the wait also completes — with a RankDeadError —
+// if the target is declared dead first, so a blocked requester never
+// hangs on a lost peer.
 func (c *WireConduit) request(to int, handler uint16, payload []byte) ([]byte, error) {
+	if err := c.deadErr(to); err != nil {
+		return nil, err
+	}
 	c.nextToken++
 	tok := c.nextToken
 	err := c.send(transport.Message{
 		To: int32(to), Handler: handler, Arg: tok, Payload: payload,
 	})
 	if err != nil {
+		if derr := c.noteSendError(to, err); derr != nil {
+			return nil, derr
+		}
 		return nil, err
 	}
 	var out []byte
 	found := false
 	if err := c.tep.WaitFor(func() bool {
 		out, found = c.replies[tok]
-		return found
+		return found || c.isDead(to)
 	}); err != nil {
 		return nil, err
 	}
+	if !found {
+		// The target died while we waited. A reply may still surface
+		// from the inbox backlog; void the token so it is dropped.
+		c.void[tok] = struct{}{}
+		return nil, c.deadErr(to)
+	}
 	delete(c.replies, tok)
 	return out, nil
+}
+
+// isDead reports resilient-mode death state (always false otherwise).
+func (c *WireConduit) isDead(rank int) bool {
+	return c.dead != nil && c.dead[rank]
+}
+
+// deadErr returns the typed error for a dead target, nil otherwise.
+func (c *WireConduit) deadErr(rank int) error {
+	if c.isDead(rank) {
+		return &RankDeadError{Rank: rank, Cause: c.deadCause[rank]}
+	}
+	return nil
+}
+
+// noteSendError folds a transport send failure into the death
+// bookkeeping: in resilient mode a peer-down send means the target is
+// dead, and the caller should surface that typed cause.
+func (c *WireConduit) noteSendError(to int, err error) error {
+	if c.resilient && errors.Is(err, transport.ErrPeerDown) {
+		c.markDead(to, err)
+		return c.deadErr(to)
+	}
+	return nil
 }
 
 // reply answers a request message with the given bytes.
@@ -247,15 +336,25 @@ func (c *WireConduit) reply(m transport.Message, payload []byte) {
 }
 
 func (c *WireConduit) onReply(_ *transport.TCPEndpoint, m transport.Message) {
+	// A voided token's requester gave up (death sweep, deadline): the
+	// late reply is dropped, not parked.
+	if _, gone := c.void[m.Arg]; gone {
+		delete(c.void, m.Arg)
+		return
+	}
 	// Batch acknowledgements and async-data-plane replies carry a
 	// callback instead of a parked requester; everything else parks in
 	// the replies map.
-	if cb, ok := c.acks[m.Arg]; ok {
+	if a, ok := c.acks[m.Arg]; ok {
 		delete(c.acks, m.Arg)
-		cb(m.Payload)
+		a.fn(m.Payload, nil)
 		return
 	}
 	c.replies[m.Arg] = m.Payload
+}
+
+func (c *WireConduit) onPing(_ *transport.TCPEndpoint, m transport.Message) {
+	c.reply(m, nil)
 }
 
 func u64(p []byte) uint64       { return binary.LittleEndian.Uint64(p) }
@@ -340,22 +439,61 @@ func (c *WireConduit) onPut(_ *transport.TCPEndpoint, m transport.Message) {
 	c.reply(m, nil)
 }
 
+// asyncXfer tracks one multi-chunk non-blocking transfer: the first
+// failure (death sweep, deadline expiry, mid-transfer send error)
+// reports and suppresses its siblings, so onDone runs exactly once.
+type asyncXfer struct {
+	remaining int
+	failed    bool
+	onDone    func(err error)
+}
+
+func (x *asyncXfer) complete(err error) {
+	if x.failed {
+		return
+	}
+	if err != nil {
+		x.failed = true
+		x.onDone(err)
+		return
+	}
+	x.remaining--
+	if x.remaining == 0 {
+		x.onDone(nil)
+	}
+}
+
+// ackDeadline converts a caller timeout into a wireAck deadline;
+// deadlines only fire in resilient mode (the tick sweep drives them).
+func (c *WireConduit) ackDeadline(timeout time.Duration) time.Time {
+	if timeout <= 0 || !c.resilient {
+		return time.Time{}
+	}
+	return time.Now().Add(timeout)
+}
+
 // GetAsync is the non-blocking Get: every chunk request leaves now and
 // onDone runs, on this rank's goroutine, when the last chunk's reply
-// has been copied into p. Replies ride the same tokened hReply path as
-// blocking requests — the callback registered per token is what makes
-// the requester free to keep working instead of parking in WaitFor.
-func (c *WireConduit) GetAsync(rank int, off uint64, p []byte, onDone func()) error {
+// has been copied into p — or with the failure (reply deadline expiry,
+// target death). Replies ride the same tokened hReply path as blocking
+// requests — the callback registered per token is what makes the
+// requester free to keep working instead of parking in WaitFor.
+func (c *WireConduit) GetAsync(rank int, off uint64, p []byte, timeout time.Duration, onDone func(err error)) error {
+	if err := c.deadErr(rank); err != nil {
+		return err
+	}
 	if rank == c.Rank() {
 		c.mem.Read(off, p)
-		onDone()
+		onDone(nil)
 		return nil
 	}
 	if len(p) == 0 {
-		onDone()
+		onDone(nil)
 		return nil
 	}
-	remaining := (len(p) + maxChunk - 1) / maxChunk
+	st := &asyncXfer{remaining: (len(p) + maxChunk - 1) / maxChunk, onDone: onDone}
+	deadline := c.ackDeadline(timeout)
+	issued := 0
 	for len(p) > 0 {
 		n := len(p)
 		if n > maxChunk {
@@ -366,22 +504,23 @@ func (c *WireConduit) GetAsync(rank int, off uint64, p []byte, onDone func()) er
 		putU64(req[0:], off)
 		putU64(req[8:], uint64(n))
 		c.nextToken++
-		c.acks[c.nextToken] = func(rep []byte) {
+		c.acks[c.nextToken] = &wireAck{to: rank, deadline: deadline, fn: func(rep []byte, err error) {
+			if err != nil {
+				st.complete(err)
+				return
+			}
 			if len(rep) != len(dst) {
 				panic(fmt.Sprintf("gasnet: wire async get of %d bytes returned %d", len(dst), len(rep)))
 			}
 			copy(dst, rep)
-			remaining--
-			if remaining == 0 {
-				onDone()
-			}
-		}
+			st.complete(nil)
+		}}
 		if err := c.send(transport.Message{
 			To: int32(rank), Handler: hGet, Arg: c.nextToken, Payload: req[:],
 		}); err != nil {
-			delete(c.acks, c.nextToken)
-			return err
+			return c.failAsyncSend(st, c.nextToken, rank, issued, err)
 		}
+		issued++
 		p = p[n:]
 		off += uint64(n)
 	}
@@ -389,18 +528,24 @@ func (c *WireConduit) GetAsync(rank int, off uint64, p []byte, onDone func()) er
 }
 
 // PutAsync is the non-blocking Put: chunked requests leave now, and
-// onDone runs when the target has acknowledged the last chunk.
-func (c *WireConduit) PutAsync(rank int, off uint64, p []byte, onDone func()) error {
+// onDone runs when the target has acknowledged the last chunk, or with
+// the failure.
+func (c *WireConduit) PutAsync(rank int, off uint64, p []byte, timeout time.Duration, onDone func(err error)) error {
+	if err := c.deadErr(rank); err != nil {
+		return err
+	}
 	if rank == c.Rank() {
 		c.mem.Write(off, p)
-		onDone()
+		onDone(nil)
 		return nil
 	}
 	if len(p) == 0 {
-		onDone()
+		onDone(nil)
 		return nil
 	}
-	remaining := (len(p) + maxChunk - 1) / maxChunk
+	st := &asyncXfer{remaining: (len(p) + maxChunk - 1) / maxChunk, onDone: onDone}
+	deadline := c.ackDeadline(timeout)
+	issued := 0
 	for len(p) > 0 {
 		n := len(p)
 		if n > maxChunk {
@@ -410,21 +555,38 @@ func (c *WireConduit) PutAsync(rank int, off uint64, p []byte, onDone func()) er
 		putU64(req, off)
 		copy(req[8:], p[:n])
 		c.nextToken++
-		c.acks[c.nextToken] = func([]byte) {
-			remaining--
-			if remaining == 0 {
-				onDone()
-			}
-		}
+		c.acks[c.nextToken] = &wireAck{to: rank, deadline: deadline, fn: func(_ []byte, err error) {
+			st.complete(err)
+		}}
 		if err := c.send(transport.Message{
 			To: int32(rank), Handler: hPut, Arg: c.nextToken, Payload: req,
 		}); err != nil {
-			delete(c.acks, c.nextToken)
-			return err
+			return c.failAsyncSend(st, c.nextToken, rank, issued, err)
 		}
+		issued++
 		p = p[n:]
 		off += uint64(n)
 	}
+	return nil
+}
+
+// failAsyncSend unwinds a mid-transfer send failure for chunk number
+// `issued` (0-based). The failed chunk's own ack is retired first. If
+// no earlier chunk was issued there are no callbacks in flight, so the
+// plain error return applies (onDone never runs). Otherwise the
+// transfer already has observable callbacks, so the failure is
+// delivered through onDone exactly once — directly, or already done by
+// the markDead sweep a peer-down send error triggers — and nil is
+// returned per the AsyncConduit contract.
+func (c *WireConduit) failAsyncSend(st *asyncXfer, tok uint64, rank, issued int, err error) error {
+	delete(c.acks, tok)
+	if derr := c.noteSendError(rank, err); derr != nil {
+		err = derr // markDead has already failed the earlier chunks' acks
+	}
+	if issued == 0 && !st.failed {
+		return err
+	}
+	st.complete(err)
 	return nil
 }
 
@@ -468,18 +630,33 @@ func (c *WireConduit) SetBatchHandler(fn func(from int, payload []byte)) {
 // applied every operation in the batch. This is the transport half of
 // the aggregation layer: many small operations travel as one frame and
 // are acknowledged by one reply, instead of a frame pair each.
+// Aggregation batches to a dead rank complete as LOST rather than
+// failing: the ack fires (so events and Finish scopes drain) and the
+// loss is counted — replication above the batch plane is what
+// preserves the data. This is the complete-as-lost semantics the
+// replicated DHT's write fan-out relies on.
 func (c *WireConduit) SendBatch(to int, payload []byte, onAck func()) error {
-	c.nextToken++
-	tok := c.nextToken
 	if onAck == nil {
 		onAck = func() {} // the ack must still be consumed, or it parks in the replies map forever
 	}
-	c.acks[tok] = func([]byte) { onAck() }
+	if c.isDead(to) {
+		c.lostBatches++
+		onAck()
+		return nil
+	}
+	c.nextToken++
+	tok := c.nextToken
+	c.acks[tok] = &wireAck{to: to, lossy: true, fn: func([]byte, error) { onAck() }}
 	err := c.send(transport.Message{
 		To: int32(to), Handler: hBatch, Arg: tok, Payload: payload,
 	})
 	if err != nil {
 		delete(c.acks, tok)
+		if c.noteSendError(to, err) != nil {
+			c.lostBatches++
+			onAck()
+			return nil
+		}
 	}
 	return err
 }
@@ -497,6 +674,162 @@ func (c *WireConduit) onBatch(_ *transport.TCPEndpoint, m transport.Message) {
 // uses it to drain pending batches without spinning.
 func (c *WireConduit) WaitFor(pred func() bool) error {
 	return c.tep.WaitFor(pred)
+}
+
+// ---- Resilient mode: failure detection and typed rank death ----
+
+// EnableResilience switches the conduit to survivable peer loss.
+// From here on: any frame from a peer counts as proof of life; a peer
+// silent past HeartbeatInterval is pinged; an unanswered ping past
+// HeartbeatTimeout declares the peer dead, as does an observed
+// connection loss. Death fails (or completes-as-lost, for the batch
+// plane) every pending token to that rank, unblocks requesters, and
+// runs onRankDeath exactly once per rank on this rank's goroutine.
+// Call before the job starts issuing traffic, on the SPMD goroutine.
+func (c *WireConduit) EnableResilience(rc ResilienceConfig, onRankDeath func(rank int)) {
+	if c.resilient {
+		return
+	}
+	c.resilient = true
+	c.hb = rc.withDefaults()
+	c.onRankDeath = onRankDeath
+	n := c.Ranks()
+	c.dead = make([]bool, n)
+	c.deadCause = make([]error, n)
+	c.lastHeard = make([]time.Time, n)
+	now := time.Now()
+	for i := range c.lastHeard {
+		c.lastHeard[i] = now
+	}
+	c.pingOut = make([]bool, n)
+	c.tep.SetPeerDownHandler(func(peer int, cause error) { c.markDead(peer, cause) })
+	tick := c.hb.HeartbeatInterval / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	c.tep.SetTick(tick, c.onTick)
+}
+
+// RankDead reports whether rank has been declared dead.
+func (c *WireConduit) RankDead(rank int) bool { return c.isDead(rank) }
+
+// LostBatches counts aggregation batches completed-as-lost because
+// their target died.
+func (c *WireConduit) LostBatches() int64 { return c.lostBatches }
+
+// After schedules fn to run on this rank's goroutine once d has
+// elapsed, swept by the resilience tick (so resolution is the tick
+// period, not a wall-clock timer). The retry layer schedules backoffs
+// and attempt re-issues here.
+func (c *WireConduit) After(d time.Duration, fn func()) {
+	c.timers = append(c.timers, wireTimer{at: time.Now().Add(d), fn: fn})
+}
+
+// Abort closes the conduit without the goodbye handshake: peers see
+// this rank die. The chaos harness's in-process stand-in for kill.
+func (c *WireConduit) Abort() { c.tep.Abort() }
+
+// onTick runs on the SPMD goroutine (from Poll, or on a timer while a
+// blocking wait sleeps): sweep expired reply deadlines, run due After
+// callbacks, and drive the heartbeat probe state machine.
+func (c *WireConduit) onTick() {
+	now := time.Now()
+	// Expired reply deadlines: fail the ack, void the token so a late
+	// reply is dropped rather than parked.
+	var expired []uint64
+	for tok, a := range c.acks {
+		if !a.deadline.IsZero() && now.After(a.deadline) {
+			expired = append(expired, tok)
+		}
+	}
+	for _, tok := range expired {
+		a := c.acks[tok]
+		delete(c.acks, tok)
+		c.void[tok] = struct{}{}
+		a.fn(nil, &TimeoutError{Rank: a.to, After: now.Sub(a.deadline)})
+	}
+	// Due After callbacks (fn may schedule more; those wait for the
+	// next sweep).
+	if len(c.timers) > 0 {
+		var due []func()
+		keep := c.timers[:0]
+		for _, tm := range c.timers {
+			if now.After(tm.at) {
+				due = append(due, tm.fn)
+			} else {
+				keep = append(keep, tm)
+			}
+		}
+		c.timers = keep
+		for _, fn := range due {
+			fn()
+		}
+	}
+	// Heartbeats: ping any live peer silent past the interval. The
+	// probe rides the normal ack plane with a deadline, so an
+	// unanswered ping surfaces right here as a TimeoutError, which is
+	// what severs the peer.
+	me := c.Rank()
+	for r := 0; r < c.Ranks(); r++ {
+		if r == me || c.dead[r] || c.pingOut[r] {
+			continue
+		}
+		if now.Sub(c.lastHeard[r]) <= c.hb.HeartbeatInterval {
+			continue
+		}
+		peer := r
+		c.pingOut[peer] = true
+		c.nextToken++
+		c.acks[c.nextToken] = &wireAck{to: peer, deadline: now.Add(c.hb.HeartbeatTimeout),
+			fn: func(_ []byte, err error) {
+				c.pingOut[peer] = false
+				if err != nil && !c.dead[peer] {
+					c.tep.SeverPeer(peer, fmt.Errorf("gasnet: rank %d unresponsive: %w", peer, err))
+				}
+			}}
+		if err := c.send(transport.Message{To: int32(peer), Handler: hPing, Arg: c.nextToken}); err != nil {
+			delete(c.acks, c.nextToken)
+			c.pingOut[peer] = false
+			c.noteSendError(peer, err)
+		}
+	}
+}
+
+// markDead declares one rank dead, exactly once: records the cause,
+// fails or completes-as-lost every pending token addressed to it,
+// unblocks collectives, and notifies the layer above. Runs on the
+// SPMD goroutine (the transport delivers peer loss through the inbox).
+func (c *WireConduit) markDead(rank int, cause error) {
+	if c.dead == nil || c.dead[rank] {
+		return
+	}
+	c.dead[rank] = true
+	c.deadCause[rank] = cause
+	// Collect first: the callbacks may register new tokens.
+	var toks []uint64
+	for tok, a := range c.acks {
+		if a.to == rank {
+			toks = append(toks, tok)
+		}
+	}
+	derr := &RankDeadError{Rank: rank, Cause: cause}
+	for _, tok := range toks {
+		a, ok := c.acks[tok]
+		if !ok {
+			continue
+		}
+		delete(c.acks, tok)
+		c.void[tok] = struct{}{}
+		if a.lossy {
+			c.lostBatches++
+			a.fn(nil, nil)
+		} else {
+			a.fn(nil, derr)
+		}
+	}
+	if c.onRankDeath != nil {
+		c.onRankDeath(rank)
+	}
 }
 
 // ---- Global memory management ----
@@ -693,21 +1026,34 @@ func accumFragment(fb *fragBuf, payload []byte) ([]byte, bool) {
 // the full table. Generations are implicit: collectives are SPMD-
 // ordered, so the i-th AllGather on every rank is the same collective.
 // Rank 0 buffers early arrivals of future generations.
+// In resilient mode a dead rank's slot in the gathered table is nil
+// (zero-length): rank 0 completes the collective once every rank has
+// either deposited or died, skips dead ranks when shipping the table
+// back, and a non-root rank fails with RankDeadError if rank 0 itself
+// dies (root death is not survivable — the rendezvous point is gone).
 func (c *WireConduit) AllGather(contrib []byte) ([][]byte, error) {
 	c.gen++
 	g := c.gen
 	n := c.Ranks()
 	if c.Rank() == 0 {
 		c.depositGather(g, 0, contrib)
-		if err := c.tep.WaitFor(func() bool { return c.gatherCount[g] == n }); err != nil {
+		if err := c.tep.WaitFor(func() bool { return c.gatherComplete(g, n) }); err != nil {
 			return nil, err
 		}
 		parts := c.gatherParts[g]
 		delete(c.gatherParts, g)
 		delete(c.gatherCount, g)
+		delete(c.gatherSeen, g)
+		c.gatherDone = g
 		enc := encodeParts(parts)
 		for r := 1; r < n; r++ {
+			if c.isDead(r) {
+				continue
+			}
 			if err := c.sendFragmented(r, hResult, g, enc); err != nil {
+				if c.noteSendError(r, err) != nil {
+					continue // declared dead mid-broadcast; the rest still get the table
+				}
 				return nil, err
 			}
 		}
@@ -716,19 +1062,48 @@ func (c *WireConduit) AllGather(contrib []byte) ([][]byte, error) {
 		c.tep.Flush()
 		return parts, nil
 	}
+	if err := c.deadErr(0); err != nil {
+		return nil, err
+	}
 	if err := c.sendFragmented(0, hGather, g, contrib); err != nil {
+		if derr := c.noteSendError(0, err); derr != nil {
+			return nil, derr
+		}
 		return nil, err
 	}
 	var enc []byte
 	found := false
 	if err := c.tep.WaitFor(func() bool {
 		enc, found = c.gatherResult[g]
-		return found
+		return found || c.isDead(0)
 	}); err != nil {
 		return nil, err
 	}
+	if !found {
+		return nil, c.deadErr(0)
+	}
 	delete(c.gatherResult, g)
 	return decodeParts(enc, n)
+}
+
+// gatherComplete is rank 0's completion predicate for generation g:
+// legacy, every rank deposited; resilient, every rank deposited or is
+// dead (a deposit that raced ahead of the death notification still
+// counts — the data is preserved).
+func (c *WireConduit) gatherComplete(g uint64, n int) bool {
+	if !c.resilient {
+		return c.gatherCount[g] == n
+	}
+	seen := c.gatherSeen[g]
+	if seen == nil {
+		return false
+	}
+	for r := 0; r < n; r++ {
+		if !seen[r] && !c.dead[r] {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *WireConduit) depositGather(g uint64, rank int32, contrib []byte) {
@@ -739,9 +1114,21 @@ func (c *WireConduit) depositGather(g uint64, rank int32, contrib []byte) {
 	}
 	parts[rank] = contrib
 	c.gatherCount[g]++
+	seen := c.gatherSeen[g]
+	if seen == nil {
+		seen = make([]bool, c.Ranks())
+		c.gatherSeen[g] = seen
+	}
+	seen[rank] = true
 }
 
 func (c *WireConduit) onGather(_ *transport.TCPEndpoint, m transport.Message) {
+	if c.resilient && m.Arg <= c.gatherDone {
+		// A straggler deposit for a generation that already completed
+		// without this (since-revived? no — declared-dead) rank: drop
+		// it; the table was already shipped.
+		return
+	}
 	k := fragKey{gen: m.Arg, from: m.From}
 	fb := c.gatherFrags[k]
 	if fb == nil {

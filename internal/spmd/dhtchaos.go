@@ -1,0 +1,112 @@
+package spmd
+
+import (
+	"fmt"
+	"time"
+
+	"upcxx/internal/core"
+	"upcxx/internal/dht"
+)
+
+// runDHTChaos is the chaos-mode acceptance program: a K=2 replicated,
+// read-repairing DHT that survives the death of any single rank and
+// proves it by verification, not by luck. Every rank inserts `scale`
+// keys (fanned out to both replicas), the fault plan is armed, and
+// then every rank repeatedly verifies the ENTIRE key set — all ranks'
+// keys, not just its own — by lookup until the plan's horizon plus
+// detection slack has passed. Lookups issued across a death re-route
+// to the surviving replica and heal it, so every round must see every
+// key with its exact value.
+//
+// Survivors return dht.ExpectedChecksum over the full logical
+// contents — computed locally, with no collective, because the value
+// has already been verified key by key. That makes the reported
+// checksum of a chaos run byte-identical to the fault-free run's on
+// either backend, which is exactly what the chaos CI job asserts. A
+// rank whose scripted death has passed (in-process backend only; a
+// wire process really exits) takes the ghost path: stop work, report
+// 0, meet the survivors at the final barrier.
+func runDHTChaos(me *core.Rank, scale int) uint64 {
+	n := me.Ranks()
+	k := 1
+	if n > 1 {
+		k = 2
+	}
+	tbl := dht.NewWithConfig(me, dht.DefaultCapacity(2*scale),
+		dht.Config{Replicas: k, ReadRepair: true})
+
+	key := func(rank, i int) uint64 {
+		return mix(uint64(rank)<<32+uint64(i))<<1 | 1
+	}
+	val := func(k uint64) uint64 { return mix(k ^ 0x5851F42D4C957F2D) }
+
+	// The full logical contents: every survivor's verification oracle.
+	pairs := make(map[uint64]uint64, n*scale)
+	keys := make([]uint64, 0, n*scale)
+	for r := 0; r < n; r++ {
+		for i := 0; i < scale; i++ {
+			k := key(r, i)
+			pairs[k] = val(k)
+			keys = append(keys, k)
+		}
+	}
+	for i := 0; i < scale; i++ {
+		k := key(me.ID(), i)
+		tbl.Insert(me, k, val(k), nil)
+	}
+	me.Barrier()
+
+	core.ChaosArm(me)
+	horizon := core.ChaosHorizon(me)
+	deadline := time.Now().Add(horizon + 600*time.Millisecond)
+	if horizon == 0 {
+		// No time-triggered faults scripted: one verification round
+		// proves the table; spinning until a slack deadline buys nothing.
+		deadline = time.Now()
+	}
+
+	ghost := false
+	pend := make([]*dht.Lookup, 0, 128)
+	drain := func() {
+		for _, l := range pend {
+			k := l.Key()
+			if v, ok := l.Wait(me); !ok || v != pairs[k] {
+				panic(fmt.Sprintf("spmd: dhtchaos: key %#x = (%#x,%v), want (%#x,true)",
+					k, v, ok, pairs[k]))
+			}
+		}
+		pend = pend[:0]
+	}
+	verify := func() {
+		for _, k := range keys {
+			pend = append(pend, tbl.Lookup(me, k))
+			if len(pend) == cap(pend) {
+				drain()
+				if core.ChaosKilled(me) {
+					ghost = true
+					return
+				}
+			}
+		}
+		drain()
+	}
+	for {
+		if core.ChaosKilled(me) {
+			ghost = true
+		}
+		if ghost {
+			break
+		}
+		verify()
+		if ghost || time.Now().After(deadline) {
+			break
+		}
+	}
+
+	if ghost {
+		me.Barrier() // meet the survivors' final barrier, then vanish
+		return 0
+	}
+	me.Barrier()
+	return dht.ExpectedChecksum(pairs)
+}

@@ -52,7 +52,18 @@ func Rendezvous(ln net.Listener, n int) error {
 	for i := 0; i < n; i++ {
 		conn, err := ln.Accept()
 		if err != nil {
-			return fmt.Errorf("spmd: rendezvous accept (%d of %d ranks registered): %w", i, n, err)
+			// A bare timeout is useless for diagnosing a lost child;
+			// report exactly which ranks made it and which never showed.
+			var got, missing []string
+			for r := 0; r < n; r++ {
+				if conns[r] != nil {
+					got = append(got, fmt.Sprint(r))
+				} else {
+					missing = append(missing, fmt.Sprint(r))
+				}
+			}
+			return fmt.Errorf("spmd: rendezvous accept (%d of %d ranks registered; connected: [%s], missing: [%s]): %w",
+				i, n, strings.Join(got, " "), strings.Join(missing, " "), err)
 		}
 		conn.SetDeadline(deadline)
 		line, err := bufio.NewReader(conn).ReadString('\n')
@@ -113,6 +124,12 @@ func RunWireChild(rendezvous string, rank, n, segBytes int, cfg core.Config, mai
 	if err != nil {
 		return core.Stats{}, err
 	}
+	if cfg.Fault != nil {
+		// The injector is shared with the runtime's ChaosArm via the
+		// plan's per-rank cache, so time triggers stay dormant until the
+		// program arms them.
+		tep.SetFault(cfg.Fault.ForRank(rank))
+	}
 	addrs, err := DialRendezvous(rendezvous, rank, n, tep.Addr())
 	if err != nil {
 		tep.Close()
@@ -159,6 +176,9 @@ func RunWireLocal(n, segBytes int, cfg core.Config, main func(me *core.Rank)) ([
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if cfg.Fault != nil {
+				eps[i].SetFault(cfg.Fault.ForRank(i))
+			}
 			if err := eps[i].Connect(addrs); err != nil {
 				errs[i] = err
 				return

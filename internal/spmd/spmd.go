@@ -30,6 +30,10 @@ type Prog struct {
 	// checksum (identical on every rank). It must use only wire-capable
 	// operations and must panic on verification failure.
 	Run func(me *core.Rank, scale int) uint64
+	// Resilient asks the launcher for a fault-tolerant job (heartbeats,
+	// typed rank-death failures) even without an injected fault plan:
+	// the program is written to survive rank death.
+	Resilient bool
 }
 
 var registry = []Prog{
@@ -69,6 +73,16 @@ var registry = []Prog{
 			return dht.SegBytes(dht.DefaultCapacity(scale))
 		},
 		Run: runDHT,
+	},
+	{
+		Name:         "dhtchaos",
+		Desc:         "replicated DHT under rank death: K=2 successor replication, read-repair lookups, survivors verify the full key set and report the fault-free checksum",
+		DefaultScale: 512, // inserts per rank
+		SegBytes: func(ranks, scale int) int {
+			return dht.SegBytes(dht.DefaultCapacity(2 * scale))
+		},
+		Run:       runDHTChaos,
+		Resilient: true,
 	},
 	{
 		Name:         "pipeline",

@@ -32,7 +32,7 @@ func runProcChecksum(t *testing.T, p Prog, n, scale int) uint64 {
 func runWireChecksum(t *testing.T, p Prog, n, scale int) uint64 {
 	t.Helper()
 	sums := make([]uint64, n)
-	_, err := RunWireLocal(n, p.SegBytes(n, scale), core.Config{}, func(me *core.Rank) {
+	_, err := RunWireLocal(n, p.SegBytes(n, scale), core.Config{Resilient: p.Resilient}, func(me *core.Rank) {
 		sums[me.ID()] = p.Run(me, scale)
 	})
 	if err != nil {
@@ -59,6 +59,8 @@ func TestBackendsAgree(t *testing.T) {
 					scale = 10 // keep test-sized tables
 				case "dht":
 					scale = 384 // keep test-sized shards
+				case "dhtchaos":
+					scale = 128 // fault-free here; the chaos tests kill ranks
 				}
 				proc := runProcChecksum(t, p, n, scale)
 				wire := runWireChecksum(t, p, n, scale)

@@ -21,6 +21,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"upcxx/internal/fault"
 )
 
 // Message is one framed active message.
@@ -44,6 +47,23 @@ var ErrClosed = errors.New("transport: endpoint closed")
 // ErrPayloadTooLarge is returned by Send for payloads over MaxPayload.
 var ErrPayloadTooLarge = errors.New("transport: payload exceeds MaxPayload")
 
+// ErrPeerDown is the sentinel matched (via errors.Is) by every
+// PeerDownError a survivable endpoint returns for sends to a lost peer.
+var ErrPeerDown = errors.New("transport: peer down")
+
+// PeerDownError reports a send addressed to a peer whose connection was
+// lost while the endpoint survives in peer-down mode.
+type PeerDownError struct {
+	Peer  int
+	Cause error
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("transport: peer %d down: %v", e.Peer, e.Cause)
+}
+func (e *PeerDownError) Is(target error) bool { return target == ErrPeerDown }
+func (e *PeerDownError) Unwrap() error        { return e.Cause }
+
 // Handler processes one delivered message on the receiving endpoint's
 // polling goroutine.
 type Handler func(ep *TCPEndpoint, m Message)
@@ -51,9 +71,14 @@ type Handler func(ep *TCPEndpoint, m Message)
 // Control frames exchanged between endpoints, outside the handler table:
 // hello identifies the dialing rank during Connect; bye announces a
 // clean close, so the EOF that follows it is teardown, not peer loss.
+// peerDown is synthesized locally (never sent on the wire): when a
+// survivable endpoint loses a peer, its reader goroutine enqueues one
+// peerDown message through the inbox, so the loss is observed on the
+// dispatch goroutine strictly after every frame that peer delivered.
 const (
-	helloHandler uint16 = 0xFFFF
-	byeHandler   uint16 = 0xFFFE
+	helloHandler    uint16 = 0xFFFF
+	byeHandler      uint16 = 0xFFFE
+	peerDownHandler uint16 = 0xFFFD
 )
 
 // TCPEndpoint is one rank's attachment to a full-mesh TCP fabric.
@@ -76,7 +101,132 @@ type TCPEndpoint struct {
 	failure error // first peer-connection loss; endpoint is torn down
 
 	dropped atomic.Int64 // messages with no registered handler
+
+	// Fault-injection seam: consulted on every outgoing remote frame.
+	// Nil (the default) is a no-op. Set before Connect.
+	inj *fault.Injector
+
+	// Peer-down survival. By default a lost peer tears the whole
+	// endpoint down (fail); installing a peer-down handler switches the
+	// endpoint to survivable mode, where only that peer's connection is
+	// retired and the loss is reported through the handler.
+	survivable atomic.Bool
+	peerDown   func(peer int, cause error) // runs on the dispatch goroutine
+	downed     []atomic.Bool               // by peer rank
+	downCause  []error                     // guarded by failMu
+
+	// Optional periodic tick, run on the dispatch goroutine from
+	// Poll/WaitFor (heartbeats, deadline sweeps). Set before use.
+	tickEvery time.Duration
+	tick      func()
+	lastTick  time.Time
 }
+
+// SetFault installs a fault injector consulted on every outgoing remote
+// frame. A nil injector (the default) costs one predictable branch.
+// Install before Connect.
+func (ep *TCPEndpoint) SetFault(inj *fault.Injector) { ep.inj = inj }
+
+// SetPeerDownHandler switches the endpoint to survivable peer loss:
+// instead of tearing the whole endpoint down, a lost peer retires only
+// its own connection, fn runs on the dispatch goroutine (after every
+// frame that peer had already delivered), and subsequent sends to the
+// peer return a PeerDownError. Without it the legacy whole-endpoint
+// teardown applies.
+func (ep *TCPEndpoint) SetPeerDownHandler(fn func(peer int, cause error)) {
+	ep.failMu.Lock()
+	ep.peerDown = fn
+	ep.failMu.Unlock()
+	ep.survivable.Store(fn != nil)
+}
+
+// SetTick installs fn to run on the dispatch goroutine roughly every d:
+// from Poll when due, and on a timer while WaitFor blocks — which is
+// what lets heartbeat and deadline machinery make progress while the
+// rank sits in a blocking wait.
+func (ep *TCPEndpoint) SetTick(d time.Duration, fn func()) {
+	ep.tickEvery = d
+	ep.tick = fn
+	ep.lastTick = time.Now()
+}
+
+// runDueTick fires the tick if one is installed and due. Dispatch
+// goroutine only.
+func (ep *TCPEndpoint) runDueTick() {
+	if ep.tick == nil {
+		return
+	}
+	if now := time.Now(); now.Sub(ep.lastTick) >= ep.tickEvery {
+		ep.lastTick = now
+		ep.tick()
+	}
+}
+
+// PeerDown reports whether peer's connection has been retired (only in
+// survivable mode; a legacy endpoint tears down whole instead).
+func (ep *TCPEndpoint) PeerDown(peer int) bool {
+	return ep.downed != nil && ep.downed[peer].Load()
+}
+
+// peerDownErr builds the typed send error for a retired peer.
+func (ep *TCPEndpoint) peerDownErr(peer int) error {
+	ep.failMu.Lock()
+	cause := ep.downCause[peer]
+	ep.failMu.Unlock()
+	return &PeerDownError{Peer: peer, Cause: cause}
+}
+
+// peerLost routes a dead peer connection: survivable endpoints retire
+// just that peer, legacy endpoints tear down whole. Safe from any
+// goroutine.
+func (ep *TCPEndpoint) peerLost(peer int32, cause error) {
+	if !ep.survivable.Load() {
+		ep.fail(cause)
+		return
+	}
+	ep.markPeerDown(peer, cause)
+}
+
+// markPeerDown retires one peer connection exactly once and enqueues
+// the synthetic peerDown message behind everything the peer already
+// delivered.
+func (ep *TCPEndpoint) markPeerDown(peer int32, cause error) {
+	if ep.downed[peer].Swap(true) {
+		return
+	}
+	ep.failMu.Lock()
+	ep.downCause[peer] = cause
+	ep.failMu.Unlock()
+	ep.mu.Lock()
+	if c := ep.conns[peer]; c != nil {
+		c.Close()
+		ep.conns[peer] = nil
+	}
+	if ep.outs != nil {
+		ep.outs[peer] = nil
+	}
+	ep.mu.Unlock()
+	select {
+	case ep.inbox <- Message{From: peer, To: ep.rank, Handler: peerDownHandler}:
+	case <-ep.done:
+	}
+}
+
+// SeverPeer forcibly closes the connection to peer, as if the link had
+// died: the local side observes peer loss through the usual path
+// (peer-down in survivable mode, teardown otherwise) and the remote
+// side sees an unannounced EOF.
+func (ep *TCPEndpoint) SeverPeer(peer int, cause error) {
+	if cause == nil {
+		cause = fmt.Errorf("transport: rank %d severed connection to rank %d", ep.rank, peer)
+	}
+	ep.peerLost(int32(peer), cause)
+}
+
+// Abort closes the endpoint immediately WITHOUT the goodbye exchange,
+// so every peer observes the close as unannounced peer loss — the
+// in-process simulation of a killed rank.
+func (ep *TCPEndpoint) Abort() { ep.shutdown() }
 
 // fail records the first peer-loss error and tears the endpoint down so
 // every blocked operation returns it instead of hanging. Called from
@@ -117,6 +267,15 @@ func (ep *TCPEndpoint) Dropped() int64 { return ep.dropped.Load() }
 
 // dispatch routes one message to its handler, tolerating bogus indices.
 func (ep *TCPEndpoint) dispatch(m Message) {
+	if m.Handler == peerDownHandler {
+		ep.failMu.Lock()
+		fn, cause := ep.peerDown, ep.downCause[m.From]
+		ep.failMu.Unlock()
+		if fn != nil {
+			fn(int(m.From), cause)
+		}
+		return
+	}
 	if int(m.Handler) >= len(ep.handlers) || ep.handlers[m.Handler] == nil {
 		ep.dropped.Add(1)
 		return
@@ -173,13 +332,15 @@ func ListenTCP(rank, n int, addr string) (*TCPEndpoint, error) {
 		return nil, err
 	}
 	ep := &TCPEndpoint{
-		rank:     int32(rank),
-		n:        int32(n),
-		ln:       ln,
-		handlers: make([]Handler, 256),
-		conns:    make([]net.Conn, n),
-		inbox:    make(chan Message, 1024),
-		done:     make(chan struct{}),
+		rank:      int32(rank),
+		n:         int32(n),
+		ln:        ln,
+		handlers:  make([]Handler, 256),
+		conns:     make([]net.Conn, n),
+		inbox:     make(chan Message, 1024),
+		done:      make(chan struct{}),
+		downed:    make([]atomic.Bool, n),
+		downCause: make([]error, n),
 	}
 	return ep, nil
 }
@@ -269,7 +430,7 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 					select {
 					case <-ep.done: // deliberate Close on our side
 					default:
-						ep.fail(fmt.Errorf("transport: rank %d lost connection to rank %d: %w",
+						ep.peerLost(peer, fmt.Errorf("transport: rank %d lost connection to rank %d: %w",
 							ep.rank, peer, err))
 					}
 					return
@@ -314,6 +475,19 @@ func (ep *TCPEndpoint) Send(m Message) error {
 			return ep.closedErr()
 		}
 	}
+	if ep.downed[m.To].Load() {
+		return ep.peerDownErr(int(m.To))
+	}
+	if act, fired := ep.inj.OnSend(int(m.To), m.Handler); fired {
+		switch act.Kind {
+		case fault.Drop:
+			return nil // the frame silently vanishes
+		case fault.Delay:
+			time.Sleep(act.Delay)
+		case fault.Sever:
+			return ep.severFrame(m)
+		}
+	}
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	w := ep.outs[m.To]
@@ -321,6 +495,38 @@ func (ep *TCPEndpoint) Send(m Message) error {
 		return fmt.Errorf("transport: no connection to rank %d", m.To)
 	}
 	return writeFrame(w, m)
+}
+
+// severFrame executes an injected mid-frame sever: it writes only the
+// frame header (announcing a payload that never follows) and closes
+// the connection, so the peer's next read fails with an unexpected EOF
+// partway through a frame — the worst-shaped cut a real link failure
+// produces. The local side then routes through the normal peer-loss
+// path and the caller gets the typed peer-down error.
+func (ep *TCPEndpoint) severFrame(m Message) error {
+	ep.mu.Lock()
+	if w := ep.outs[m.To]; w != nil {
+		var hdr [26]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(m.To))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(m.From))
+		binary.LittleEndian.PutUint16(hdr[8:], m.Handler)
+		binary.LittleEndian.PutUint64(hdr[10:], m.Arg)
+		binary.LittleEndian.PutUint64(hdr[18:], uint64(len(m.Payload)+1))
+		w.Write(hdr[:])
+		w.Flush()
+	}
+	c := ep.conns[m.To]
+	ep.mu.Unlock()
+	cause := fmt.Errorf("transport: fault injection severed rank %d's connection to rank %d mid-frame",
+		ep.rank, m.To)
+	if c != nil {
+		c.Close()
+	}
+	ep.peerLost(m.To, cause)
+	if ep.survivable.Load() {
+		return ep.peerDownErr(int(m.To))
+	}
+	return cause
 }
 
 // Flush ships every buffered frame now. Callers that send and then
@@ -354,6 +560,7 @@ func (ep *TCPEndpoint) Poll() int {
 			ep.dispatch(m)
 			n++
 		default:
+			ep.runDueTick()
 			ep.flushOut()
 			return n
 		}
@@ -372,6 +579,24 @@ func (ep *TCPEndpoint) WaitFor(pred func() bool) error {
 		default:
 		}
 		ep.flushOut()
+		if ep.tick != nil {
+			// With a tick installed the blocking wait must still wake
+			// periodically: heartbeats and deadline sweeps are what turn
+			// a silently lost peer into progress on this very wait.
+			timer := time.NewTimer(ep.tickEvery)
+			select {
+			case m := <-ep.inbox:
+				ep.dispatch(m)
+			case <-timer.C:
+				ep.lastTick = time.Now()
+				ep.tick()
+			case <-ep.done:
+				timer.Stop()
+				return ep.closedErr()
+			}
+			timer.Stop()
+			continue
+		}
 		select {
 		case m := <-ep.inbox:
 			ep.dispatch(m)
