@@ -21,8 +21,8 @@
 // exits non-zero. This is the CI bench-regression gate.
 //
 // Experiments: fig4, tableiv (alias tab4), fig5, fig6, fig7, fig8,
-// dhtbench (alias dht), rpcbench (alias rpc), futbench (alias fut),
-// all — run -list for descriptions.
+// dhtbench (alias dht), collbench (alias coll), rpcbench (alias rpc),
+// futbench (alias fut), all — run -list for descriptions.
 package main
 
 import (

@@ -50,11 +50,14 @@ const (
 	envRank       = "UPCXX_RUN_RANK"
 	envRanks      = "UPCXX_RUN_RANKS"
 	envRendezvous = "UPCXX_RUN_RENDEZVOUS"
+	envPPN        = "UPCXX_RUN_PPN"    // procs per node; >0 selects the hier conduit
+	envShmDir     = "UPCXX_RUN_SHMDIR" // job-wide shm segment directory (parent-owned)
 )
 
 func main() {
 	n := flag.Int("n", 4, "SPMD ranks")
-	backend := flag.String("backend", "proc", "conduit backend: proc (in-process) or tcp (one OS process per rank)")
+	backend := flag.String("backend", "proc", "conduit backend: proc (in-process), tcp (one OS process per rank) or hier (processes sharing mmap'd segments per virtual host)")
+	ppn := flag.Int("procs-per-node", 0, "ranks per virtual host (0 = backend default: 1, or n for -backend hier); >1 with tcp upgrades to hier")
 	scale := flag.Int("scale", 0, "program size knob (0 = program default)")
 	rdvTimeout := flag.Duration("rendezvous-timeout", spmd.RendezvousTimeout,
 		"deadline for the tcp backend's address rendezvous (raise for slow or congested hosts)")
@@ -106,6 +109,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Resolve the topology. The hier backend groups ranks onto virtual
+	// hosts ppn at a time; tcp with ppn>1 is the same job, so it
+	// upgrades, and a bare "-procs-per-node K" (no explicit -backend)
+	// selects hier outright. An explicit "-backend proc" keeps the
+	// in-process engine but labels ranks with the same topology, so
+	// proc and hier runs of a locality-sensitive program compare
+	// checksums. ppn is clamped to n: "-n 2 -procs-per-node 4" is a
+	// one-host job, exactly as a real cluster launch would pack it.
+	backendSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "backend" {
+			backendSet = true
+		}
+	})
+	if !backendSet && *ppn > 1 {
+		*backend = "hier"
+	}
+	if *ppn == 0 {
+		if *backend == "hier" {
+			*ppn = *n
+		} else {
+			*ppn = 1
+		}
+	}
+	if *ppn < 0 {
+		fmt.Fprintln(os.Stderr, "upcxx-run: -procs-per-node must be >= 1")
+		os.Exit(2)
+	}
+	if *ppn > *n {
+		*ppn = *n
+	}
+	if *backend == "tcp" && *ppn > 1 {
+		*backend = "hier"
+	}
+
 	if rankStr := os.Getenv(envRank); rankStr != "" {
 		runChild(prog, *scale, rankStr, plan)
 		return
@@ -113,11 +151,13 @@ func main() {
 
 	switch *backend {
 	case "proc":
-		runProc(prog, *n, *scale, plan)
+		runProc(prog, *n, *scale, *ppn, plan)
 	case "tcp":
-		runTCP(prog, *n, *scale, plan)
+		runTCP(prog, *n, *scale, 0, plan)
+	case "hier":
+		runTCP(prog, *n, *scale, *ppn, plan)
 	default:
-		fmt.Fprintf(os.Stderr, "upcxx-run: unknown backend %q (want proc or tcp)\n", *backend)
+		fmt.Fprintf(os.Stderr, "upcxx-run: unknown backend %q (want proc, tcp or hier)\n", *backend)
 		os.Exit(2)
 	}
 }
@@ -145,14 +185,17 @@ func reportRank(n int, plan *fault.Plan) int {
 }
 
 // runProc executes the program on the in-process backend: one goroutine
-// per rank over the virtual-time engine, as upcxx.Run does.
-func runProc(prog spmd.Prog, n, scale int, plan *fault.Plan) {
+// per rank over the virtual-time engine, as upcxx.Run does. The ppn
+// topology is passed through so LocalTeam membership matches what the
+// same command line produces on the wire backends.
+func runProc(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
 	rep := reportRank(n, plan)
 	var sum uint64
 	core.Run(core.Config{
 		Ranks:        n,
 		SegmentBytes: prog.SegBytes(n, scale),
 		Fault:        plan,
+		Nodes:        spmd.HierNodes(n, ppn),
 	}, func(me *core.Rank) {
 		s := prog.Run(me, scale)
 		if me.ID() == rep {
@@ -165,8 +208,11 @@ func runProc(prog spmd.Prog, n, scale int, plan *fault.Plan) {
 }
 
 // runTCP is the parent side of the wire launch: spawn one child process
-// per rank, serve the address rendezvous, and propagate failures.
-func runTCP(prog spmd.Prog, n, scale int, plan *fault.Plan) {
+// per rank, serve the address rendezvous, and propagate failures. With
+// ppn > 0 the job is hierarchical: the parent owns a temp directory of
+// mmap'd segment files that co-located children share, and tells the
+// children their topology through the environment.
+func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
@@ -178,6 +224,14 @@ func runTCP(prog spmd.Prog, n, scale int, plan *fault.Plan) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
 		os.Exit(1)
+	}
+	var shmDir string
+	if ppn > 0 {
+		if shmDir, err = os.MkdirTemp("", "upcxx-run-shm-"); err != nil {
+			fmt.Fprintln(os.Stderr, "upcxx-run:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(shmDir)
 	}
 	rdvErr := make(chan error, 1)
 	go func() { rdvErr <- spmd.Rendezvous(ln, n) }()
@@ -192,6 +246,12 @@ func runTCP(prog spmd.Prog, n, scale int, plan *fault.Plan) {
 			envRanks+"="+strconv.Itoa(n),
 			envRendezvous+"="+ln.Addr().String(),
 		)
+		if ppn > 0 {
+			c.Env = append(c.Env,
+				envPPN+"="+strconv.Itoa(ppn),
+				envShmDir+"="+shmDir,
+			)
+		}
 		if err := c.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "upcxx-run: spawning rank %d: %v\n", i, err)
 			for _, prev := range children[:i] {
@@ -224,6 +284,9 @@ func runTCP(prog spmd.Prog, n, scale int, plan *fault.Plan) {
 		failed = true
 	}
 	if failed {
+		if shmDir != "" {
+			os.RemoveAll(shmDir) // os.Exit skips the deferred cleanup
+		}
 		os.Exit(1)
 	}
 }
@@ -252,12 +315,23 @@ func runChild(prog spmd.Prog, scale int, rankStr string, plan *fault.Plan) {
 	}
 	rep := reportRank(n, plan)
 	var sum uint64
-	_, err = spmd.RunWireChild(rdv, rank, n, prog.SegBytes(n, scale), cfg, func(me *core.Rank) {
+	body := func(me *core.Rank) {
 		s := prog.Run(me, scale)
 		if me.ID() == rep {
 			sum = s
 		}
-	})
+	}
+	if shmDir := os.Getenv(envShmDir); shmDir != "" {
+		// Hierarchical child: co-located ranks share mmap'd segments.
+		ppn, perr := strconv.Atoi(os.Getenv(envPPN))
+		if perr != nil || ppn < 1 {
+			fmt.Fprintf(os.Stderr, "upcxx-run: bad %s=%q\n", envPPN, os.Getenv(envPPN))
+			os.Exit(1)
+		}
+		_, err = spmd.RunHierChild(rdv, rank, n, ppn, prog.SegBytes(n, scale), shmDir, cfg, body)
+	} else {
+		_, err = spmd.RunWireChild(rdv, rank, n, prog.SegBytes(n, scale), cfg, body)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", rank, err)
 		os.Exit(1)

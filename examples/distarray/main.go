@@ -61,7 +61,7 @@ func main() {
 		local := 0.0
 		tile := src.Tile()
 		src.Interior().ForEach(func(p upcxx.Point) { local += tile.Get(me, p) })
-		total := upcxx.Reduce(me, local, func(a, b float64) float64 { return a + b })
+		total := upcxx.TeamReduce(me.World(), local, func(a, b float64) float64 { return a + b })
 		if me.ID() == 0 {
 			fmt.Printf("after %d smoothing steps: total mass %.3f (spiked 256)\n", *iters, total)
 			// Print the center row as a crude profile.

@@ -46,8 +46,8 @@ func main() {
 			}
 			me.Barrier()
 
-			refsA := upcxx.AllGather(me, A.Ref())
-			refsB := upcxx.AllGather(me, B.Ref())
+			refsA := upcxx.TeamAllGather(me.World(), A.Ref())
+			refsB := upcxx.TeamAllGather(me.World(), B.Ref())
 			me.Barrier()
 
 			// Face-neighbor ranks (the only owners of our ghost planes;
@@ -121,7 +121,7 @@ func main() {
 			// Global heat must be conserved (interior sums reduced).
 			local := 0.0
 			interior.ForEach(func(p upcxx.Point) { local += src.Get(me, p) })
-			total := upcxx.Reduce(me, local, func(a, b float64) float64 { return a + b })
+			total := upcxx.TeamReduce(me.World(), local, func(a, b float64) float64 { return a + b })
 			if me.ID() == 0 {
 				fmt.Printf("total heat after %d iterations: %.6f (deposited 1000)\n", *iters, total)
 			}

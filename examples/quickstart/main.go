@@ -89,7 +89,7 @@ func main() {
 		me.Barrier()
 
 		// A collective to finish: the sum of all rank ids.
-		total := upcxx.Reduce(me, me.ID(), func(a, b int) int { return a + b })
+		total := upcxx.TeamReduce(me.World(), me.ID(), func(a, b int) int { return a + b })
 		if me.ID() == 0 {
 			fmt.Printf("reduce(sum of ranks) = %d\n", total)
 		}

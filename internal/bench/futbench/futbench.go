@@ -109,7 +109,7 @@ func runOnce(p Params) Result {
 		for i := 0; i < p.ReadsPerRank; i++ {
 			core.Write(me, tbl.Add(i), cellVal(me.ID(), i))
 		}
-		dir := core.AllGather(me, tbl)
+		dir := core.TeamAllGather(me.World(), tbl)
 		me.Barrier()
 
 		nbr := dir[(me.ID()+1)%n]

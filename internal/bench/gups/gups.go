@@ -85,7 +85,7 @@ func SPMD(me *core.Rank, logTableSize, updatesPerRank int) (checksum uint64, err
 		idx := uint64(k*me.Ranks() + me.ID())
 		sum ^= Mix64(idx*0x9E3779B97F4A7C15 + v)
 	}
-	checksum = core.Reduce(me, sum, func(a, b uint64) uint64 { return a ^ b })
+	checksum = core.TeamReduce(me.World(), sum, func(a, b uint64) uint64 { return a ^ b })
 
 	// Replay: xor is an involution, so the table must return to its
 	// initial state, conflict-free because the updates are atomic.
@@ -101,7 +101,7 @@ func SPMD(me *core.Rank, logTableSize, updatesPerRank int) (checksum uint64, err
 			bad++
 		}
 	}
-	errors = core.Reduce(me, bad, func(a, b int64) int64 { return a + b })
+	errors = core.TeamReduce(me.World(), bad, func(a, b int64) int64 { return a + b })
 	return checksum, errors
 }
 
@@ -201,7 +201,7 @@ func Run(p Params) Result {
 					bad++
 				}
 			}
-			total := core.Reduce(me, bad, func(a, b int64) int64 { return a + b })
+			total := core.TeamReduce(me.World(), bad, func(a, b int64) int64 { return a + b })
 			if me.ID() == 0 {
 				errors = total
 			}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"upcxx/internal/bench/collbench"
 	"upcxx/internal/bench/dhtbench"
 	"upcxx/internal/bench/futbench"
 	"upcxx/internal/bench/gups"
@@ -146,6 +147,57 @@ func DHTBench(o Options) Result {
 	for _, p := range ranks {
 		res.Series[0].Points = append(res.Series[0].Points, run(p, true))
 		res.Series[1].Points = append(res.Series[1].Points, run(p, false))
+	}
+	return res
+}
+
+// CollBench measures barrier latency on real transports, flat vs
+// hierarchical (see internal/bench/collbench): the flat series is the
+// wire conduit's linear gather-through-rank-0 collective; hier-packed
+// co-locates all ranks on one virtual host (the shm arrive/release
+// phase plus a single leader — the intra-node story); hier-spread
+// packs 2 ranks per host, exercising the shm phase AND the
+// dissemination rounds among leaders together. Wall-clock and
+// best-of-repeats, like DHTBench; the allgather latency and total
+// frame counts ride along as counters.
+func CollBench(o Options) Result {
+	res := Result{
+		ID: "collbench", PaperRef: "§III-F / §IV (beyond the paper)",
+		Title:  "Barrier latency: flat wire vs hierarchical (shm + leader dissemination)",
+		Metric: "latency", Unit: "usec/barrier",
+		Quick:   o.Quick,
+		Profile: sim.NewProfile(sim.Local, sim.SWUPCXX),
+		Series: []Series{
+			{Name: "flat-tcp", System: "upcxx"},
+			{Name: "hier-spread", System: "upcxx"},
+			{Name: "hier-packed", System: "upcxx"},
+		},
+		SweepLabel: "ranks", Format: "%.3g", Ratio: true,
+		// Wall-clock latency on shared CI runners drifts far more than
+		// the virtual-time sweeps; gate only order-of-magnitude.
+		DiffTolerance: 0.9,
+	}
+	ranks := []int{2, 4, 8, 16}
+	iters, repeats := 64, 5
+	if o.Quick {
+		ranks = []int{2, 4, 8}
+		iters, repeats = 32, 3
+	}
+	run := func(p, ppn int, hier bool) Point {
+		r, wall := timed(func() collbench.Result {
+			return collbench.Run(collbench.Params{
+				Ranks: p, PPN: ppn, Hier: hier, Iters: iters, Repeats: repeats,
+			})
+		})
+		return Point{Ranks: p, Value: r.BarrierUsec,
+			WallSeconds: wall, Counters: r.Counters()}
+	}
+	for _, p := range ranks {
+		res.Series[0].Points = append(res.Series[0].Points, run(p, 1, false))
+		if p >= 4 {
+			res.Series[1].Points = append(res.Series[1].Points, run(p, 2, true))
+		}
+		res.Series[2].Points = append(res.Series[2].Points, run(p, p, true))
 	}
 	return res
 }

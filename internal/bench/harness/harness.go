@@ -168,6 +168,8 @@ var registry = []Experiment{
 		Title: "LULESH weak scaling, Cray XC30", Run: Fig8},
 	{ID: "dhtbench", Aliases: []string{"dht"}, PaperRef: "§IV (beyond the paper)",
 		Title: "DHT inserts over the wire conduit, aggregation on vs off", Run: DHTBench},
+	{ID: "collbench", Aliases: []string{"coll"}, PaperRef: "§III-F / §IV (beyond the paper)",
+		Title: "Barrier latency: flat wire vs hierarchical conduit", Run: CollBench},
 	{ID: "rpcbench", Aliases: []string{"rpc"}, PaperRef: "§III-G / §IV (beyond the paper)",
 		Title: "Registered-task RPCs over the wire conduit, batched vs unbatched", Run: RPCBench},
 	{ID: "futbench", Aliases: []string{"fut"}, PaperRef: "§III-D / §V-E (beyond the paper)",

@@ -173,9 +173,9 @@ func newLanding(me *core.Rank, d *Domain, maxFields int) ([2][]landing, [2]landi
 		}
 	}
 	var all [2][]landing
-	all[0] = core.AllGather(me, mine[0])
+	all[0] = core.TeamAllGather(me.World(), mine[0])
 	me.Barrier()
-	all[1] = core.AllGather(me, mine[1])
+	all[1] = core.TeamAllGather(me.World(), mine[1])
 	me.Barrier()
 	return all, mine
 }

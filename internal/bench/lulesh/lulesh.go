@@ -115,14 +115,14 @@ func Run(p Params) Result {
 			flops, dtBound := d.updateElements()
 			me.Work(scale * flops)
 			me.MemWork(scale * memPerIter)
-			dtNew := core.Reduce(me, dtBound, math.Min)
+			dtNew := core.TeamReduce(me.World(), dtBound, math.Min)
 			d.dt = math.Min(dtNew, d.dt*1.1) // LULESH-style dt growth cap
 		}
 		me.Barrier()
 
 		inner, kin := d.totalEnergy()
-		eTot := core.Reduce(me, inner+kin, func(a, b float64) float64 { return a + b })
-		cs := core.Reduce(me, d.checksum(), func(a, b float64) float64 { return a + b })
+		eTot := core.TeamReduce(me.World(), inner+kin, func(a, b float64) float64 { return a + b })
+		cs := core.TeamReduce(me.World(), d.checksum(), func(a, b float64) float64 { return a + b })
 		if me.ID() == 0 {
 			checksum = cs
 			energy = eTot

@@ -99,7 +99,7 @@ func Run(p Params) Result {
 
 		// Final gather: a sum-reduction of the partial images (the
 		// paper replaced gatherv with an image reduction).
-		img := core.ReduceSlices(me, partial, func(a, b float64) float64 { return a + b }, 0)
+		img := core.TeamReduceSlices(me.World(), partial, func(a, b float64) float64 { return a + b }, 0)
 		if me.ID() == 0 {
 			sum := 0.0
 			for _, v := range img {

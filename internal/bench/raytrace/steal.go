@@ -106,7 +106,7 @@ func runStealing(p Params) Result {
 		me.WorkParallel(float64(totalBounces)*p.FlopsPerBounce, p.Workers)
 		me.Barrier()
 
-		img := core.ReduceSlices(me, partial, func(a, b float64) float64 { return a + b }, 0)
+		img := core.TeamReduceSlices(me.World(), partial, func(a, b float64) float64 { return a + b }, 0)
 		if me.ID() == 0 {
 			sum := 0.0
 			for _, v := range img {

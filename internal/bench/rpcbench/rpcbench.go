@@ -118,7 +118,7 @@ func runOnce(p Params) Result {
 	stats, err := spmd.RunWireLocal(n, 1<<17, cfg, func(me *core.Rank) {
 		cell := core.Allocate[uint64](me, me.ID(), 1)
 		core.Write(me, cell, 0)
-		cells := core.AllGather(me, cell)
+		cells := core.TeamAllGather(me.World(), cell)
 		me.Barrier()
 
 		t0 := time.Now()
@@ -145,7 +145,7 @@ func runOnce(p Params) Result {
 			panic(fmt.Sprintf("rpcbench: rank %d accumulator %#x, want %#x (aggregate=%v)",
 				me.ID(), got, want, p.Aggregate))
 		}
-		s := core.Reduce(me, got, xor64)
+		s := core.TeamReduce(me.World(), got, xor64)
 		mu.Lock()
 		if dt > rpcNs {
 			rpcNs = dt

@@ -101,7 +101,7 @@ func Run(p Params) Result {
 			s := srng.Uint64n(uint64(P * n))
 			myCand[i] = keys.Get(me, int(s)) // global accesses
 		}
-		allCand := core.AllGather(me, myCand)
+		allCand := core.TeamAllGather(me.World(), myCand)
 		me.Barrier()
 		var splitters []uint64
 		if me.ID() == 0 {
@@ -116,7 +116,7 @@ func Run(p Params) Result {
 				splitters[i-1] = cand[i*p.Oversample]
 			}
 		}
-		splitters = core.Broadcast(me, splitters, 0)
+		splitters = core.TeamBroadcast(me.World(), splitters, 0)
 		me.Barrier()
 
 		// Phase 2 — partition local keys by splitter.
@@ -136,7 +136,7 @@ func Run(p Params) Result {
 		for d := 0; d < P; d++ {
 			myCounts[d] = int32(bounds[d+1] - bounds[d])
 		}
-		allCounts := core.AllGather(me, myCounts) // [src][dst]
+		allCounts := core.TeamAllGather(me.World(), myCounts) // [src][dst]
 		me.Barrier()
 
 		recvTotal := 0
@@ -146,9 +146,9 @@ func Run(p Params) Result {
 			recvTotal += int(allCounts[r][me.ID()])
 		}
 		me.Work(float64(P))
-		allOffs := core.AllGather(me, colOffs) // [dst][src]
+		allOffs := core.TeamAllGather(me.World(), colOffs) // [dst][src]
 		recvBuf := core.Allocate[uint64](me, me.ID(), recvTotal+1)
-		bufs := core.AllGather(me, recvBuf)
+		bufs := core.TeamAllGather(me.World(), recvBuf)
 		me.Barrier()
 
 		// Phase 4 — redistribution with non-blocking one-sided puts at
@@ -179,13 +179,13 @@ func Run(p Params) Result {
 		if recvTotal > 0 {
 			hi = mine[recvTotal-1]
 		}
-		his := core.AllGather(me, hi)
+		his := core.TeamAllGather(me.World(), hi)
 		lo := uint64(0)
 		if recvTotal > 0 {
 			lo = mine[0]
 		}
-		los := core.AllGather(me, lo)
-		counts := core.AllGather(me, int64(recvTotal))
+		los := core.TeamAllGather(me.World(), lo)
+		counts := core.TeamAllGather(me.World(), int64(recvTotal))
 		me.Barrier()
 		if me.ID() == 0 {
 			var sum int64

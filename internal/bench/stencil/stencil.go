@@ -115,8 +115,8 @@ func Run(p Params) Result {
 		}
 		me.Barrier()
 
-		refsA := core.AllGather(me, A.Ref())
-		refsB := core.AllGather(me, B.Ref())
+		refsA := core.TeamAllGather(me.World(), A.Ref())
+		refsB := core.TeamAllGather(me.World(), B.Ref())
 		me.Barrier()
 
 		rankAt := func(x, y, z int) int { return (x*py+y)*pz + z }
@@ -204,7 +204,7 @@ func Run(p Params) Result {
 		local := 0.0
 		data := src.Local(me)
 		interior.ForEach(func(q ndarray.Point) { local += data[src.Idx(q)] })
-		total := core.Reduce(me, local, func(a, b float64) float64 { return a + b })
+		total := core.TeamReduce(me.World(), local, func(a, b float64) float64 { return a + b })
 		if me.ID() == 0 {
 			checksum = total
 		}

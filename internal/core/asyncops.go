@@ -65,8 +65,7 @@ func (r *Rank) asyncCd(target int) gasnet.AsyncConduit {
 	if target == r.id {
 		return nil
 	}
-	ac, _ := r.cd.(gasnet.AsyncConduit)
-	return ac
+	return r.caps.Async
 }
 
 // ReadAsync starts a non-blocking one-sided read of the element at p

@@ -6,9 +6,73 @@ package core
 // collective: every rank must call them in the same order. Costs are
 // charged per binomial-tree stage plus wire time for the payload;
 // large-payload reductions charge the pipelined (bandwidth-bound) form.
+//
+// The flat free functions here are the world-team specializations; the
+// team-scoped API in team.go is the primary surface (these remain as
+// thin wrappers so old call sites keep compiling).
 
 // Broadcast distributes root's value to every rank and returns it.
+//
+// Deprecated: use TeamBroadcast(me.World(), v, root); this wrapper
+// delegates to it.
 func Broadcast[T any](me *Rank, v T, root int) T {
+	return TeamBroadcast(me.World(), v, root)
+}
+
+// AllGather collects one value per rank; the returned slice is indexed by
+// rank and shared read-only by all ranks (do not mutate it).
+//
+// Deprecated: use TeamAllGather(me.World(), v); this wrapper delegates
+// to it.
+func AllGather[T any](me *Rank, v T) []T {
+	return TeamAllGather(me.World(), v)
+}
+
+// Reduce combines one value per rank with op (which must be associative)
+// and returns the result on every rank (an allreduce).
+//
+// Deprecated: use TeamReduce(me.World(), v, op); this wrapper delegates
+// to it.
+func Reduce[T any](me *Rank, v T, op func(a, b T) T) T {
+	return TeamReduce(me.World(), v, op)
+}
+
+// ReduceSlices element-wise combines equal-length slices from every rank
+// into root's dst; non-root ranks receive nil.
+//
+// Deprecated: use TeamReduceSlices(me.World(), contrib, op, root); this
+// wrapper delegates to it.
+func ReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int) []T {
+	return TeamReduceSlices(me.World(), contrib, op, root)
+}
+
+// ExclusiveScan returns the exclusive prefix "sum" of v across ranks under
+// op with the given identity (rank 0 receives identity).
+//
+// Deprecated: use TeamExclusiveScan(me.World(), v, op, identity); this
+// wrapper delegates to it.
+func ExclusiveScan[T any](me *Rank, v T, op func(a, b T) T, identity T) T {
+	return TeamExclusiveScan(me.World(), v, op, identity)
+}
+
+// Gather collects one value per rank on root (indexed by rank); other
+// ranks receive nil. The returned slice is root-private.
+//
+// Deprecated: use TeamGatherAll(me.World(), v, root); this wrapper
+// delegates to it.
+func Gather[T any](me *Rank, v T, root int) []T {
+	return TeamGatherAll(me.World(), v, root)
+}
+
+// ---- World-team specializations ----
+//
+// The world team keeps its pre-team fast paths: in-process it
+// rendezvouses through one shared slot (one allocation per collective,
+// shared read-only — what keeps 32K-rank metadata exchanges linear in
+// memory), and on the wire it rides the conduit's world allgather with
+// its resilience semantics (dead ranks' slots come back empty).
+
+func worldBroadcast[T any](me *Rank, v T, root int) T {
 	bytes := int(sizeOf[T]())
 	if me.onWire() {
 		out := wireBroadcast(me, v, root)
@@ -30,9 +94,7 @@ func Broadcast[T any](me *Rank, v T, root int) T {
 	return *(slot.(*T))
 }
 
-// AllGather collects one value per rank; the returned slice is indexed by
-// rank and shared read-only by all ranks (do not mutate it).
-func AllGather[T any](me *Rank, v T) []T {
+func worldAllGather[T any](me *Rank, v T) []T {
 	bytes := int(sizeOf[T]())
 	if me.onWire() {
 		out := wireExchange(me, v)
@@ -54,11 +116,10 @@ func AllGather[T any](me *Rank, v T) []T {
 	return slot.([]T)
 }
 
-// Reduce combines one value per rank with op (which must be associative)
-// and returns the result on every rank (an allreduce). The fold runs
-// exactly once, in rank order — so non-commutative-but-associative folds
-// and floating-point sums are deterministic across runs and rank counts.
-func Reduce[T any](me *Rank, v T, op func(a, b T) T) T {
+// worldReduce folds exactly once, in rank order — so non-commutative-
+// but-associative folds and floating-point sums are deterministic
+// across runs and rank counts.
+func worldReduce[T any](me *Rank, v T, op func(a, b T) T) T {
 	bytes := int(sizeOf[T]())
 	if me.onWire() {
 		out := wireReduce(me, v, op)
@@ -88,13 +149,11 @@ func Reduce[T any](me *Rank, v T, op func(a, b T) T) T {
 	return slot.result
 }
 
-// ReduceSlices element-wise combines equal-length slices from every rank
-// into root's dst (the sum-of-partial-images idiom of the paper's Embree
-// port). Non-root ranks pass their contribution and receive nil. The fold
-// runs once in rank order (deterministic); the cost model charges the
-// pipelined large-payload reduction: log(P) latency stages plus twice the
-// payload's wire time.
-func ReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int) []T {
+// worldReduceSlices is the sum-of-partial-images idiom of the paper's
+// Embree port: the fold runs once in rank order (deterministic); the
+// cost model charges the pipelined large-payload reduction — log(P)
+// latency stages plus twice the payload's wire time.
+func worldReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int) []T {
 	if me.onWire() {
 		out := wireReduceSlices(me, contrib, op, root)
 		bytes := len(contrib) * int(sizeOf[T]())
@@ -131,29 +190,4 @@ func ReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int) []T
 		return slot.out
 	}
 	return nil
-}
-
-// ExclusiveScan returns the exclusive prefix "sum" of v across ranks under
-// op with the given identity (rank 0 receives identity). Used for offset
-// computation in redistribution patterns such as sample sort.
-func ExclusiveScan[T any](me *Rank, v T, op func(a, b T) T, identity T) T {
-	all := AllGather(me, v)
-	acc := identity
-	for r := 0; r < me.id; r++ {
-		acc = op(acc, all[r])
-	}
-	me.Work(float64(me.id))
-	return acc
-}
-
-// Gather collects one value per rank on root (indexed by rank); other
-// ranks receive nil. The returned slice is root-private.
-func Gather[T any](me *Rank, v T, root int) []T {
-	all := AllGather(me, v)
-	if me.id != root {
-		return nil
-	}
-	out := make([]T, len(all))
-	copy(out, all)
-	return out
 }

@@ -78,6 +78,17 @@ type Config struct {
 	// where the Agg* operations execute immediately.
 	Agg agg.Config
 
+	// Nodes is the host topology: Nodes[r] is the host index of rank r,
+	// and ranks with equal entries are co-located (they form one local
+	// team). Launchers derive it from -procs-per-node and pass the SAME
+	// topology on every backend, so LocalTeam membership is
+	// backend-independent. When nil, the conduit's own locality
+	// knowledge applies (gasnet.LocalityConduit); absent that, the
+	// in-process backend places all ranks on one host (they genuinely
+	// share an address space) and a wire backend places each rank on
+	// its own.
+	Nodes []int
+
 	// Resilient opts a wire-backed job into survivable mode: the
 	// conduit's heartbeat failure detector runs, a peer's death fails
 	// operations addressed to it with typed ErrRankDead (instead of
@@ -174,8 +185,17 @@ type Rank struct {
 	// cd is the communication backend every cross-rank operation of the
 	// serializable vocabulary (Read/Write/Copy, AtomicXor, allocation,
 	// barriers, collectives, locks) dispatches through: a ProcConduit
-	// for in-process jobs, a WireConduit for multi-process ones.
-	cd gasnet.Conduit
+	// for in-process jobs, a WireConduit or HierConduit for
+	// multi-process ones. caps is its optional-extension surface,
+	// probed once at job start (the Capabilities seam).
+	cd   gasnet.Conduit
+	caps gasnet.Caps
+
+	// nodes is the host topology (nodes[r] = host of rank r; see
+	// Config.Nodes); world/localTeam cache the two built-in teams.
+	nodes     []int
+	world     *Team
+	localTeam *Team
 
 	// agg coalesces small remote ops into per-destination batches on
 	// batch-capable conduits (see agg.go); nil in-process, where the
@@ -268,11 +288,13 @@ func newJob(cfg Config) *Job {
 	conduits := gasnet.NewProcGroup(j.eng, mems)
 	for i := 0; i < cfg.Ranks; i++ {
 		j.ranks[i] = &Rank{
-			id:  i,
-			job: j,
-			ep:  j.eng.Endpoint(i),
-			seg: j.segs[i],
-			cd:  conduits[i],
+			id:    i,
+			job:   j,
+			ep:    j.eng.Endpoint(i),
+			seg:   j.segs[i],
+			cd:    conduits[i],
+			caps:  conduits[i].Capabilities(),
+			nodes: jobNodes(cfg, conduits[i]),
 		}
 	}
 	if cfg.Fault != nil {
@@ -343,14 +365,15 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 	j.segs = make([]*segment.Segment, cfg.Ranks)
 	j.segs[id] = seg
 	j.ranks = make([]*Rank, cfg.Ranks)
-	r := &Rank{id: id, job: j, ep: j.eng.Endpoint(id), seg: seg, cd: cd}
+	r := &Rank{id: id, job: j, ep: j.eng.Endpoint(id), seg: seg, cd: cd,
+		caps: cd.Capabilities(), nodes: jobNodes(cfg, cd)}
 	j.ranks[id] = r
-	if bc, ok := cd.(gasnet.BatchConduit); ok {
+	if bc := r.caps.Batch; bc != nil {
 		r.initAgg(bc, cfg.Agg)
 	}
 	r.installRPC()
 	if cfg.Resilient || cfg.Fault != nil {
-		if rc, ok := cd.(gasnet.ResilientConduit); ok {
+		if rc := r.caps.Resilient; rc != nil {
 			r.rcd = rc
 			r.resilient = true
 			r.deadRanks = make([]bool, cfg.Ranks)
@@ -376,7 +399,7 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 	st.GetBytes = r.ep.Stats.GetBytes.Load()
 	st.SegPeak = seg.Peak()
 	st.Counters = map[string]float64{}
-	if cs, ok := cd.(gasnet.CounterSource); ok {
+	if cs := r.caps.Counters; cs != nil {
 		for k, v := range cs.Counters() {
 			st.Counters[k] = v
 		}
@@ -427,11 +450,9 @@ func (r *Rank) Clock() float64 { return r.ep.Clock.Now() }
 // Queued async tasks are serviced while waiting, per the paper's progress
 // rules. On a wire job the aggregation layer is drained first, so every
 // aggregated op issued before the barrier is globally visible after it.
+// Equivalent to me.World().Barrier().
 func (r *Rank) Barrier() {
-	r.enter()
-	defer r.exit()
-	r.aggDrain()
-	r.mustCd(r.cd.Barrier())
+	r.World().Barrier()
 }
 
 // Advance services queued async tasks and returns how many ran. It is the

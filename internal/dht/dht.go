@@ -488,8 +488,8 @@ func (t *Table) Checksum(me *core.Rank) uint64 {
 		sum ^= gups.Mix64(b.Key*0x9E3779B97F4A7C15 + gups.Mix64(b.Val))
 		entries++
 	}
-	total := core.Reduce(me, entries, func(a, b int64) int64 { return a + b })
-	sum = core.Reduce(me, sum, func(a, b uint64) uint64 { return a ^ b })
+	total := core.TeamReduce(me.World(), entries, func(a, b int64) int64 { return a + b })
+	sum = core.TeamReduce(me.World(), sum, func(a, b uint64) uint64 { return a ^ b })
 	return gups.Mix64(sum ^ uint64(total))
 }
 

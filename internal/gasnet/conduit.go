@@ -72,9 +72,77 @@ type Conduit interface {
 	// closure-shipping operations that cannot serialize.
 	WireCapable() bool
 
+	// Capabilities reports which optional extensions this conduit
+	// implements, as one discoverable probe (see Caps). The core runtime
+	// reads it once at job start instead of scattering interface-upgrade
+	// type asserts; a composing conduit (HierConduit) advertises exactly
+	// the intersection its legs support.
+	Capabilities() Caps
+
 	// Close tears down the conduit's resources. The caller must have
 	// synchronized (e.g. a final Barrier) first.
 	Close() error
+}
+
+// Caps is a conduit's optional-capability surface: each field is nil
+// when the backend does not implement the extension, or the extension
+// itself when it does. Capabilities() returning a struct of typed
+// interfaces — rather than callers type-asserting the conduit — is
+// what lets a composing backend advertise a capability set different
+// from its Go method set (HierConduit, for example, carries a
+// resilient wire leg but does not offer resilience, because its shm
+// plane has no failure detector).
+//
+// Invariant: a non-nil field must behave exactly as its interface
+// documents; the table-driven caps test asserts each backend reports
+// exactly what it implements.
+type Caps struct {
+	// Batch is the aggregation plane (SendBatch/SetBatchHandler/
+	// WaitFor); nil on backends where a remote access is already a
+	// direct load/store (ProcConduit).
+	Batch BatchConduit
+	// Async is the non-blocking data plane (GetAsync/PutAsync); nil on
+	// backends whose transfers complete in the same instruction stream.
+	Async AsyncConduit
+	// Resilient is the survivable-peer-loss extension; nil on backends
+	// without a failure detector.
+	Resilient ResilientConduit
+	// Teams is the subset-collective rendezvous (team-scoped barrier
+	// and allgather); nil only on conduits predating the team API.
+	Teams TeamConduit
+	// Counters is the backend's named traffic metering; nil when the
+	// backend keeps no counters.
+	Counters CounterSource
+	// Locality reports the host topology the conduit was launched
+	// with; nil when the backend has no notion of co-location.
+	Locality LocalityConduit
+}
+
+// TeamConduit is the optional extension backing team-scoped
+// collectives (core.Team): an allgather rendezvous over an arbitrary
+// ordered subset of ranks. Every member must call with the same key
+// and the same members slice (world ranks in team-rank order,
+// members[0] acting as the rendezvous root); keys must be unique per
+// collective operation — the core derives them from the team id and a
+// per-team sequence number, so independent teams may run collectives
+// concurrently without interference. Team collectives do not skip
+// dead ranks; resilient jobs keep teams of live ranks.
+type TeamConduit interface {
+	// TeamAllGather deposits contrib and returns every member's
+	// contribution indexed by team rank (position in members).
+	TeamAllGather(key uint64, members []int, contrib []byte) ([][]byte, error)
+
+	// TeamBarrier blocks until every member arrives at key, servicing
+	// requests while waiting.
+	TeamBarrier(key uint64, members []int) error
+}
+
+// LocalityConduit exposes the host topology a conduit was launched
+// with, so the runtime can form the local team without a side channel.
+type LocalityConduit interface {
+	// Nodes returns the host index of every rank (len = Ranks()); ranks
+	// with equal entries are co-located and may share memory.
+	Nodes() []int
 }
 
 // BatchConduit is the optional extension the message-aggregation layer
@@ -85,9 +153,10 @@ type Conduit interface {
 // conduits whose ranks pay a per-message cost implement it —
 // WireConduit does; ProcConduit deliberately does not, because an
 // in-process remote access is already a direct segment load/store and
-// coalescing would only add latency. The core runtime type-asserts
-// this interface and falls back to immediate execution when it is
-// absent, which is what makes the Agg* operations conduit-agnostic.
+// coalescing would only add latency. The core runtime probes for it
+// through Capabilities().Batch and falls back to immediate execution
+// when it is absent, which is what makes the Agg* operations
+// conduit-agnostic.
 type BatchConduit interface {
 	Conduit
 
@@ -116,8 +185,9 @@ type BatchConduit interface {
 // have real wire latency implement it — WireConduit does; ProcConduit
 // does not, because an in-process access completes in the same
 // instruction stream and the core's virtual-time path models the
-// overlap instead. The core type-asserts this interface and falls
-// back to the eager-move-plus-modeled-completion path when absent.
+// overlap instead. The core probes for it through
+// Capabilities().Async and falls back to the
+// eager-move-plus-modeled-completion path when absent.
 type AsyncConduit interface {
 	Conduit
 

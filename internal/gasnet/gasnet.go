@@ -65,6 +65,7 @@ type Engine struct {
 	eps   []*Endpoint
 	bar   *barrier
 	coll  *collective
+	team  *teamColl
 }
 
 // New creates an engine with n endpoints sharing the given cost model.
@@ -74,6 +75,7 @@ func New(model *sim.Model, n int) *Engine {
 		Model: model,
 		bar:   newBarrier(n),
 		coll:  &collective{},
+		team:  &teamColl{slots: make(map[uint64]*teamSlot)},
 	}
 	g.eps = make([]*Endpoint, n)
 	for i := range g.eps {
@@ -314,4 +316,75 @@ func (e *Endpoint) Collective(alloc func(n int) any, put func(slot any), finish 
 	c.mu.Unlock()
 	e.Barrier() // nobody may start the next collective before all leave
 	return slot
+}
+
+// ---- Team (subset) collective rendezvous ----
+
+// teamColl holds the in-flight subset collectives, keyed by the
+// caller-supplied collective key. Unlike the world-wide Collective —
+// one generation at a time, fenced by barriers — independent teams may
+// rendezvous concurrently, so each key gets its own slot and the slot
+// is retired when its last member leaves.
+type teamColl struct {
+	mu    sync.Mutex
+	slots map[uint64]*teamSlot
+}
+
+type teamSlot struct {
+	parts     [][]byte
+	count     int
+	leavers   int
+	maxNs     float64
+	releaseNs float64
+	done      chan struct{}
+}
+
+// TeamGather is the engine's subset allgather: the members of one team
+// (size of them, this rank depositing at team rank idx) rendezvous
+// under key, and every member returns the shared contribution table
+// indexed by team rank. Tasks are serviced while waiting, and all
+// members leave at the same virtual time (the max of their entry
+// clocks); the caller charges the tree-stage costs on top. Keys must
+// be unique per collective — the core derives them from team id and a
+// per-team sequence number.
+func (e *Endpoint) TeamGather(key uint64, idx, size int, contrib []byte) [][]byte {
+	tc := e.eng.team
+	tc.mu.Lock()
+	s := tc.slots[key]
+	if s == nil {
+		s = &teamSlot{parts: make([][]byte, size), done: make(chan struct{})}
+		tc.slots[key] = s
+	}
+	if len(s.parts) != size {
+		tc.mu.Unlock()
+		panic("gasnet: TeamGather members disagree on team size")
+	}
+	s.parts[idx] = contrib
+	if t := e.Clock.Now(); t > s.maxNs {
+		s.maxNs = t
+	}
+	s.count++
+	if s.count == size {
+		s.releaseNs = s.maxNs
+		close(s.done)
+	}
+	tc.mu.Unlock()
+
+	for done := false; !done; {
+		select {
+		case <-s.done:
+			done = true
+		case t := <-e.Inbox:
+			e.exec(t)
+		}
+	}
+	e.Clock.AdvanceTo(s.releaseNs)
+
+	tc.mu.Lock()
+	s.leavers++
+	if s.leavers == size {
+		delete(tc.slots, key)
+	}
+	tc.mu.Unlock()
+	return s.parts
 }

@@ -1,0 +1,754 @@
+package gasnet
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"upcxx/internal/transport"
+)
+
+// Wire handler ids of the hierarchical leader plane (13/14 are the flat
+// team collectives in wire.go; the two tables share one numbering).
+const (
+	hHierGather uint16 = 15 // Arg=key, payload = fragment of a subtree's entry blob
+	hHierTable  uint16 = 16 // Arg=key, payload = fragment of the member-ordered table
+	hHierBar    uint16 = 17 // Arg=key, payload = [round u64]; dissemination token
+)
+
+// Shm AM handler ids (ShmConduit's own table, disjoint from the wire's).
+const (
+	shmReply       uint16 = 1 // arg=token, payload = reply bytes
+	shmAlloc       uint16 = 2 // arg=token, payload = [size u64]; reply 0 = fail
+	shmFree        uint16 = 3 // arg=token, payload = [off u64]
+	shmBatch       uint16 = 4 // arg=token, payload = aggregation batch
+	shmTeamContrib uint16 = 5 // arg=key, payload = member's contribution (to its leader)
+	shmTeamTable   uint16 = 6 // arg=key, payload = the encoded table (leader to locals)
+	shmBarArrive   uint16 = 7 // arg=key, no payload
+	shmBarRelease  uint16 = 8 // arg=key, no payload
+)
+
+// HierConduit is the two-level backend: co-located ranks (same host
+// index in the launch topology) communicate through an ShmConduit —
+// direct load/store puts and gets into mmap'd peer segments, AM rings
+// for control — while cross-host traffic rides a WireConduit, and
+// collectives run hierarchically: an intra-host phase over shared
+// memory, then a tree/dissemination phase among one elected leader per
+// host (the first co-located rank). This is the paper's two-level
+// machine model: GASNet's PSHM bypass below, the network conduit above.
+//
+// The wire leg's blocking-wait primitive is replaced so that EVERY
+// blocking wire operation also services the shm plane (and vice versa,
+// via the shm producer's idle hook) — a rank parked in a wire lock
+// request still answers its neighbors' shared-memory allocations, which
+// is what keeps the two planes deadlock-free under mutual blocking.
+//
+// Like its legs, a HierConduit is driven by its rank's single SPMD
+// goroutine. It advertises Batch, Async, Teams, Counters and Locality;
+// NOT Resilient — the shm plane has no failure detector, so the
+// composed conduit cannot honor survivable peer loss even though its
+// wire leg could.
+type HierConduit struct {
+	wire  *WireConduit
+	shm   *ShmConduit
+	nodes []int // host index per world rank
+
+	me       int
+	locals   []int       // world ranks co-located with me, ascending (locals[shmIdx] = world)
+	localIdx map[int]int // world rank -> shm local index
+
+	nextToken uint64
+	replies   map[uint64][]byte
+	shmAcks   map[uint64]func()
+
+	gen uint64 // world-collective generation (Barrier/AllGather keys)
+
+	// Leader-plane collective state. All maps accumulate passively from
+	// handlers: a leader may receive deposits for a key before it enters
+	// that collective itself.
+	localParts map[uint64]map[int][]byte // leader: world rank -> contrib
+	localTable map[uint64][]byte         // member: table by key
+	treeBlobs  map[uint64]map[int][]byte // leader: child leader (world) -> entry blob
+	treeFrags  map[fragKey]*fragBuf      // leader: partial blobs (gen field holds the key)
+	hierTable  map[uint64][]byte         // leader: table from parent by key
+	tableFrags map[uint64]*fragBuf       // leader: partial tables by key
+	barLocal   map[uint64]int            // leader: local arrivals by key
+	barRelease map[uint64]bool           // member: release flag by key
+	barWire    map[hierBarKey]int        // leader: dissemination tokens by (key, round)
+}
+
+type hierBarKey struct {
+	key   uint64
+	round int
+}
+
+// NewHierConduit composes wire and shm under the given host topology
+// (nodes[r] = host of world rank r). shm must already be Attached, its
+// locals being exactly the ranks sharing wire.Rank()'s host, in
+// ascending world-rank order.
+func NewHierConduit(wire *WireConduit, shm *ShmConduit, nodes []int) *HierConduit {
+	me := wire.Rank()
+	if len(nodes) != wire.Ranks() {
+		panic(fmt.Sprintf("gasnet: hier topology has %d entries for %d ranks", len(nodes), wire.Ranks()))
+	}
+	h := &HierConduit{
+		wire:       wire,
+		shm:        shm,
+		nodes:      nodes,
+		me:         me,
+		localIdx:   make(map[int]int),
+		replies:    make(map[uint64][]byte),
+		shmAcks:    make(map[uint64]func()),
+		localParts: make(map[uint64]map[int][]byte),
+		localTable: make(map[uint64][]byte),
+		treeBlobs:  make(map[uint64]map[int][]byte),
+		treeFrags:  make(map[fragKey]*fragBuf),
+		hierTable:  make(map[uint64][]byte),
+		tableFrags: make(map[uint64]*fragBuf),
+		barLocal:   make(map[uint64]int),
+		barRelease: make(map[uint64]bool),
+		barWire:    make(map[hierBarKey]int),
+	}
+	for r, nd := range nodes {
+		if nd == nodes[me] {
+			h.localIdx[r] = len(h.locals)
+			h.locals = append(h.locals, r)
+		}
+	}
+	if len(h.locals) != shm.Locals() || h.localIdx[me] != shm.Local() {
+		panic(fmt.Sprintf("gasnet: shm geometry (%d locals, me %d) disagrees with topology (%d, %d)",
+			shm.Locals(), shm.Local(), len(h.locals), h.localIdx[me]))
+	}
+
+	// Both planes' blocked waits service each other.
+	wire.wait = h.waitFor
+	shm.SetIdle(func() { wire.Poll() })
+
+	wire.register(hHierGather, h.onHierGather)
+	wire.register(hHierTable, h.onHierTable)
+	wire.register(hHierBar, h.onHierBar)
+
+	shm.Register(shmReply, h.onShmReply)
+	shm.Register(shmAlloc, h.onShmAlloc)
+	shm.Register(shmFree, h.onShmFree)
+	shm.Register(shmBatch, h.onShmBatch)
+	shm.Register(shmTeamContrib, h.onShmTeamContrib)
+	shm.Register(shmTeamTable, h.onShmTeamTable)
+	shm.Register(shmBarArrive, h.onShmBarArrive)
+	shm.Register(shmBarRelease, h.onShmBarRelease)
+	return h
+}
+
+// waitFor services both planes until pred() is true. Poll on the wire
+// leg also flushes its buffered outgoing frames, so a peer is never
+// left waiting on a frame parked in our write buffer.
+//
+// A rank with no co-located peers has a silent shm plane, so it blocks
+// event-driven on the transport inbox — zero-cost waits, exactly as
+// the flat wire conduit. With live shm peers the mapped rings have no
+// wakeup mechanism (that is their point: no kernel in the path), so
+// the wait is a polling loop, as in any PSHM-enabled GASNet: both
+// polls are cheap (a channel drain, a few atomic loads). The spin
+// budget is deliberately short before backing off to a sleep — peers
+// sharing cores (the common case for co-located ranks) need this CPU
+// to produce the very message being waited for.
+func (h *HierConduit) waitFor(pred func() bool) error {
+	if h.shm.Locals() == 1 {
+		return h.wire.tep.WaitFor(pred)
+	}
+	idle := 0
+	for !pred() {
+		if h.wire.Poll()+h.shm.Poll() > 0 {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// Rank returns this conduit's world rank; Ranks the job size.
+func (h *HierConduit) Rank() int  { return h.me }
+func (h *HierConduit) Ranks() int { return h.wire.Ranks() }
+
+// WireCapable reports true: ranks are separate processes even when
+// co-located — closures still do not cross.
+func (h *HierConduit) WireCapable() bool { return true }
+
+// Capabilities: batching, the async data plane, team collectives,
+// counters and locality. No resilience (see type comment).
+func (h *HierConduit) Capabilities() Caps {
+	return Caps{Batch: h, Async: h, Teams: h, Counters: h, Locality: h}
+}
+
+// Nodes returns the launch topology (LocalityConduit).
+func (h *HierConduit) Nodes() []int { return h.nodes }
+
+// colocated returns the shm index of a co-located non-self rank.
+func (h *HierConduit) colocated(rank int) (int, bool) {
+	if rank == h.me {
+		return 0, false
+	}
+	li, ok := h.localIdx[rank]
+	return li, ok
+}
+
+// ---- One-sided data plane ----
+
+// Get: co-located targets are direct loads from the peer's mapped
+// segment — no frame, no kernel, the PSHM fast path; everything else is
+// the wire leg (which keeps its own self fast path).
+func (h *HierConduit) Get(rank int, off uint64, p []byte) error {
+	if li, ok := h.colocated(rank); ok {
+		seg := h.shm.PeerSeg(li)
+		if off+uint64(len(p)) > uint64(len(seg)) {
+			return fmt.Errorf("gasnet: shm get of %d bytes at %d overruns %d-byte segment", len(p), off, len(seg))
+		}
+		copy(p, seg[off:])
+		return nil
+	}
+	return h.wire.Get(rank, off, p)
+}
+
+// Put: the direct-store mirror of Get.
+func (h *HierConduit) Put(rank int, off uint64, p []byte) error {
+	if li, ok := h.colocated(rank); ok {
+		seg := h.shm.PeerSeg(li)
+		if off+uint64(len(p)) > uint64(len(seg)) {
+			return fmt.Errorf("gasnet: shm put of %d bytes at %d overruns %d-byte segment", len(p), off, len(seg))
+		}
+		copy(seg[off:], p)
+		return nil
+	}
+	return h.wire.Put(rank, off, p)
+}
+
+// Xor64: a CAS loop directly on the co-located peer's mapped word — the
+// same loop the segment's own Xor64 runs, so owner and neighbors
+// contend correctly through the one shared memory location.
+func (h *HierConduit) Xor64(rank int, off uint64, val uint64) (uint64, error) {
+	if li, ok := h.colocated(rank); ok {
+		seg := h.shm.PeerSeg(li)
+		if off+8 > uint64(len(seg)) {
+			return 0, fmt.Errorf("gasnet: shm xor at %d overruns %d-byte segment", off, len(seg))
+		}
+		p := (*uint64)(unsafe.Pointer(&seg[off]))
+		for {
+			old := atomic.LoadUint64(p)
+			if atomic.CompareAndSwapUint64(p, old, old^val) {
+				return old ^ val, nil
+			}
+		}
+	}
+	return h.wire.Xor64(rank, off, val)
+}
+
+// GetAsync completes co-located transfers synchronously (a direct copy
+// IS the completed transfer); cross-host ones ride the wire's async
+// plane.
+func (h *HierConduit) GetAsync(rank int, off uint64, p []byte, timeout time.Duration, onDone func(err error)) error {
+	if _, ok := h.colocated(rank); ok {
+		if err := h.Get(rank, off, p); err != nil {
+			return err
+		}
+		onDone(nil)
+		return nil
+	}
+	return h.wire.GetAsync(rank, off, p, timeout, onDone)
+}
+
+// PutAsync is the mirror of GetAsync.
+func (h *HierConduit) PutAsync(rank int, off uint64, p []byte, timeout time.Duration, onDone func(err error)) error {
+	if _, ok := h.colocated(rank); ok {
+		if err := h.Put(rank, off, p); err != nil {
+			return err
+		}
+		onDone(nil)
+		return nil
+	}
+	return h.wire.PutAsync(rank, off, p, timeout, onDone)
+}
+
+// ---- Control plane: allocation over shm AMs ----
+
+// shmRequest is the shm plane's blocking request/reply: the token rides
+// the record's arg, the reply arrives as shmReply, and the wait loop
+// services both planes.
+func (h *HierConduit) shmRequest(li int, handler uint16, payload []byte) []byte {
+	h.nextToken++
+	tok := h.nextToken
+	h.shm.Send(li, handler, tok, payload)
+	var out []byte
+	found := false
+	_ = h.waitFor(func() bool {
+		out, found = h.replies[tok]
+		return found
+	})
+	delete(h.replies, tok)
+	return out
+}
+
+func (h *HierConduit) onShmReply(from int, tok uint64, payload []byte) {
+	if fn, ok := h.shmAcks[tok]; ok {
+		delete(h.shmAcks, tok)
+		fn()
+		return
+	}
+	h.replies[tok] = payload
+}
+
+// Alloc runs on the owner's allocator: self directly, co-located via a
+// shm AM round trip, remote over the wire.
+func (h *HierConduit) Alloc(rank int, size uint64) (uint64, error) {
+	li, ok := h.colocated(rank)
+	if !ok {
+		return h.wire.Alloc(rank, size)
+	}
+	var req [8]byte
+	putU64(req[:], size)
+	rep := h.shmRequest(li, shmAlloc, req[:])
+	v := u64(rep)
+	if v == 0 {
+		return 0, fmt.Errorf("gasnet: remote alloc of %d bytes on rank %d failed", size, rank)
+	}
+	return v - 1, nil
+}
+
+func (h *HierConduit) onShmAlloc(from int, tok uint64, payload []byte) {
+	var rep [8]byte
+	if off, err := h.wire.mem.Alloc(u64(payload)); err == nil {
+		putU64(rep[:], off+1)
+	}
+	h.shm.Send(from, shmReply, tok, rep[:])
+}
+
+// Free mirrors Alloc.
+func (h *HierConduit) Free(rank int, off uint64) error {
+	li, ok := h.colocated(rank)
+	if !ok {
+		return h.wire.Free(rank, off)
+	}
+	var req [8]byte
+	putU64(req[:], off)
+	rep := h.shmRequest(li, shmFree, req[:])
+	if u64(rep) == 0 {
+		return fmt.Errorf("gasnet: remote free at offset %d on rank %d failed", off, rank)
+	}
+	return nil
+}
+
+func (h *HierConduit) onShmFree(from int, tok uint64, payload []byte) {
+	var rep [8]byte
+	if h.wire.mem.Free(u64(payload)) == nil {
+		putU64(rep[:], 1)
+	}
+	h.shm.Send(from, shmReply, tok, rep[:])
+}
+
+// ---- Lock service ----
+//
+// Locks stay on the wire plane unconditionally: a lock's waiter queue
+// must live in exactly one place, and the home rank's wire handler
+// table is it. Blocking acquires still service the shm plane (the
+// replaced wait), so co-located ranks spinning on one lock make
+// progress.
+
+func (h *HierConduit) LockNew() uint64 { return h.wire.LockNew() }
+func (h *HierConduit) LockAcquire(home int, id uint64, try bool) (bool, error) {
+	return h.wire.LockAcquire(home, id, try)
+}
+func (h *HierConduit) LockRelease(home int, id uint64) error {
+	return h.wire.LockRelease(home, id)
+}
+
+// ---- Aggregation batch plane ----
+
+// SetBatchHandler installs the decoder on both planes.
+func (h *HierConduit) SetBatchHandler(fn func(from int, payload []byte)) {
+	h.wire.SetBatchHandler(fn)
+}
+
+// SendBatch routes one aggregation batch by locality: co-located
+// batches ride the shm ring (one record, one shm ack — no wire frames
+// at all), remote ones the wire's batch plane.
+func (h *HierConduit) SendBatch(to int, payload []byte, onAck func()) error {
+	li, ok := h.colocated(to)
+	if !ok {
+		return h.wire.SendBatch(to, payload, onAck)
+	}
+	if onAck == nil {
+		onAck = func() {}
+	}
+	h.nextToken++
+	h.shmAcks[h.nextToken] = onAck
+	h.shm.Send(li, shmBatch, h.nextToken, payload)
+	return nil
+}
+
+func (h *HierConduit) onShmBatch(from int, tok uint64, payload []byte) {
+	if h.wire.batchHandler == nil {
+		panic("gasnet: shm aggregation batch received with no batch handler installed")
+	}
+	h.wire.batchHandler(h.locals[from], payload)
+	h.shm.Send(from, shmReply, tok, nil)
+}
+
+// WaitFor blocks until pred() is true, servicing both planes.
+func (h *HierConduit) WaitFor(pred func() bool) error { return h.waitFor(pred) }
+
+// ---- Hierarchical collectives ----
+
+// Barrier is the world barrier: intra-host arrive/release over shm,
+// dissemination among per-host leaders over the wire.
+func (h *HierConduit) Barrier() error {
+	h.gen++
+	return h.teamBarrier(mix64hier(h.gen), h.worldMembers())
+}
+
+// AllGather is the world allgather, run hierarchically: local gather to
+// the host leader, binomial tree among leaders, binomial broadcast of
+// the table back down, local distribution.
+func (h *HierConduit) AllGather(contrib []byte) ([][]byte, error) {
+	h.gen++
+	return h.teamAllGather(mix64hier(h.gen), h.worldMembers(), contrib)
+}
+
+// TeamAllGather implements TeamConduit over the same two-level path.
+func (h *HierConduit) TeamAllGather(key uint64, members []int, contrib []byte) ([][]byte, error) {
+	return h.teamAllGather(key, members, contrib)
+}
+
+// TeamBarrier implements TeamConduit.
+func (h *HierConduit) TeamBarrier(key uint64, members []int) error {
+	return h.teamBarrier(key, members)
+}
+
+func (h *HierConduit) worldMembers() []int {
+	m := make([]int, h.Ranks())
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// mix64hier scrambles the internal world-collective generation into key
+// space so it cannot collide with the core's team-derived keys (which
+// are splitmix64 outputs of team ids).
+func mix64hier(gen uint64) uint64 {
+	x := gen + 0x486965724261723F // "HierBar?"
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// partition splits members into per-host groups preserving team order,
+// with each group's first member as its leader. leaders[0] == members[0],
+// so the tree root is the team root. Returns the groups, the leaders
+// (indexed like groups), and this rank's group index. Panics if this
+// rank is not a member — the TeamConduit contract.
+func (h *HierConduit) partition(members []int) (groups [][]int, leaders []int, gi int) {
+	byNode := make(map[int]int)
+	gi = -1
+	for _, m := range members {
+		nd := h.nodes[m]
+		g, ok := byNode[nd]
+		if !ok {
+			g = len(groups)
+			byNode[nd] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], m)
+		if m == h.me {
+			gi = g
+		}
+	}
+	if gi < 0 {
+		panic(fmt.Sprintf("gasnet: rank %d is not a member of the team", h.me))
+	}
+	leaders = make([]int, len(groups))
+	for i, g := range groups {
+		leaders[i] = g[0]
+	}
+	return groups, leaders, gi
+}
+
+// encodeEntry appends one (world rank, contribution) record.
+func encodeEntry(blob []byte, rank int, p []byte) []byte {
+	var hdr [16]byte
+	putU64(hdr[0:], uint64(rank))
+	putU64(hdr[8:], uint64(len(p)))
+	blob = append(blob, hdr[:]...)
+	return append(blob, p...)
+}
+
+func decodeEntries(blob []byte, into map[int][]byte) error {
+	for len(blob) > 0 {
+		if len(blob) < 16 {
+			return fmt.Errorf("gasnet: truncated hier entry blob")
+		}
+		rank := int(u64(blob[0:]))
+		ln := u64(blob[8:])
+		blob = blob[16:]
+		if uint64(len(blob)) < ln {
+			return fmt.Errorf("gasnet: truncated hier entry for rank %d", rank)
+		}
+		into[rank] = blob[:ln:ln]
+		blob = blob[ln:]
+	}
+	return nil
+}
+
+func (h *HierConduit) depositLocal(key uint64, world int, contrib []byte) {
+	byRank := h.localParts[key]
+	if byRank == nil {
+		byRank = make(map[int][]byte)
+		h.localParts[key] = byRank
+	}
+	if contrib == nil {
+		contrib = []byte{}
+	}
+	byRank[world] = contrib
+}
+
+// teamAllGather runs the hierarchical subset allgather; see AllGather.
+func (h *HierConduit) teamAllGather(key uint64, members []int, contrib []byte) ([][]byte, error) {
+	groups, leaders, gi := h.partition(members)
+	group := groups[gi]
+
+	if h.me != group[0] {
+		// Non-leader: contribute to the host leader, wait for the table.
+		h.shm.Send(h.localIdx[group[0]], shmTeamContrib, key, contrib)
+		var enc []byte
+		ok := false
+		_ = h.waitFor(func() bool {
+			enc, ok = h.localTable[key]
+			return ok
+		})
+		delete(h.localTable, key)
+		return decodeParts(enc, len(members))
+	}
+
+	// Leader: local gather phase.
+	h.depositLocal(key, h.me, contrib)
+	_ = h.waitFor(func() bool { return len(h.localParts[key]) == len(group) })
+	byRank := h.localParts[key]
+	delete(h.localParts, key)
+	var blob []byte
+	for _, m := range group {
+		p, ok := byRank[m]
+		if !ok {
+			return nil, fmt.Errorf("gasnet: hier collective %#x: deposit from non-member while awaiting rank %d", key, m)
+		}
+		blob = encodeEntry(blob, m, p)
+	}
+
+	// Binomial tree gather among leaders, rooted at leaders[0].
+	li, L := gi, len(leaders)
+	atRoot := true
+	for mask := 1; mask < L; mask <<= 1 {
+		if li&mask != 0 {
+			parent := leaders[li-mask]
+			if err := h.wire.sendFragmented(parent, hHierGather, key, blob); err != nil {
+				return nil, err
+			}
+			atRoot = false
+			break
+		}
+		if child := li + mask; child < L {
+			cw := leaders[child]
+			var b []byte
+			ok := false
+			_ = h.waitFor(func() bool {
+				b, ok = h.treeBlobs[key][cw]
+				return ok
+			})
+			delete(h.treeBlobs[key], cw)
+			blob = append(blob, b...)
+		}
+	}
+	if len(h.treeBlobs[key]) == 0 {
+		delete(h.treeBlobs, key)
+	}
+
+	var enc []byte
+	if atRoot {
+		// Assemble the member-ordered table.
+		entries := make(map[int][]byte, len(members))
+		if err := decodeEntries(blob, entries); err != nil {
+			return nil, err
+		}
+		parts := make([][]byte, len(members))
+		for i, m := range members {
+			p, ok := entries[m]
+			if !ok {
+				return nil, fmt.Errorf("gasnet: hier collective %#x: missing contribution from rank %d", key, m)
+			}
+			parts[i] = p
+		}
+		enc = encodeParts(parts)
+	} else {
+		ok := false
+		_ = h.waitFor(func() bool {
+			enc, ok = h.hierTable[key]
+			return ok
+		})
+		delete(h.hierTable, key)
+	}
+
+	// Binomial broadcast of the table down the leader tree, then local
+	// distribution. Children descend from the highest offset so the far
+	// half of the tree starts earliest.
+	low := bits.Len(uint(L - 1)) // ceil(log2 L)
+	if li != 0 {
+		low = bits.TrailingZeros(uint(li))
+	}
+	for k := low - 1; k >= 0; k-- {
+		if child := li + 1<<k; child < L {
+			if err := h.wire.sendFragmented(leaders[child], hHierTable, key, enc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, m := range group[1:] {
+		h.shm.Send(h.localIdx[m], shmTeamTable, key, enc)
+	}
+	// Nothing downstream is guaranteed to block; ship the frames now.
+	h.wire.tep.Flush()
+	return decodeParts(enc, len(members))
+}
+
+// teamBarrier: locals arrive at their leader over shm; leaders run a
+// dissemination barrier (ceil(log2 L) rounds, each leader passing a
+// token 2^r places around the leader ring); leaders release locals.
+func (h *HierConduit) teamBarrier(key uint64, members []int) error {
+	groups, leaders, gi := h.partition(members)
+	group := groups[gi]
+
+	if h.me != group[0] {
+		h.shm.Send(h.localIdx[group[0]], shmBarArrive, key, nil)
+		_ = h.waitFor(func() bool { return h.barRelease[key] })
+		delete(h.barRelease, key)
+		return nil
+	}
+
+	if len(group) > 1 {
+		_ = h.waitFor(func() bool { return h.barLocal[key] == len(group)-1 })
+		delete(h.barLocal, key)
+	}
+
+	li, L := gi, len(leaders)
+	for round, dist := 0, 1; dist < L; round, dist = round+1, dist<<1 {
+		to := leaders[(li+dist)%L]
+		var pay [8]byte
+		putU64(pay[:], uint64(round))
+		if err := h.wire.send(transport.Message{
+			To: int32(to), Handler: hHierBar, Arg: key, Payload: pay[:],
+		}); err != nil {
+			return err
+		}
+		bk := hierBarKey{key: key, round: round}
+		_ = h.waitFor(func() bool { return h.barWire[bk] > 0 })
+		if h.barWire[bk]--; h.barWire[bk] == 0 {
+			delete(h.barWire, bk)
+		}
+	}
+
+	for _, m := range group[1:] {
+		h.shm.Send(h.localIdx[m], shmBarRelease, key, nil)
+	}
+	h.wire.tep.Flush()
+	return nil
+}
+
+// ---- Handlers ----
+
+func (h *HierConduit) onHierGather(_ *transport.TCPEndpoint, m transport.Message) {
+	k := fragKey{gen: m.Arg, from: m.From}
+	fb := h.treeFrags[k]
+	if fb == nil {
+		fb = &fragBuf{}
+		h.treeFrags[k] = fb
+	}
+	if full, done := accumFragment(fb, m.Payload); done {
+		delete(h.treeFrags, k)
+		byRank := h.treeBlobs[m.Arg]
+		if byRank == nil {
+			byRank = make(map[int][]byte)
+			h.treeBlobs[m.Arg] = byRank
+		}
+		byRank[int(m.From)] = full
+	}
+}
+
+func (h *HierConduit) onHierTable(_ *transport.TCPEndpoint, m transport.Message) {
+	fb := h.tableFrags[m.Arg]
+	if fb == nil {
+		fb = &fragBuf{}
+		h.tableFrags[m.Arg] = fb
+	}
+	if full, done := accumFragment(fb, m.Payload); done {
+		delete(h.tableFrags, m.Arg)
+		h.hierTable[m.Arg] = full
+	}
+}
+
+func (h *HierConduit) onHierBar(_ *transport.TCPEndpoint, m transport.Message) {
+	h.barWire[hierBarKey{key: m.Arg, round: int(u64(m.Payload))}]++
+}
+
+func (h *HierConduit) onShmTeamContrib(from int, key uint64, payload []byte) {
+	h.depositLocal(key, h.locals[from], payload)
+}
+
+func (h *HierConduit) onShmTeamTable(from int, key uint64, payload []byte) {
+	h.localTable[key] = payload
+}
+
+func (h *HierConduit) onShmBarArrive(from int, key uint64, _ []byte) {
+	h.barLocal[key]++
+}
+
+func (h *HierConduit) onShmBarRelease(from int, key uint64, _ []byte) {
+	h.barRelease[key] = true
+}
+
+// ---- Lifecycle and metering ----
+
+// Poll services both planes without blocking.
+func (h *HierConduit) Poll() int { return h.wire.Poll() + h.shm.Poll() }
+
+// Counters merges both planes' metering: the wire leg's per-handler
+// frame/byte counters (so tests can assert co-located puts produce zero
+// wire frames) plus the shm ring's message counts.
+func (h *HierConduit) Counters() map[string]float64 {
+	out := h.wire.Counters()
+	for k, v := range h.shm.Counters() {
+		out[k] = v
+	}
+	return out
+}
+
+// Goodbye announces a clean close on the wire plane (the shm plane has
+// no connection state to say goodbye on).
+func (h *HierConduit) Goodbye() { h.wire.Goodbye() }
+
+// Close tears down both legs. Callers must have synchronized first.
+func (h *HierConduit) Close() error {
+	werr := h.wire.Close()
+	serr := h.shm.Close()
+	if werr != nil {
+		return werr
+	}
+	return serr
+}

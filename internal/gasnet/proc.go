@@ -62,6 +62,35 @@ func (c *ProcConduit) Ranks() int { return c.ep.N() }
 // asyncs are allowed.
 func (c *ProcConduit) WireCapable() bool { return false }
 
+// Capabilities: teams only. Batch and async stay nil because an
+// in-process remote access is already a direct segment load/store —
+// coalescing or splitting initiation from completion would only add
+// latency; the core's virtual-time path models the overlap instead.
+// Resilience is simulated above the conduit (core's chaos plane).
+func (c *ProcConduit) Capabilities() Caps { return Caps{Teams: c} }
+
+// TeamAllGather rides the engine's subset rendezvous; contributions are
+// indexed by team rank (position in members).
+func (c *ProcConduit) TeamAllGather(key uint64, members []int, contrib []byte) ([][]byte, error) {
+	idx := -1
+	for i, m := range members {
+		if m == c.ep.Rank {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("gasnet: rank %d is not a member of team collective %#x", c.ep.Rank, key)
+	}
+	return c.ep.TeamGather(key, idx, len(members), contrib), nil
+}
+
+// TeamBarrier is a payload-free team allgather.
+func (c *ProcConduit) TeamBarrier(key uint64, members []int) error {
+	_, err := c.TeamAllGather(key, members, nil)
+	return err
+}
+
 // Get copies from the target segment under its lock — the one-sided
 // RDMA analog. The caller charges get costs; no messages are involved.
 func (c *ProcConduit) Get(rank int, off uint64, p []byte) error {

@@ -27,6 +27,15 @@ const (
 	hResult  uint16 = 10 // Arg=generation, payload = length-prefixed table
 	hBatch   uint16 = 11 // Arg=token, payload = aggregation batch (internal/agg encoding)
 	hPing    uint16 = 12 // Arg=token, no payload; heartbeat probe, replied immediately
+
+	// Team (subset) collectives: contributions rendezvous with the
+	// team's root (members[0]) under a caller-chosen key instead of the
+	// SPMD-ordered world generation, so independent teams may gather
+	// concurrently.
+	hTeamGather uint16 = 13 // Arg=key, payload = fragment of a member's contribution
+	hTeamResult uint16 = 14 // Arg=key, payload = fragment of the encoded table
+
+	// 15-17 belong to HierConduit's leader plane (see hier.go).
 )
 
 // handlerName names each wire handler for the per-handler traffic
@@ -57,6 +66,16 @@ func handlerName(h uint16) string {
 		return "batch"
 	case hPing:
 		return "ping"
+	case hTeamGather:
+		return "teamgather"
+	case hTeamResult:
+		return "teamresult"
+	case hHierGather:
+		return "hiergather"
+	case hHierTable:
+		return "hiertable"
+	case hHierBar:
+		return "hierbar"
 	}
 	return fmt.Sprintf("h%d", h)
 }
@@ -75,6 +94,14 @@ func handlerName(h uint16) string {
 type WireConduit struct {
 	tep *transport.TCPEndpoint
 	mem Memory
+
+	// wait is the blocking-wait primitive every parked operation uses
+	// (requests, collectives, lock grants). It defaults to the
+	// transport's inbox wait; a composing conduit (HierConduit)
+	// replaces it with a loop that also services its other plane, so a
+	// rank blocked inside a wire operation still serves co-located
+	// peers' shared-memory requests.
+	wait func(pred func() bool) error
 
 	nextToken uint64
 	replies   map[uint64][]byte
@@ -116,6 +143,13 @@ type WireConduit struct {
 
 	gatherFrags map[fragKey]*fragBuf // rank 0: partial contributions
 	resultFrags map[uint64]*fragBuf  // non-root: partial tables by generation
+
+	// Team-collective rendezvous state, keyed by the caller-chosen
+	// collective key (never by generation: teams gather concurrently).
+	teamParts       map[uint64]map[int32][]byte // root: contributions by world rank
+	teamFrags       map[fragKey]*fragBuf        // root: partial contributions (gen field holds the key)
+	teamResult      map[uint64][]byte           // member: encoded table by key
+	teamResultFrags map[uint64]*fragBuf         // member: partial tables by key
 
 	// Per-handler traffic counters, indexed by handler. All sends and
 	// all handler dispatches happen on the rank's SPMD goroutine, so
@@ -175,21 +209,26 @@ type wireLockWaiter struct {
 // endpoint's handler table must be unused; NewWireConduit owns it.
 func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
 	c := &WireConduit{
-		tep:          tep,
-		mem:          mem,
-		replies:      make(map[uint64][]byte),
-		acks:         make(map[uint64]*wireAck),
-		void:         make(map[uint64]struct{}),
-		locks:        make(map[uint64]*wireLockState),
-		gatherParts:  make(map[uint64][][]byte),
-		gatherCount:  make(map[uint64]int),
-		gatherSeen:   make(map[uint64][]bool),
-		gatherResult: make(map[uint64][]byte),
-		gatherFrags:  make(map[fragKey]*fragBuf),
-		resultFrags:  make(map[uint64]*fragBuf),
-		tx:           make(map[uint16]*wireStat),
-		rx:           make(map[uint16]*wireStat),
+		tep:             tep,
+		mem:             mem,
+		replies:         make(map[uint64][]byte),
+		acks:            make(map[uint64]*wireAck),
+		void:            make(map[uint64]struct{}),
+		locks:           make(map[uint64]*wireLockState),
+		gatherParts:     make(map[uint64][][]byte),
+		gatherCount:     make(map[uint64]int),
+		gatherSeen:      make(map[uint64][]bool),
+		gatherResult:    make(map[uint64][]byte),
+		gatherFrags:     make(map[fragKey]*fragBuf),
+		resultFrags:     make(map[uint64]*fragBuf),
+		teamParts:       make(map[uint64]map[int32][]byte),
+		teamFrags:       make(map[fragKey]*fragBuf),
+		teamResult:      make(map[uint64][]byte),
+		teamResultFrags: make(map[uint64]*fragBuf),
+		tx:              make(map[uint16]*wireStat),
+		rx:              make(map[uint16]*wireStat),
 	}
+	c.wait = c.tep.WaitFor
 	c.register(hReply, c.onReply)
 	c.register(hGet, c.onGet)
 	c.register(hPut, c.onPut)
@@ -202,6 +241,8 @@ func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
 	c.register(hResult, c.onResult)
 	c.register(hBatch, c.onBatch)
 	c.register(hPing, c.onPing)
+	c.register(hTeamGather, c.onTeamGather)
+	c.register(hTeamResult, c.onTeamResult)
 	return c
 }
 
@@ -267,6 +308,13 @@ func (c *WireConduit) Ranks() int { return c.tep.Ranks() }
 // not cross.
 func (c *WireConduit) WireCapable() bool { return true }
 
+// Capabilities: the full extension set — batching, the async data
+// plane, resilience, team collectives and traffic counters. No
+// locality: a flat wire mesh encodes no co-location.
+func (c *WireConduit) Capabilities() Caps {
+	return Caps{Batch: c, Async: c, Resilient: c, Teams: c, Counters: c}
+}
+
 // request sends one encoded-argument message and blocks until its
 // tokened reply arrives, dispatching incoming requests while waiting.
 // In resilient mode the wait also completes — with a RankDeadError —
@@ -289,7 +337,7 @@ func (c *WireConduit) request(to int, handler uint16, payload []byte) ([]byte, e
 	}
 	var out []byte
 	found := false
-	if err := c.tep.WaitFor(func() bool {
+	if err := c.wait(func() bool {
 		out, found = c.replies[tok]
 		return found || c.isDead(to)
 	}); err != nil {
@@ -673,7 +721,7 @@ func (c *WireConduit) onBatch(_ *transport.TCPEndpoint, m transport.Message) {
 // (and batch acknowledgements) while waiting. The aggregation layer
 // uses it to drain pending batches without spinning.
 func (c *WireConduit) WaitFor(pred func() bool) error {
-	return c.tep.WaitFor(pred)
+	return c.wait(pred)
 }
 
 // ---- Resilient mode: failure detection and typed rank death ----
@@ -1037,7 +1085,7 @@ func (c *WireConduit) AllGather(contrib []byte) ([][]byte, error) {
 	n := c.Ranks()
 	if c.Rank() == 0 {
 		c.depositGather(g, 0, contrib)
-		if err := c.tep.WaitFor(func() bool { return c.gatherComplete(g, n) }); err != nil {
+		if err := c.wait(func() bool { return c.gatherComplete(g, n) }); err != nil {
 			return nil, err
 		}
 		parts := c.gatherParts[g]
@@ -1073,7 +1121,7 @@ func (c *WireConduit) AllGather(contrib []byte) ([][]byte, error) {
 	}
 	var enc []byte
 	found := false
-	if err := c.tep.WaitFor(func() bool {
+	if err := c.wait(func() bool {
 		enc, found = c.gatherResult[g]
 		return found || c.isDead(0)
 	}); err != nil {
@@ -1150,6 +1198,104 @@ func (c *WireConduit) onResult(_ *transport.TCPEndpoint, m transport.Message) {
 	if full, done := accumFragment(fb, m.Payload); done {
 		delete(c.resultFrags, m.Arg)
 		c.gatherResult[m.Arg] = full
+	}
+}
+
+// ---- Team (subset) collectives ----
+
+// TeamAllGather deposits this rank's contribution with the team root
+// (members[0]) and returns every member's, indexed by team rank. The
+// rendezvous is keyed by the caller-chosen key rather than the world
+// generation, so independent teams gather concurrently; contributions
+// park by world rank at the root, which may receive deposits before it
+// enters the collective itself. Fragmentation bounds every frame at
+// the transport payload limit, exactly as the world allgather does.
+func (c *WireConduit) TeamAllGather(key uint64, members []int, contrib []byte) ([][]byte, error) {
+	me := c.Rank()
+	root := members[0]
+	if me == root {
+		c.depositTeam(key, int32(me), contrib)
+		if err := c.wait(func() bool { return len(c.teamParts[key]) == len(members) }); err != nil {
+			return nil, err
+		}
+		byRank := c.teamParts[key]
+		delete(c.teamParts, key)
+		parts := make([][]byte, len(members))
+		for i, m := range members {
+			p, ok := byRank[int32(m)]
+			if !ok {
+				return nil, fmt.Errorf("gasnet: team collective %#x: deposit from non-member while awaiting rank %d", key, m)
+			}
+			parts[i] = p
+		}
+		enc := encodeParts(parts)
+		for _, m := range members[1:] {
+			if err := c.sendFragmented(m, hTeamResult, key, enc); err != nil {
+				return nil, err
+			}
+		}
+		// Members may not block again on our traffic; ship the tables now.
+		c.tep.Flush()
+		return parts, nil
+	}
+	if err := c.sendFragmented(root, hTeamGather, key, contrib); err != nil {
+		return nil, err
+	}
+	var enc []byte
+	found := false
+	if err := c.wait(func() bool {
+		enc, found = c.teamResult[key]
+		return found
+	}); err != nil {
+		return nil, err
+	}
+	delete(c.teamResult, key)
+	return decodeParts(enc, len(members))
+}
+
+// TeamBarrier is a payload-free team allgather.
+func (c *WireConduit) TeamBarrier(key uint64, members []int) error {
+	_, err := c.TeamAllGather(key, members, nil)
+	return err
+}
+
+// depositTeam parks one member's contribution at the root. A nil
+// contribution still creates the map entry — arrival is what the
+// completion predicate counts.
+func (c *WireConduit) depositTeam(key uint64, rank int32, contrib []byte) {
+	byRank := c.teamParts[key]
+	if byRank == nil {
+		byRank = make(map[int32][]byte)
+		c.teamParts[key] = byRank
+	}
+	if contrib == nil {
+		contrib = []byte{}
+	}
+	byRank[rank] = contrib
+}
+
+func (c *WireConduit) onTeamGather(_ *transport.TCPEndpoint, m transport.Message) {
+	k := fragKey{gen: m.Arg, from: m.From}
+	fb := c.teamFrags[k]
+	if fb == nil {
+		fb = &fragBuf{}
+		c.teamFrags[k] = fb
+	}
+	if full, done := accumFragment(fb, m.Payload); done {
+		delete(c.teamFrags, k)
+		c.depositTeam(m.Arg, m.From, full)
+	}
+}
+
+func (c *WireConduit) onTeamResult(_ *transport.TCPEndpoint, m transport.Message) {
+	fb := c.teamResultFrags[m.Arg]
+	if fb == nil {
+		fb = &fragBuf{}
+		c.teamResultFrags[m.Arg] = fb
+	}
+	if full, done := accumFragment(fb, m.Payload); done {
+		delete(c.teamResultFrags, m.Arg)
+		c.teamResult[m.Arg] = full
 	}
 }
 

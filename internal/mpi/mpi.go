@@ -73,7 +73,7 @@ type Comm struct {
 // New collectively creates the job's communicators.
 func New(me *core.Rank) *Comm {
 	c := &Comm{me: me}
-	c.all = core.AllGather(me, c)
+	c.all = core.TeamAllGather(me.World(), c)
 	me.Barrier()
 	return c
 }
@@ -272,17 +272,17 @@ func bytesOf[T any](s []T) []byte {
 
 // Allreduce combines one float64 per rank with op on every rank.
 func (c *Comm) Allreduce(v float64, op func(a, b float64) float64) float64 {
-	return core.Reduce(c.me, v, op)
+	return core.TeamReduce(c.me.World(), v, op)
 }
 
 // AllreduceI combines one int64 per rank.
 func (c *Comm) AllreduceI(v int64, op func(a, b int64) int64) int64 {
-	return core.Reduce(c.me, v, op)
+	return core.TeamReduce(c.me.World(), v, op)
 }
 
 // Allgather collects one int64 per rank (shared read-only result).
 func (c *Comm) Allgather(v int64) []int64 {
-	return core.AllGather(c.me, v)
+	return core.TeamAllGather(c.me.World(), v)
 }
 
 func (c *Comm) String() string {

@@ -67,8 +67,8 @@ func NewDist[T any](me *core.Rank, global RectDomain, dims []int, ghost int) *Di
 		mine:   tile,
 		rank:   me.ID(),
 	}
-	da.tiles = core.AllGather(me, tile.Ref())
-	da.doms = core.AllGather(me, interior)
+	da.tiles = core.TeamAllGather(me.World(), tile.Ref())
+	da.doms = core.TeamAllGather(me.World(), interior)
 	me.Barrier()
 	return da
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -60,6 +61,24 @@ func New(capacity int) *Segment {
 	c := (uint64(capacity) + Align - 1) &^ uint64(Align-1)
 	return &Segment{
 		buf:  make([]byte, c),
+		free: []block{{0, c}},
+		live: make(map[uint64]uint64),
+	}
+}
+
+// NewExtern wraps an externally provided buffer — typically a window of
+// an mmap'd shared file, so co-located processes address each other's
+// segments with plain loads and stores — as a Segment. The usable
+// capacity is len(buf) rounded down to Align; buf must stay mapped for
+// the segment's lifetime and must be 8-byte aligned (mmap regions are
+// page-aligned).
+func NewExtern(buf []byte) *Segment {
+	c := uint64(len(buf)) &^ uint64(Align-1)
+	if c < Align {
+		panic(fmt.Sprintf("segment: NewExtern buffer of %d bytes is smaller than one %d-byte block", len(buf), Align))
+	}
+	return &Segment{
+		buf:  buf[:c:c],
 		free: []block{{0, c}},
 		live: make(map[uint64]uint64),
 	}
@@ -165,21 +184,26 @@ func (s *Segment) Write(off uint64, p []byte) {
 	s.mu.Unlock()
 }
 
-// Xor64 atomically xors val into the 8 bytes at off under the segment
-// lock and returns the new value. This is the one fixed-function remote
-// atomic the wire protocol carries (HPCC Random Access's update op);
-// richer read-modify-writes remain closure-based and in-process-only.
+// Xor64 atomically xors val into the 8 bytes at off and returns the new
+// value. This is the one fixed-function remote atomic the wire protocol
+// carries (HPCC Random Access's update op); richer read-modify-writes
+// remain closure-based and in-process-only. A CAS loop rather than the
+// segment lock: on shared-memory (NewExtern) segments the peer process
+// updating the same word holds a different Segment object, so the only
+// mutual exclusion both sides share is the memory word itself. Align
+// guarantees allocation bases are 8-byte aligned; callers must keep
+// uint64 fields aligned within their structs (Go's layout does).
 func (s *Segment) Xor64(off, val uint64) uint64 {
-	s.mu.Lock()
 	if off >= uint64(len(s.buf)) || uint64(len(s.buf))-off < 8 {
-		s.mu.Unlock()
 		panic(fmt.Sprintf("segment: Xor64 at offset %d overruns %d-byte segment", off, len(s.buf)))
 	}
 	p := (*uint64)(unsafe.Pointer(&s.buf[off]))
-	*p ^= val
-	v := *p
-	s.mu.Unlock()
-	return v
+	for {
+		old := atomic.LoadUint64(p)
+		if atomic.CompareAndSwapUint64(p, old, old^val) {
+			return old ^ val
+		}
+	}
 }
 
 // Lock acquires the segment lock for a multi-word read-modify-write (the

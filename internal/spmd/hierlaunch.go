@@ -1,0 +1,170 @@
+package spmd
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"upcxx/internal/core"
+	"upcxx/internal/gasnet"
+	"upcxx/internal/segment"
+	"upcxx/internal/transport"
+)
+
+// Hierarchical (two-level) launch: ranks are packed onto virtual hosts
+// `procs-per-node` at a time, co-located ranks share an mmap'd segment
+// file and talk through lock-free shm rings, and only cross-host
+// traffic touches TCP. The rendezvous protocol is unchanged — the
+// topology is a pure function of (rank, n, ppn), computed identically
+// by every process, so no extra wire exchange is needed; what the
+// rendezvous DOES provide is the ordering guarantee that every
+// co-located rank has created its segment file before anyone attaches.
+
+// HierNodes returns the host index of every rank under a
+// procs-per-node packing: rank r lives on host r/ppn. This is the one
+// topology function shared by all backends (upcxx-run passes it to the
+// in-process backend as Config.Nodes), which is what makes LocalTeam
+// membership identical across proc, tcp and hier runs of the same
+// shape.
+func HierNodes(n, ppn int) []int {
+	if ppn < 1 || ppn > n {
+		panic(fmt.Sprintf("spmd: procs-per-node %d out of range for %d ranks", ppn, n))
+	}
+	nodes := make([]int, n)
+	for r := range nodes {
+		nodes[r] = r / ppn
+	}
+	return nodes
+}
+
+// hierSetup builds one rank's two-level conduit stack over an already
+// listening transport endpoint: create our shm file under
+// dir/node<k>/, rendezvous (the barrier that guarantees every
+// co-located file exists), connect the TCP mesh, attach the peers'
+// files, and compose. The rank's registered segment is a window of the
+// mapped file, so co-located peers reach it with plain loads and
+// stores.
+func hierSetup(tep *transport.TCPEndpoint, rendezvous string, rank, n, ppn, segBytes int, dir string) (*gasnet.HierConduit, *segment.Segment, error) {
+	nodes := HierNodes(n, ppn)
+	node := nodes[rank]
+	slot := rank - node*ppn
+	locals := ppn
+	if rest := n - node*ppn; rest < locals {
+		locals = rest
+	}
+	nodeDir := filepath.Join(dir, fmt.Sprintf("node%d", node))
+	if err := os.MkdirAll(nodeDir, 0o777); err != nil {
+		return nil, nil, err
+	}
+	shm, err := gasnet.CreateShm(nodeDir, slot, locals, gasnet.DefaultShmRingBytes, segBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs, err := DialRendezvous(rendezvous, rank, n, tep.Addr())
+	if err != nil {
+		shm.Close()
+		return nil, nil, err
+	}
+	if err := tep.Connect(addrs); err != nil {
+		shm.Close()
+		return nil, nil, err
+	}
+	if err := shm.Attach(); err != nil {
+		shm.Close()
+		return nil, nil, err
+	}
+	seg := segment.NewExtern(shm.Seg())
+	wire := gasnet.NewWireConduit(tep, seg)
+	return gasnet.NewHierConduit(wire, shm, nodes), seg, nil
+}
+
+// RunHierChild is one OS process's half of a hierarchical job: listen,
+// create our shm segment file, rendezvous, connect, attach, and run
+// main as rank `rank` of n over the composed conduit. dir is the
+// job-wide shm directory (the launcher creates and removes it).
+func RunHierChild(rendezvous string, rank, n, ppn, segBytes int, dir string, cfg core.Config, main func(me *core.Rank)) (core.Stats, error) {
+	tep, err := transport.ListenTCP(rank, n, "127.0.0.1:0")
+	if err != nil {
+		return core.Stats{}, err
+	}
+	if cfg.Fault != nil {
+		tep.SetFault(cfg.Fault.ForRank(rank))
+	}
+	cd, seg, err := hierSetup(tep, rendezvous, rank, n, ppn, segBytes, dir)
+	if err != nil {
+		tep.Close()
+		return core.Stats{}, err
+	}
+	defer cd.Close()
+	st := core.RunWire(cfg, cd, seg, main)
+	cd.Goodbye()
+	return st, nil
+}
+
+// RunHierLocal runs an n-rank hierarchical job inside ONE process, one
+// goroutine per rank, sharing real mmap'd files in a temp directory —
+// same data path as the multi-process launch (the OS maps the same
+// physical pages at n virtual addresses), so it exercises the shm
+// rings, the leader election and the two-plane wait loop without
+// subprocess management.
+func RunHierLocal(n, ppn, segBytes int, cfg core.Config, main func(me *core.Rank)) ([]core.Stats, error) {
+	dir, err := os.MkdirTemp("", "upcxx-shm-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	rdvErr := make(chan error, 1)
+	go func() { rdvErr <- Rendezvous(ln, n) }()
+
+	eps := make([]*transport.TCPEndpoint, n)
+	for i := range eps {
+		tep, err := transport.ListenTCP(i, n, "127.0.0.1:0")
+		if err != nil {
+			for _, e := range eps[:i] {
+				e.Close()
+			}
+			return nil, err
+		}
+		eps[i] = tep
+	}
+
+	stats := make([]core.Stats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if cfg.Fault != nil {
+				eps[i].SetFault(cfg.Fault.ForRank(i))
+			}
+			cd, seg, err := hierSetup(eps[i], ln.Addr().String(), i, n, ppn, segBytes, dir)
+			if err != nil {
+				errs[i] = err
+				eps[i].Close()
+				return
+			}
+			defer cd.Close()
+			stats[i] = core.RunWire(cfg, cd, seg, main)
+			cd.Goodbye()
+		}(i)
+	}
+	wg.Wait()
+	if err := <-rdvErr; err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("spmd: rank %d: %w", i, err)
+		}
+	}
+	return stats, nil
+}

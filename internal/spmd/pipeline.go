@@ -53,7 +53,7 @@ func pipeline(me *core.Rank, scale int) uint64 {
 	for j := 0; j < scale; j++ {
 		core.Write(me, src.Add(j), pipeSrc(me.ID(), j))
 	}
-	dir := core.AllGather(me, src)
+	dir := core.TeamAllGather(me.World(), src)
 
 	// Result area: n*scale cells on rank 0, one per chain.
 	var res core.GlobalPtr[uint64]
@@ -62,7 +62,7 @@ func pipeline(me *core.Rank, scale int) uint64 {
 		zero := make([]uint64, n*scale)
 		core.WriteSlice(me, res, zero)
 	}
-	res = core.Broadcast(me, res, 0)
+	res = core.TeamBroadcast(me.World(), res, 0)
 	me.Barrier()
 
 	// All chains of this rank, overlapped under one Finish: hop h of
@@ -108,5 +108,5 @@ func pipeline(me *core.Rank, scale int) uint64 {
 		}
 	}
 	me.Barrier()
-	return core.Broadcast(me, sum, 0)
+	return core.TeamBroadcast(me.World(), sum, 0)
 }

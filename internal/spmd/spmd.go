@@ -222,7 +222,7 @@ func ring(me *core.Rank, scale int) uint64 {
 	if me.ID() == 0 {
 		lk = core.NewLock(me)
 	}
-	lk = core.Broadcast(me, lk, 0)
+	lk = core.TeamBroadcast(me.World(), lk, 0)
 	ctr := core.NewSharedVar[uint64](me)
 	me.Barrier()
 	lk.Acquire(me)
@@ -237,16 +237,16 @@ func ring(me *core.Rank, scale int) uint64 {
 	// Fold per-rank sums with collectives: an exclusive scan seasons
 	// each contribution, a slice reduction and a final allreduce agree
 	// on one checksum everywhere.
-	scan := core.ExclusiveScan(me, uint64(me.ID()+1),
+	scan := core.TeamExclusiveScan(me.World(), uint64(me.ID()+1),
 		func(a, b uint64) uint64 { return a + b }, 0)
-	folded := core.ReduceSlices(me, []uint64{sum, mix(scan ^ total)},
+	folded := core.TeamReduceSlices(me.World(), []uint64{sum, mix(scan ^ total)},
 		func(a, b uint64) uint64 { return a ^ b }, 0)
 	var rootFold uint64
 	if me.ID() == 0 {
 		rootFold = mix(folded[0] ^ folded[1])
 	}
-	rootFold = core.Broadcast(me, rootFold, 0)
-	sum = core.Reduce(me, sum^rootFold, func(a, b uint64) uint64 { return a ^ b })
+	rootFold = core.TeamBroadcast(me.World(), rootFold, 0)
+	sum = core.TeamReduce(me.World(), sum^rootFold, func(a, b uint64) uint64 { return a ^ b })
 
 	// Remote free closes the loop on dynamic global memory management.
 	if err := core.Deallocate(me, blk); err != nil {

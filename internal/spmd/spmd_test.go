@@ -16,7 +16,10 @@ import (
 func runProcChecksum(t *testing.T, p Prog, n, scale int) uint64 {
 	t.Helper()
 	sums := make([]uint64, n)
-	core.Run(core.Config{Ranks: n, SegmentBytes: p.SegBytes(n, scale)}, func(me *core.Rank) {
+	// One rank per host, matching the wire backend's default topology —
+	// topology-sensitive programs (teams) must see identical LocalTeam
+	// membership on both sides of the comparison.
+	core.Run(core.Config{Ranks: n, SegmentBytes: p.SegBytes(n, scale), Nodes: HierNodes(n, 1)}, func(me *core.Rank) {
 		sums[me.ID()] = p.Run(me, scale)
 	})
 	for r, s := range sums {

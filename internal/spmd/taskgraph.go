@@ -173,5 +173,5 @@ func taskgraph(me *core.Rank, scale int) uint64 {
 		sum = mix(expDag ^ mix(expChain) ^ vsum)
 	}
 	me.Barrier()
-	return core.Broadcast(me, sum, 0)
+	return core.TeamBroadcast(me.World(), sum, 0)
 }

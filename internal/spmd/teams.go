@@ -1,0 +1,96 @@
+package spmd
+
+import (
+	"fmt"
+
+	"upcxx/internal/core"
+)
+
+func init() {
+	registry = append(registry, Prog{
+		Name:         "teams",
+		Desc:         "teams-first collectives: parity SplitTeam with reversed ranks, nested splits, LocalTeam folds — checksum is topology-sensitive and backend-independent",
+		DefaultScale: 64, // seasons the per-rank contributions
+		SegBytes: func(ranks, scale int) int {
+			return 1 << 17
+		},
+		Run: teams,
+	})
+}
+
+// teams exercises the team-scoped collective surface end to end. Every
+// collective runs on a proper subset of the world (or on the local
+// team), so the program fails loudly if subset rendezvous, team-rank
+// ordering or topology agreement is wrong on any backend. The final
+// world allreduce folds the per-rank sums into one checksum, identical
+// on every rank — and identical across backends launched with the same
+// -procs-per-node.
+func teams(me *core.Rank, scale int) uint64 {
+	n := me.Ranks()
+	id := me.ID()
+
+	// Parity split with REVERSED key order: team rank 0 is the highest
+	// world rank of the parity class, so team order != world order and
+	// any code path that conflates the two corrupts the checksum.
+	par := me.SplitTeam(id%2, n-id)
+	if got := par.WorldRank(par.Rank()); got != id {
+		panic(fmt.Sprintf("spmd: teams: my team slot maps to world rank %d, want %d", got, id))
+	}
+
+	var sum uint64
+	for i, v := range core.TeamAllGather(par, uint64(id)+uint64(scale)) {
+		sum ^= mix(v<<8 + uint64(i))
+	}
+
+	add := func(a, b uint64) uint64 { return a + b }
+	xor := func(a, b uint64) uint64 { return a ^ b }
+
+	// Reversed order makes the exclusive scan order-sensitive; the
+	// closed-form check pins team-rank order to (key, world) sorting.
+	tot := core.TeamReduce(par, uint64(id)+1, add)
+	scan := core.TeamExclusiveScan(par, uint64(id)+1, add, 0)
+	var wantScan uint64
+	for w := id % 2; w < n; w += 2 {
+		if n-w < n-id { // ranks with smaller key precede me
+			wantScan += uint64(w) + 1
+		}
+	}
+	if scan != wantScan {
+		panic(fmt.Sprintf("spmd: teams: exclusive scan = %d, want %d", scan, wantScan))
+	}
+	sum ^= mix(tot ^ scan<<4)
+
+	// Broadcast from the LAST team slot (the lowest world rank of the
+	// class, under reversed keys).
+	sum ^= core.TeamBroadcast(par, mix(uint64(id)+0xb), par.Ranks()-1)
+
+	// Root-only slice reduction on the subset.
+	folded := core.TeamReduceSlices(par, []uint64{uint64(id), mix(uint64(id))}, xor, 0)
+	if par.Rank() == 0 {
+		sum ^= mix(folded[0] ^ folded[1]<<1)
+	} else if folded != nil {
+		panic("spmd: teams: non-root received a TeamReduceSlices result")
+	}
+
+	// Nested split: quarter the world by parity of the PARENT team rank.
+	sub := par.Split(par.Rank()%2, par.Rank())
+	sub.Barrier()
+	for i, v := range core.TeamGatherAll(sub, uint64(id)+2, 0) {
+		if sub.Rank() == 0 {
+			sum ^= mix(v * uint64(i+3))
+		}
+	}
+
+	// Local team: fold within each virtual host, then every rank folds
+	// its host's digest. Membership comes from the launch topology, so
+	// the checksum moves with -procs-per-node but not with the backend.
+	loc := me.Local()
+	lsum := core.TeamReduce(loc, mix(uint64(id)+uint64(scale)<<20), xor)
+	// Season with the local slot: an unseasoned digest appears once per
+	// co-located rank and would xor-cancel whenever ppn is even.
+	sum ^= mix(lsum + uint64(loc.Ranks()) + uint64(loc.Rank())<<33)
+	loc.Barrier()
+
+	// One world allreduce makes the checksum rank-independent.
+	return core.TeamReduce(me.World(), sum, xor)
+}

@@ -356,25 +356,79 @@ func AggDrain(me *Rank) { core.AggDrain(me) }
 // NewLock creates a global lock homed on the calling rank.
 func NewLock(me *Rank) Lock { return core.NewLock(me) }
 
-// Collectives.
+// Teams and collectives. The primary surface is teams-first: every
+// collective is scoped to a Team — an ordered subset of ranks obtained
+// from me.World() (everyone), me.Local() (the ranks sharing this
+// rank's host, GASNet's PSHM domain) or SplitTeam (MPI_Comm_split
+// semantics: same color ⇒ same team, ordered by key then world rank).
+// Roots are team ranks, results are indexed in team-rank order, and
+// on the hierarchical backend team collectives run in two phases —
+// shared memory within a host, the wire between host leaders.
+//
+// The flat free functions below are deprecated world-team wrappers:
+// Broadcast(me, v, root) is TeamBroadcast(me.World(), v, root).
+
+// Team is an ordered subset of ranks that collectives are scoped to.
+// Obtain one with me.World(), me.Local(), me.SplitTeam(color, key) or
+// t.Split; teams are cheap, deterministic values — the same split on
+// every member yields the same team id and ordering.
+type Team = core.Team
+
+// TeamBroadcast distributes the value of the team's `root` slot to
+// every member.
+func TeamBroadcast[T any](t *Team, v T, root int) T { return core.TeamBroadcast(t, v, root) }
+
+// TeamAllGather collects one value per member, indexed in team-rank
+// order (shared read-only result).
+func TeamAllGather[T any](t *Team, v T) []T { return core.TeamAllGather(t, v) }
+
+// TeamReduce combines one value per member on every member, folding in
+// team-rank order (deterministic for non-commutative ops).
+func TeamReduce[T any](t *Team, v T, op func(a, b T) T) T { return core.TeamReduce(t, v, op) }
+
+// TeamReduceSlices element-wise combines equal-length slices onto the
+// team's root slot; other members receive nil.
+func TeamReduceSlices[T any](t *Team, contrib []T, op func(a, b T) T, root int) []T {
+	return core.TeamReduceSlices(t, contrib, op, root)
+}
+
+// TeamExclusiveScan returns the exclusive prefix combination in
+// team-rank order (slot 0 receives identity).
+func TeamExclusiveScan[T any](t *Team, v T, op func(a, b T) T, identity T) T {
+	return core.TeamExclusiveScan(t, v, op, identity)
+}
+
+// TeamGather collects one value per member on the root slot (indexed
+// in team-rank order); other members receive nil.
+func TeamGather[T any](t *Team, v T, root int) []T { return core.TeamGatherAll(t, v, root) }
 
 // Broadcast distributes root's value to every rank.
-func Broadcast[T any](me *Rank, v T, root int) T { return core.Broadcast(me, v, root) }
+//
+// Deprecated: use TeamBroadcast(me.World(), v, root).
+func Broadcast[T any](me *Rank, v T, root int) T { return core.TeamBroadcast(me.World(), v, root) }
 
 // AllGather collects one value per rank (shared read-only result).
-func AllGather[T any](me *Rank, v T) []T { return core.AllGather(me, v) }
+//
+// Deprecated: use TeamAllGather(me.World(), v).
+func AllGather[T any](me *Rank, v T) []T { return core.TeamAllGather(me.World(), v) }
 
 // Reduce combines one value per rank on every rank.
-func Reduce[T any](me *Rank, v T, op func(a, b T) T) T { return core.Reduce(me, v, op) }
+//
+// Deprecated: use TeamReduce(me.World(), v, op).
+func Reduce[T any](me *Rank, v T, op func(a, b T) T) T { return core.TeamReduce(me.World(), v, op) }
 
 // ReduceSlices element-wise combines slices onto root.
+//
+// Deprecated: use TeamReduceSlices(me.World(), contrib, op, root).
 func ReduceSlices[T any](me *Rank, contrib []T, op func(a, b T) T, root int) []T {
-	return core.ReduceSlices(me, contrib, op, root)
+	return core.TeamReduceSlices(me.World(), contrib, op, root)
 }
 
 // ExclusiveScan returns the exclusive prefix combination across ranks.
+//
+// Deprecated: use TeamExclusiveScan(me.World(), v, op, identity).
 func ExclusiveScan[T any](me *Rank, v T, op func(a, b T) T, identity T) T {
-	return core.ExclusiveScan(me, v, op, identity)
+	return core.TeamExclusiveScan(me.World(), v, op, identity)
 }
 
 // Multidimensional domains and arrays (paper §III-E), modeled on
