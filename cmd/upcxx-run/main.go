@@ -37,10 +37,12 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 
 	"upcxx/internal/core"
 	"upcxx/internal/fault"
+	"upcxx/internal/obs"
 	"upcxx/internal/spmd"
 )
 
@@ -50,8 +52,10 @@ const (
 	envRank       = "UPCXX_RUN_RANK"
 	envRanks      = "UPCXX_RUN_RANKS"
 	envRendezvous = "UPCXX_RUN_RENDEZVOUS"
-	envPPN        = "UPCXX_RUN_PPN"    // procs per node; >0 selects the hier conduit
-	envShmDir     = "UPCXX_RUN_SHMDIR" // job-wide shm segment directory (parent-owned)
+	envPPN        = "UPCXX_RUN_PPN"      // procs per node; >0 selects the hier conduit
+	envShmDir     = "UPCXX_RUN_SHMDIR"   // job-wide shm segment directory (parent-owned)
+	envTraceDir   = "UPCXX_RUN_TRACEDIR" // per-rank Chrome trace dump directory (-trace)
+	envDebugDir   = "UPCXX_RUN_DEBUGDIR" // per-rank debug state-server directory (-debug-addr)
 )
 
 func main() {
@@ -62,8 +66,15 @@ func main() {
 	rdvTimeout := flag.Duration("rendezvous-timeout", spmd.RendezvousTimeout,
 		"deadline for the tcp backend's address rendezvous (raise for slow or congested hosts)")
 	chaos := flag.String("chaos", "", `fault plan, e.g. "kill:rank=2,at=500ms" or "drop:rank=0,peer=1,op=3" (see internal/fault)`)
+	traceDir := flag.String("trace", "", "enable runtime tracing; per-rank Chrome trace dumps land in this directory, merged into <dir>/trace.json on exit (open in Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (/debug/metrics, /debug/trace, /debug/ranks, pprof) on this address, e.g. 127.0.0.1:8090")
+	verbose := flag.Int("v", 0, "runtime log verbosity, 0 = silent (UPCXX_VERBOSE sets the same level)")
 	list := flag.Bool("list", false, "list registered programs")
 	flag.Parse()
+
+	if *verbose > 0 {
+		obs.SetVerbosity(*verbose)
+	}
 
 	var plan *fault.Plan
 	if *chaos != "" {
@@ -151,11 +162,11 @@ func main() {
 
 	switch *backend {
 	case "proc":
-		runProc(prog, *n, *scale, *ppn, plan)
+		runProc(prog, *n, *scale, *ppn, plan, *traceDir, *debugAddr)
 	case "tcp":
-		runTCP(prog, *n, *scale, 0, plan)
+		runTCP(prog, *n, *scale, 0, plan, *traceDir, *debugAddr)
 	case "hier":
-		runTCP(prog, *n, *scale, *ppn, plan)
+		runTCP(prog, *n, *scale, *ppn, plan, *traceDir, *debugAddr)
 	default:
 		fmt.Fprintf(os.Stderr, "upcxx-run: unknown backend %q (want proc, tcp or hier)\n", *backend)
 		os.Exit(2)
@@ -187,8 +198,27 @@ func reportRank(n int, plan *fault.Plan) int {
 // runProc executes the program on the in-process backend: one goroutine
 // per rank over the virtual-time engine, as upcxx.Run does. The ppn
 // topology is passed through so LocalTeam membership matches what the
-// same command line produces on the wire backends.
-func runProc(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
+// same command line produces on the wire backends. All ranks live in
+// this one process, so -trace dumps a single process trace holding
+// every rank's ring and -debug-addr serves this process's own state.
+func runProc(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan, traceDir, debugAddr string) {
+	obs.InitHealth(n)
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "upcxx-run: -trace:", err)
+			os.Exit(1)
+		}
+		obs.SetTracing(true)
+	}
+	if debugAddr != "" {
+		bound, stop, err := obs.ServeDebug(debugAddr, "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upcxx-run: -debug-addr:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "upcxx-run: debug endpoint on http://%s/debug/\n", bound)
+	}
 	rep := reportRank(n, plan)
 	var sum uint64
 	core.Run(core.Config{
@@ -202,9 +232,27 @@ func runProc(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
 			sum = s
 		}
 	})
+	if traceDir != "" {
+		if err := obs.DumpTraceFile(traceDir, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "upcxx-run: trace dump:", err)
+		}
+		mergeTrace(traceDir)
+	}
 	if rep >= 0 {
 		report(prog, n, scale, sum)
 	}
+}
+
+// mergeTrace folds every per-process trace dump in dir into one
+// clock-aligned dir/trace.json, ready for Perfetto / chrome://tracing.
+func mergeTrace(dir string) {
+	out := filepath.Join(dir, "trace.json")
+	events, err := obs.MergeTraceDir(dir, out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upcxx-run: merging traces:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "upcxx-run: merged %d trace events into %s\n", events, out)
 }
 
 // runTCP is the parent side of the wire launch: spawn one child process
@@ -212,7 +260,7 @@ func runProc(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
 // ppn > 0 the job is hierarchical: the parent owns a temp directory of
 // mmap'd segment files that co-located children share, and tells the
 // children their topology through the environment.
-func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
+func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan, traceDir, debugAddr string) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
@@ -225,13 +273,44 @@ func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
 		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
 		os.Exit(1)
 	}
+	var tmpDirs []string
+	cleanup := func() {
+		for _, d := range tmpDirs {
+			os.RemoveAll(d)
+		}
+	}
+	defer cleanup()
 	var shmDir string
 	if ppn > 0 {
 		if shmDir, err = os.MkdirTemp("", "upcxx-run-shm-"); err != nil {
 			fmt.Fprintln(os.Stderr, "upcxx-run:", err)
 			os.Exit(1)
 		}
-		defer os.RemoveAll(shmDir)
+		tmpDirs = append(tmpDirs, shmDir)
+	}
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "upcxx-run: -trace:", err)
+			os.Exit(1)
+		}
+	}
+	// The debug endpoint runs on the launcher, aggregating child state:
+	// every child opens a tiny loopback state server and drops its
+	// address into a parent-owned directory; the HTTP handlers fan out.
+	var debugDir string
+	if debugAddr != "" {
+		if debugDir, err = os.MkdirTemp("", "upcxx-run-debug-"); err != nil {
+			fmt.Fprintln(os.Stderr, "upcxx-run:", err)
+			os.Exit(1)
+		}
+		tmpDirs = append(tmpDirs, debugDir)
+		bound, stop, serr := obs.ServeDebug(debugAddr, debugDir)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "upcxx-run: -debug-addr:", serr)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "upcxx-run: debug endpoint on http://%s/debug/\n", bound)
 	}
 	rdvErr := make(chan error, 1)
 	go func() { rdvErr <- spmd.Rendezvous(ln, n) }()
@@ -252,6 +331,12 @@ func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
 				envShmDir+"="+shmDir,
 			)
 		}
+		if traceDir != "" {
+			c.Env = append(c.Env, envTraceDir+"="+traceDir)
+		}
+		if debugDir != "" {
+			c.Env = append(c.Env, envDebugDir+"="+debugDir)
+		}
 		if err := c.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "upcxx-run: spawning rank %d: %v\n", i, err)
 			for _, prev := range children[:i] {
@@ -262,7 +347,10 @@ func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
 		children[i] = c
 	}
 
-	failed := false
+	// exitCode propagates the first failing child's own status (a rank
+	// that os.Exit(k)s surfaces as k here, not a generic 1), so scripts
+	// above the launcher can tell an assertion failure from a crash.
+	exitCode := 0
 	for i, c := range children {
 		err := c.Wait()
 		if err == nil {
@@ -272,22 +360,39 @@ func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan) {
 		// timer — a scripted death, not a job failure. (It exits 0
 		// instead if the program finished before its death time.)
 		var xerr *exec.ExitError
-		if plan.KillsRank(i) && errors.As(err, &xerr) && xerr.ExitCode() == core.ChaosExitCode {
-			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d killed by fault plan\n", i)
-			continue
+		if errors.As(err, &xerr) && xerr.ExitCode() == core.ChaosExitCode {
+			if plan.KillsRank(i) {
+				fmt.Fprintf(os.Stderr, "upcxx-run: rank %d killed by fault plan\n", i)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d exited with the chaos status %d but the plan does not kill it\n",
+				i, core.ChaosExitCode)
+		} else if errors.As(err, &xerr) {
+			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d exited with status %d\n", i, xerr.ExitCode())
+		} else {
+			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", i, err)
 		}
-		fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", i, err)
-		failed = true
+		if exitCode == 0 {
+			if errors.As(err, &xerr) && xerr.ExitCode() > 0 {
+				exitCode = xerr.ExitCode()
+			} else {
+				exitCode = 1
+			}
+		}
 	}
-	if err := <-rdvErr; err != nil && !failed {
+	if err := <-rdvErr; err != nil && exitCode == 0 {
 		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
-		failed = true
+		exitCode = 1
 	}
-	if failed {
-		if shmDir != "" {
-			os.RemoveAll(shmDir) // os.Exit skips the deferred cleanup
-		}
-		os.Exit(1)
+	// Merge whatever the children managed to dump even on failure — a
+	// partial trace of a wedged or crashed job is exactly when you want
+	// the timeline.
+	if traceDir != "" {
+		mergeTrace(traceDir)
+	}
+	if exitCode != 0 {
+		cleanup() // os.Exit skips the deferred cleanup
+		os.Exit(exitCode)
 	}
 }
 
@@ -306,6 +411,19 @@ func runChild(prog spmd.Prog, scale int, rankStr string, plan *fault.Plan) {
 		os.Exit(1)
 	}
 	rdv := os.Getenv(envRendezvous)
+	obs.InitHealth(n)
+	traceDir := os.Getenv(envTraceDir)
+	if traceDir != "" {
+		obs.SetTracing(true)
+		defer obs.InstallTraceSignal(traceDir, rank)()
+	}
+	if debugDir := os.Getenv(envDebugDir); debugDir != "" {
+		if stop, serr := obs.StartStateServer(debugDir, rank); serr != nil {
+			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: state server: %v\n", rank, serr)
+		} else {
+			defer stop()
+		}
+	}
 	cfg := core.Config{
 		Resilient: prog.Resilient || plan != nil,
 		Fault:     plan,
@@ -331,6 +449,11 @@ func runChild(prog spmd.Prog, scale int, rankStr string, plan *fault.Plan) {
 		_, err = spmd.RunHierChild(rdv, rank, n, ppn, prog.SegBytes(n, scale), shmDir, cfg, body)
 	} else {
 		_, err = spmd.RunWireChild(rdv, rank, n, prog.SegBytes(n, scale), cfg, body)
+	}
+	if traceDir != "" {
+		if derr := obs.DumpTraceFile(traceDir, rank); derr != nil {
+			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: trace dump: %v\n", rank, derr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", rank, err)

@@ -1,0 +1,49 @@
+// Command upcxx-trace validates and summarizes a Chrome trace_event
+// JSON file produced by upcxx-run -trace (a merged trace.json or a
+// single per-rank dump):
+//
+//	upcxx-trace trace-out/trace.json
+//
+// It checks that the file is well-formed trace JSON (parseable, known
+// phases, non-negative timestamps, per-thread monotone ordering) and
+// prints one summary line:
+//
+//	trace-out/trace.json: 1234 events, 4 tids, cats=[agg core wire]
+//
+// A malformed trace exits nonzero with the first violation, which is
+// what the CI observability smoke leg asserts.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"upcxx/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: upcxx-trace <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upcxx-trace:", err)
+		os.Exit(1)
+	}
+	sum, err := obs.ValidateTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "upcxx-trace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	cats := make([]string, 0, len(sum.Categories))
+	for c := range sum.Categories {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	fmt.Printf("%s: %d events, %d tids, cats=[%s]\n",
+		path, sum.Events, len(sum.Tids), strings.Join(cats, " "))
+}

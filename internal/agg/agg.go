@@ -33,7 +33,10 @@ package agg
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
+
+	"upcxx/internal/obs"
 )
 
 // Batch op kinds. A batch payload is a concatenation of operations,
@@ -127,11 +130,21 @@ type Aggregator struct {
 
 	now func() time.Time // injectable clock for tests
 
-	// Counters (see Counters for the exported names).
-	batches    int64
-	opsTotal   int64
-	batchBytes int64
-	savedBytes int64
+	// Observability (SetObs): the rank's span ring (nil while tracing
+	// is off) and a flush-size histogram.
+	ring       *obs.Ring
+	flushBytes *obs.Histogram
+
+	// Counters (see Counters for the exported names). Atomics: the
+	// debug endpoint pulls them live from another goroutine while the
+	// SPMD goroutine flushes.
+	batches    atomic.Int64
+	opsTotal   atomic.Int64
+	batchBytes atomic.Int64
+	savedBytes atomic.Int64
+	// byReason counts flushes per trigger, indexed by the obs.Flush*
+	// reason codes.
+	byReason [obs.FlushBarrier + 1]atomic.Int64
 }
 
 // New builds an aggregator over ranks destinations shipping through
@@ -145,13 +158,21 @@ func New(ranks int, cfg Config, flush Flusher) *Aggregator {
 	}
 }
 
+// SetObs attaches the aggregator to the observability plane: the
+// owning rank's span ring (may be nil — tracing disabled) and the
+// flush-size histogram registered under the rank's label.
+func (a *Aggregator) SetObs(ring *obs.Ring, rank int) {
+	a.ring = ring
+	a.flushBytes = obs.Reg().NewHistogram("upcxx_agg_flush_bytes", rank)
+}
+
 // room prepares dst's batch for an op encoding to need bytes: if the
 // open batch would overflow MaxBytes it is flushed first, so a batch
 // handed to the Flusher only exceeds MaxBytes when a single op does.
 func (a *Aggregator) room(dst, need int) *destBuf {
 	b := &a.bufs[dst]
 	if b.ops > 0 && len(b.buf)+need > a.cfg.MaxBytes {
-		a.Flush(dst)
+		a.flushReason(dst, obs.FlushMaxBytes)
 	}
 	return b
 }
@@ -165,8 +186,11 @@ func (a *Aggregator) noteOp(dst int, b *destBuf, done func()) {
 	b.ops++
 	a.buffered++
 	b.dones = append(b.dones, done)
-	if b.ops >= a.cfg.MaxOps || len(b.buf) >= a.cfg.MaxBytes {
-		a.Flush(dst)
+	a.ring.Instant(obs.KAggOp, int32(dst), uint32(len(b.buf)), 0)
+	if b.ops >= a.cfg.MaxOps {
+		a.flushReason(dst, obs.FlushMaxOps)
+	} else if len(b.buf) >= a.cfg.MaxBytes {
+		a.flushReason(dst, obs.FlushMaxBytes)
 	}
 }
 
@@ -217,7 +241,10 @@ func (a *Aggregator) Send(dst int, id uint16, payload []byte, done func()) {
 }
 
 // Flush ships dst's open batch, if any.
-func (a *Aggregator) Flush(dst int) {
+func (a *Aggregator) Flush(dst int) { a.flushReason(dst, obs.FlushExplicit) }
+
+// flushReason ships dst's open batch, recording why it shipped.
+func (a *Aggregator) flushReason(dst int, reason uint64) {
 	b := &a.bufs[dst]
 	if b.ops == 0 {
 		return
@@ -227,10 +254,15 @@ func (a *Aggregator) Flush(dst int) {
 
 	a.buffered -= ops
 	a.inflight += ops
-	a.batches++
-	a.opsTotal += int64(ops)
-	a.batchBytes += int64(len(batch))
-	a.savedBytes += int64(ops-1) * frameOverhead
+	a.batches.Add(1)
+	a.opsTotal.Add(int64(ops))
+	a.batchBytes.Add(int64(len(batch)))
+	a.savedBytes.Add(int64(ops-1) * frameOverhead)
+	if reason < uint64(len(a.byReason)) {
+		a.byReason[reason].Add(1)
+	}
+	a.ring.Instant(obs.KAggFlush, int32(dst), uint32(len(batch)), reason)
+	a.flushBytes.Observe(int64(len(batch)))
 
 	a.flush(dst, batch, ops, func() {
 		a.inflight -= ops
@@ -244,12 +276,18 @@ func (a *Aggregator) Flush(dst int) {
 
 // FlushAll ships every open batch. O(1) when nothing is buffered, so
 // progress loops and pre-block flushes can call it freely.
-func (a *Aggregator) FlushAll() {
+func (a *Aggregator) FlushAll() { a.flushAllReason(obs.FlushExplicit) }
+
+// FlushAllBarrier is FlushAll for the pre-barrier drain, so the flush
+// trigger shows up distinctly in traces and counters.
+func (a *Aggregator) FlushAllBarrier() { a.flushAllReason(obs.FlushBarrier) }
+
+func (a *Aggregator) flushAllReason(reason uint64) {
 	if a.buffered == 0 {
 		return
 	}
 	for dst := range a.bufs {
-		a.Flush(dst)
+		a.flushReason(dst, reason)
 	}
 }
 
@@ -266,7 +304,7 @@ func (a *Aggregator) Tick() int {
 	n := 0
 	for dst := range a.bufs {
 		if b := &a.bufs[dst]; b.ops > 0 && !b.oldest.After(cutoff) {
-			a.Flush(dst)
+			a.flushReason(dst, obs.FlushMaxAge)
 			n++
 		}
 	}
@@ -285,14 +323,21 @@ func (a *Aggregator) Pending() int { return a.buffered + a.inflight }
 // wire bytes saved versus one frame pair per op, and the realized
 // ops-per-batch ratio.
 func (a *Aggregator) Counters() map[string]float64 {
+	batches := a.batches.Load()
+	ops := a.opsTotal.Load()
 	c := map[string]float64{
-		"agg_batches":     float64(a.batches),
-		"agg_ops":         float64(a.opsTotal),
-		"agg_batch_bytes": float64(a.batchBytes),
-		"agg_saved_bytes": float64(a.savedBytes),
+		"agg_batches":        float64(batches),
+		"agg_ops":            float64(ops),
+		"agg_batch_bytes":    float64(a.batchBytes.Load()),
+		"agg_saved_bytes":    float64(a.savedBytes.Load()),
+		"agg_flush_maxops":   float64(a.byReason[obs.FlushMaxOps].Load()),
+		"agg_flush_maxbytes": float64(a.byReason[obs.FlushMaxBytes].Load()),
+		"agg_flush_maxage":   float64(a.byReason[obs.FlushMaxAge].Load()),
+		"agg_flush_explicit": float64(a.byReason[obs.FlushExplicit].Load()),
+		"agg_flush_barrier":  float64(a.byReason[obs.FlushBarrier].Load()),
 	}
-	if a.batches > 0 {
-		c["agg_ops_per_batch"] = float64(a.opsTotal) / float64(a.batches)
+	if batches > 0 {
+		c["agg_ops_per_batch"] = float64(ops) / float64(batches)
 	}
 	return c
 }

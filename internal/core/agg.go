@@ -5,6 +5,7 @@ import (
 
 	"upcxx/internal/agg"
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 )
 
 // The message-aggregation surface: AggPut, AggXor64 and AggSend buffer
@@ -123,10 +124,12 @@ func (r *Rank) initAgg(bc gasnet.BatchConduit, cfg agg.Config) {
 		}))
 	})
 	bc.SetBatchHandler(func(from int, payload []byte) {
+		r.ring.Begin(obs.KAggApply, int32(from), uint32(len(payload)))
 		if _, err := agg.Apply(payload, rankApplier{r: r, from: from}); err != nil {
 			panic(fmt.Errorf("upcxx: rank %d: corrupt aggregation batch from rank %d: %w",
 				r.id, from, err))
 		}
+		r.ring.End(obs.KAggApply)
 		// Cut-through flush: ops the applied handlers just buffered
 		// (e.g. a DHT lookup's reply) must not wait for this rank's
 		// next explicit progress call — a peer may be blocked on them
@@ -290,6 +293,10 @@ func AggDrain(me *Rank) {
 
 func (r *Rank) aggDrain() {
 	if r.agg != nil {
+		// Ship now under the barrier reason — the waitProgress flush
+		// below then finds nothing buffered, so traces and counters
+		// attribute the pre-barrier drain correctly.
+		r.agg.FlushAllBarrier()
 		r.waitProgress(func() bool { return r.agg.Pending() == 0 })
 		return
 	}

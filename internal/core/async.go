@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 )
 
 // Place designates the target(s) of an async: a single rank or a group
@@ -113,13 +114,16 @@ func Async(me *Rank, place Place, fn TaskFn, opts ...AsyncOpt) {
 
 	job := me.job
 	me.fanOut(place, cfg, func(from *Rank, target int, arrival float64) {
+		from.ring.Instant(obs.KTaskDispatch, int32(target), uint32(cfg.payload), 0)
 		from.ep.SendAt(target, arrival, cfg.payload, func(tep *gasnet.Endpoint) {
 			tgt := job.ranks[tep.Rank]
 			tep.Clock.Advance(job.model.TaskDispatchCost())
 			if cfg.flops > 0 {
 				tgt.Work(cfg.flops)
 			}
+			tgt.ring.Begin(obs.KTaskExec, int32(from.id), uint32(cfg.payload))
 			fn(tgt)
+			tgt.ring.End(obs.KTaskExec)
 			done := tgt.Clock()
 			if cfg.done != nil {
 				cfg.done.compComplete(done, tgt)
@@ -264,13 +268,16 @@ func (r *Rank) currentFinish() *finishScope {
 // every remote descendant's done-ack has cascaded back (see
 // finishScope). Closure asyncs count non-transitively, as before.
 func Finish(me *Rank, body func()) {
+	me.ring.Begin(obs.KFinish, -1, 0)
 	fs := &finishScope{owner: me}
 	me.finish = append(me.finish, fs)
 	body()
 	me.finish = me.finish[:len(me.finish)-1]
+	me.ring.Instant(obs.KFinishDrain, -1, 0, 0)
 	// Aggregated ops issued in the body registered with fs too; the
 	// progress wait flushes them and services their acknowledgements
 	// (and, on a wire job, incoming requests and done-acks).
 	me.waitProgress(fs.empty)
 	me.doneDrop(fs)
+	me.ring.End(obs.KFinish)
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+
+	"upcxx/internal/obs"
 )
 
 // Event synchronizes individual non-blocking operations and async tasks,
@@ -125,10 +127,12 @@ func (ev *Event) Wait(me *Rank) {
 	}
 	ev.waiters = append(ev.waiters, eventWaiter{r: me})
 	ev.mu.Unlock()
+	me.ring.Begin(obs.KEvWait, -1, 0)
 	me.waitProgress(func() bool {
 		ok, _ := ev.done()
 		return ok
 	})
+	me.ring.End(obs.KEvWait)
 	// Unregister (signal leaves waiters in place so later fires can
 	// re-wake them; see signal). Any wake already in flight for us is a
 	// no-op message, drained by ordinary progress.

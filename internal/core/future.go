@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 )
 
 // The futures-first completion model. The paper exposes three disjoint
@@ -107,6 +108,7 @@ func (f *Future[T]) resolve(v T, t float64, sig *Rank) {
 	conts := f.conts
 	f.conts = nil
 	f.mu.Unlock()
+	f.owner.ring.Instant(obs.KFutResolve, -1, 0, uint64(len(conts)))
 	for _, c := range conts {
 		c(v, nil, t, sig)
 	}
@@ -311,7 +313,9 @@ func thenImpl[T, U any](f *Future[T], fn func(me *Rank, v T) U, task bool) *Futu
 			me.ep.Stats.Tasks.Add(1)
 			me.ep.Clock.Advance(me.job.model.TaskDispatchCost())
 		}
+		me.ring.Begin(obs.KFutThen, -1, 0)
 		u := runUnder(me, fs, func() U { return fn(me, v) })
+		me.ring.End(obs.KFutThen)
 		done := t
 		if now := me.Clock(); now > done {
 			done = now

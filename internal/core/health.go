@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 )
 
 // Rank health: the core-level view of the failure detector. On a
@@ -69,6 +70,9 @@ func (r *Rank) markRankDead(rank int) {
 		return
 	}
 	r.deadRanks[rank] = true
+	obs.MarkDead(rank, "declared dead")
+	r.ring.Instant(obs.KDeath, int32(rank), 0, 0)
+	obs.Logf(1, r.id, "rank %d declared dead", rank)
 	t := r.Clock()
 	// Pending task replies from the dead rank will never arrive: fail
 	// them typed. Collect first — failCall mutates the map.

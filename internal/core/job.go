@@ -26,6 +26,7 @@ import (
 	"upcxx/internal/agg"
 	"upcxx/internal/fault"
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 	"upcxx/internal/segment"
 	"upcxx/internal/sim"
 )
@@ -252,6 +253,17 @@ type Rank struct {
 	// event; completed by Fence / AsyncCopyFence).
 	implicitMax float64
 	implicitN   int
+
+	// Observability (internal/obs). ring is this rank's span ring —
+	// nil while tracing is disabled, making every span call site a
+	// nil-check no-op. rpcRTT / barrierNs are wall-clock latency
+	// histograms in the obs registry; they observe only while tracing
+	// is on (the clock reads ride the same gate). obsStop removes this
+	// rank's registry sources at job end.
+	ring      *obs.Ring
+	rpcRTT    *obs.Histogram
+	barrierNs *obs.Histogram
+	obsStop   func()
 }
 
 // onWire reports whether this rank belongs to a wire-backed job, where
@@ -303,6 +315,53 @@ func newJob(cfg Config) *Job {
 	return j
 }
 
+// initObs attaches this rank to the observability plane: its span ring
+// (nil while tracing is disabled), its latency histograms, and a
+// registry source folding the conduit/aggregation counters into the
+// live metrics surface. Call after the conduit and aggregator exist.
+func (r *Rank) initObs() {
+	r.ring = obs.RingFor(r.id)
+	if r.ring != nil {
+		host := 0
+		if r.nodes != nil && r.id < len(r.nodes) {
+			host = r.nodes[r.id]
+		}
+		r.ring.SetPid(host)
+	}
+	r.rpcRTT = obs.Reg().NewHistogram("upcxx_rpc_rtt_ns", r.id)
+	r.barrierNs = obs.Reg().NewHistogram("upcxx_barrier_ns", r.id)
+	if r.agg != nil {
+		r.agg.SetObs(r.ring, r.id)
+	}
+	if so, ok := r.cd.(interface{ SetObs(*obs.Ring) }); ok {
+		so.SetObs(r.ring)
+	}
+	var removes []func()
+	if cs := r.caps.Counters; cs != nil {
+		removes = append(removes, obs.Reg().AddSource(r.id, func() map[string]int64 {
+			out := map[string]int64{}
+			for k, v := range cs.Counters() {
+				out[k] = int64(v)
+			}
+			return out
+		}))
+	}
+	if a := r.agg; a != nil {
+		removes = append(removes, obs.Reg().AddSource(r.id, func() map[string]int64 {
+			out := map[string]int64{}
+			for k, v := range a.Counters() {
+				out[k] = int64(v)
+			}
+			return out
+		}))
+	}
+	r.obsStop = func() {
+		for _, f := range removes {
+			f()
+		}
+	}
+}
+
 // Run executes main as an SPMD program over cfg.Ranks ranks and returns
 // the job's statistics. It does not return until every rank's main has
 // returned and the runtime has quiesced. A panic on any rank crashes the
@@ -317,8 +376,10 @@ func Run(cfg Config, main func(me *Rank)) Stats {
 		go func(r *Rank) {
 			defer wg.Done()
 			r.gid = goid()
+			r.initObs()
 			main(r)
 			r.quiesce()
+			r.obsStop()
 		}(r)
 	}
 	wg.Wait()
@@ -371,6 +432,7 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 	if bc := r.caps.Batch; bc != nil {
 		r.initAgg(bc, cfg.Agg)
 	}
+	r.initObs()
 	r.installRPC()
 	if cfg.Resilient || cfg.Fault != nil {
 		if rc := r.caps.Resilient; rc != nil {
@@ -409,6 +471,14 @@ func RunWire(cfg Config, cd gasnet.Conduit, seg *segment.Segment, main func(me *
 			st.Counters[k] = v
 		}
 	}
+	// Typed obs metrics (latency histograms and friends) fold into the
+	// same counter map the bench harness emits; sources are excluded —
+	// the conduit and aggregation counters are already merged above
+	// under their unlabeled names.
+	for k, v := range obs.Reg().SnapshotOwn() {
+		st.Counters[k] = float64(v)
+	}
+	r.obsStop()
 	return st
 }
 

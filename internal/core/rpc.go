@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 	"upcxx/internal/rpc"
 )
 
@@ -84,6 +85,9 @@ type pendingCall struct {
 	target  int
 	fs      *finishScope
 	retried bool
+	// t0 is the obs-clock issue time, captured only while tracing is
+	// on; the reply observes the round trip into the rtt histogram.
+	t0 uint64
 }
 
 // installRPC wires the runtime's reserved AM handlers into this rank's
@@ -154,6 +158,9 @@ func (r *Rank) rpcReply(payload []byte) {
 		panic(fmt.Errorf("upcxx: rank %d: task reply for unknown call %d", r.id, callID))
 	}
 	delete(r.calls, callID)
+	if pc.t0 != 0 {
+		r.rpcRTT.Observe(int64(obs.NowNs() - pc.t0))
+	}
 	t := r.Clock()
 	if pc.retried {
 		// Further attempts may still be in flight; their replies must be
@@ -276,6 +283,7 @@ func (r *Rank) execTask(from int, idx uint16, args []byte,
 		}
 	}
 	r.finish = append(r.finish, rec)
+	r.ring.Begin(obs.KRPCExec, int32(from), uint32(len(args)))
 	var reply []byte
 	func() {
 		defer func() {
@@ -287,6 +295,7 @@ func (r *Rank) execTask(from int, idx uint16, args []byte,
 		}()
 		reply = fn(r, from, args)
 	}()
+	r.ring.End(obs.KRPCExec)
 	r.finish = r.finish[:len(r.finish)-1]
 	if onBody != nil {
 		onBody(reply, r.Clock())
@@ -311,6 +320,7 @@ func (r *Rank) wireTask(target int, idx uint16, args []byte,
 		panic(fmt.Errorf("upcxx: rank %d: conduit has no batch plane for task requests: %w",
 			r.id, gasnet.ErrNotWireCapable))
 	}
+	r.ring.Instant(obs.KRPCDispatch, int32(target), uint32(len(args)), uint64(idx))
 	var flags byte
 	var callID uint64
 	if done != nil || fut != nil {
@@ -320,7 +330,11 @@ func (r *Rank) wireTask(target int, idx uint16, args []byte,
 		if r.calls == nil {
 			r.calls = make(map[uint64]*pendingCall)
 		}
-		r.calls[callID] = &pendingCall{fut: fut, done: done, target: target}
+		pc := &pendingCall{fut: fut, done: done, target: target}
+		if r.ring != nil {
+			pc.t0 = obs.NowNs()
+		}
+		r.calls[callID] = pc
 	}
 	var doneID uint64
 	if fs != nil {
@@ -356,12 +370,17 @@ func (r *Rank) wireTaskRetry(target int, idx uint16, args []byte,
 		panic(fmt.Errorf("upcxx: rank %d: conduit has no batch plane for task requests: %w",
 			r.id, gasnet.ErrNotWireCapable))
 	}
+	r.ring.Instant(obs.KRPCDispatch, int32(target), uint32(len(args)), uint64(idx))
 	r.nextCall++
 	callID := r.nextCall
 	if r.calls == nil {
 		r.calls = make(map[uint64]*pendingCall)
 	}
-	r.calls[callID] = &pendingCall{fut: fut, done: done, target: target, fs: fs, retried: true}
+	pc := &pendingCall{fut: fut, done: done, target: target, fs: fs, retried: true}
+	if r.ring != nil {
+		pc.t0 = obs.NowNs()
+	}
+	r.calls[callID] = pc
 	payload := rpc.EncodeRequest(idx, rpc.FlagReply, callID, 0, args)
 	r.sendCallAttempt(callID, target, payload, pol, 1)
 }
@@ -505,6 +524,7 @@ func (r *Rank) launchTaskInProc(from *Rank, target int, arrival float64,
 	onBody func(reply []byte, done float64, tgt *Rank), fs *finishScope) {
 	job := r.job
 	caller := r.id
+	from.ring.Instant(obs.KTaskDispatch, int32(target), uint32(len(args)), uint64(idx))
 	from.ep.SendAt(target, arrival, cfg.payload, func(tep *gasnet.Endpoint) {
 		tgt := job.ranks[tep.Rank]
 		tep.Clock.Advance(job.model.TaskDispatchCost())

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 )
 
 // Teams: first-class rank subsets with team-scoped collectives, the
@@ -241,6 +242,17 @@ func (t *Team) Barrier() {
 	me := t.r
 	me.enter()
 	defer me.exit()
+	var t0 uint64
+	if me.ring != nil {
+		t0 = obs.NowNs()
+		me.ring.Begin(obs.KBarrier, -1, uint32(len(t.members)))
+	}
+	defer func() {
+		if me.ring != nil {
+			me.ring.End(obs.KBarrier)
+			me.barrierNs.Observe(int64(obs.NowNs() - t0))
+		}
+	}()
 	me.aggDrain()
 	if t.isWorld() {
 		me.mustCd(me.cd.Barrier())

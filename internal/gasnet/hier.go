@@ -8,6 +8,7 @@ import (
 	"time"
 	"unsafe"
 
+	"upcxx/internal/obs"
 	"upcxx/internal/transport"
 )
 
@@ -78,6 +79,10 @@ type HierConduit struct {
 	barLocal   map[uint64]int            // leader: local arrivals by key
 	barRelease map[uint64]bool           // member: release flag by key
 	barWire    map[hierBarKey]int        // leader: dissemination tokens by (key, round)
+
+	// ring is this rank's span ring (nil unless tracing is on); SetObs
+	// installs it here and on both legs.
+	ring *obs.Ring
 }
 
 type hierBarKey struct {
@@ -191,6 +196,14 @@ func (h *HierConduit) Capabilities() Caps {
 
 // Nodes returns the launch topology (LocalityConduit).
 func (h *HierConduit) Nodes() []int { return h.nodes }
+
+// SetObs installs the rank's span ring on the composed conduit and
+// both of its legs.
+func (h *HierConduit) SetObs(ring *obs.Ring) {
+	h.ring = ring
+	h.wire.SetObs(ring)
+	h.shm.SetObs(ring)
+}
 
 // colocated returns the shm index of a co-located non-self rank.
 func (h *HierConduit) colocated(rank int) (int, bool) {
@@ -540,8 +553,10 @@ func (h *HierConduit) teamAllGather(key uint64, members []int, contrib []byte) (
 	}
 
 	// Leader: local gather phase.
+	h.ring.Begin(obs.KHierLocal, -1, uint32(len(group)))
 	h.depositLocal(key, h.me, contrib)
 	_ = h.waitFor(func() bool { return len(h.localParts[key]) == len(group) })
+	h.ring.End(obs.KHierLocal)
 	byRank := h.localParts[key]
 	delete(h.localParts, key)
 	var blob []byte
@@ -554,6 +569,7 @@ func (h *HierConduit) teamAllGather(key uint64, members []int, contrib []byte) (
 	}
 
 	// Binomial tree gather among leaders, rooted at leaders[0].
+	h.ring.Begin(obs.KHierLeader, -1, uint32(len(leaders)))
 	li, L := gi, len(leaders)
 	atRoot := true
 	for mask := 1; mask < L; mask <<= 1 {
@@ -605,6 +621,8 @@ func (h *HierConduit) teamAllGather(key uint64, members []int, contrib []byte) (
 		})
 		delete(h.hierTable, key)
 	}
+	h.ring.End(obs.KHierLeader)
+	h.ring.Begin(obs.KHierRel, -1, uint32(len(enc)))
 
 	// Binomial broadcast of the table down the leader tree, then local
 	// distribution. Children descend from the highest offset so the far
@@ -625,6 +643,7 @@ func (h *HierConduit) teamAllGather(key uint64, members []int, contrib []byte) (
 	}
 	// Nothing downstream is guaranteed to block; ship the frames now.
 	h.wire.tep.Flush()
+	h.ring.End(obs.KHierRel)
 	return decodeParts(enc, len(members))
 }
 
@@ -643,11 +662,14 @@ func (h *HierConduit) teamBarrier(key uint64, members []int) error {
 	}
 
 	if len(group) > 1 {
+		h.ring.Begin(obs.KHierLocal, -1, uint32(len(group)))
 		_ = h.waitFor(func() bool { return h.barLocal[key] == len(group)-1 })
+		h.ring.End(obs.KHierLocal)
 		delete(h.barLocal, key)
 	}
 
 	li, L := gi, len(leaders)
+	h.ring.Begin(obs.KHierLeader, -1, uint32(L))
 	for round, dist := 0, 1; dist < L; round, dist = round+1, dist<<1 {
 		to := leaders[(li+dist)%L]
 		var pay [8]byte
@@ -664,10 +686,14 @@ func (h *HierConduit) teamBarrier(key uint64, members []int) error {
 		}
 	}
 
+	h.ring.End(obs.KHierLeader)
+
+	h.ring.Begin(obs.KHierRel, -1, uint32(len(group)-1))
 	for _, m := range group[1:] {
 		h.shm.Send(h.localIdx[m], shmBarRelease, key, nil)
 	}
 	h.wire.tep.Flush()
+	h.ring.End(obs.KHierRel)
 	return nil
 }
 

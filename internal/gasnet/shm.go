@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"unsafe"
+
+	"upcxx/internal/obs"
 )
 
 // ShmConduit is the intra-host communication substrate of the
@@ -63,7 +65,13 @@ type ShmConduit struct {
 	// its cross-host peers.
 	idle func()
 
-	txMsgs, rxMsgs, txBytes, rxBytes int64
+	// Traffic counters: written on the SPMD goroutine, read live by the
+	// debug plane, hence atomics.
+	txMsgs, rxMsgs, txBytes, rxBytes atomic.Int64
+
+	// ring is this rank's span ring (nil unless tracing is on);
+	// installed via SetObs.
+	obsRing *obs.Ring
 }
 
 const (
@@ -296,8 +304,9 @@ func (c *ShmConduit) push(to int, h uint16, arg uint64, p []byte, more bool) {
 	// (Go sync/atomic), so the consumer's tail load orders after our data
 	// writes.
 	atomic.StoreUint64(r.tail(), tail+rec)
-	c.txMsgs++
-	c.txBytes += int64(len(p))
+	c.txMsgs.Add(1)
+	c.txBytes.Add(int64(len(p)))
+	c.obsRing.Instant(obs.KShmTx, int32(to), uint32(len(p)), uint64(h))
 }
 
 // Poll drains every incoming ring, dispatching complete messages, and
@@ -336,8 +345,9 @@ func (c *ShmConduit) Poll() int {
 				payload = append(part, payload...)
 				c.partial[j] = nil
 			}
-			c.rxMsgs++
-			c.rxBytes += int64(len(payload))
+			c.rxMsgs.Add(1)
+			c.rxBytes.Add(int64(len(payload)))
+			c.obsRing.Instant(obs.KShmRx, int32(j), uint32(len(payload)), uint64(h))
 			fn := c.handlers[h]
 			if fn == nil {
 				panic(fmt.Sprintf("gasnet: shm message for unregistered handler %d", h))
@@ -348,13 +358,16 @@ func (c *ShmConduit) Poll() int {
 	return n
 }
 
+// SetObs installs the rank's span ring on the shm send/receive paths.
+func (c *ShmConduit) SetObs(ring *obs.Ring) { c.obsRing = ring }
+
 // Counters reports shm-plane traffic (complete messages, payload bytes).
 func (c *ShmConduit) Counters() map[string]float64 {
 	return map[string]float64{
-		"shm_tx_msgs":  float64(c.txMsgs),
-		"shm_rx_msgs":  float64(c.rxMsgs),
-		"shm_tx_bytes": float64(c.txBytes),
-		"shm_rx_bytes": float64(c.rxBytes),
+		"shm_tx_msgs":  float64(c.txMsgs.Load()),
+		"shm_rx_msgs":  float64(c.rxMsgs.Load()),
+		"shm_tx_bytes": float64(c.txBytes.Load()),
+		"shm_rx_bytes": float64(c.rxBytes.Load()),
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"upcxx/internal/obs"
 	"upcxx/internal/transport"
 )
 
@@ -152,15 +154,21 @@ type WireConduit struct {
 	teamResultFrags map[uint64]*fragBuf         // member: partial tables by key
 
 	// Per-handler traffic counters, indexed by handler. All sends and
-	// all handler dispatches happen on the rank's SPMD goroutine, so
-	// plain integers suffice.
+	// all handler dispatches happen on the rank's SPMD goroutine, but
+	// the live debug plane may pull Counters from another goroutine, so
+	// the maps are fully populated at construction (never grown) and
+	// the stats themselves are atomics.
 	tx, rx map[uint16]*wireStat
+
+	// ring is this rank's span ring (nil unless tracing is enabled);
+	// installed by the layer above via SetObs.
+	ring *obs.Ring
 }
 
 // wireStat counts one direction of one handler's traffic.
 type wireStat struct {
-	frames int64
-	bytes  int64 // payload bytes (the fixed 26-byte frame header is not included)
+	frames atomic.Int64
+	bytes  atomic.Int64 // payload bytes (the fixed 26-byte frame header is not included)
 }
 
 // wireAck is one registered non-blocking reply callback.
@@ -228,6 +236,13 @@ func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
 		tx:              make(map[uint16]*wireStat),
 		rx:              make(map[uint16]*wireStat),
 	}
+	// Populate both counter maps up front for every handler the wire
+	// protocol can carry (1..hHierBar): the debug plane reads them from
+	// another goroutine, so the maps must never grow after this.
+	for h := hReply; h <= hHierBar; h++ {
+		c.tx[h] = &wireStat{}
+		c.rx[h] = &wireStat{}
+	}
 	c.wait = c.tep.WaitFor
 	c.register(hReply, c.onReply)
 	c.register(hGet, c.onGet)
@@ -252,6 +267,7 @@ func NewWireConduit(tep *transport.TCPEndpoint, mem Memory) *WireConduit {
 func (c *WireConduit) register(h uint16, fn transport.Handler) {
 	c.tep.Register(h, func(ep *transport.TCPEndpoint, m transport.Message) {
 		c.count(c.rx, m.Handler, len(m.Payload))
+		c.ring.Instant(obs.KWireRx, m.From, uint32(len(m.Payload)), uint64(m.Handler))
 		if c.lastHeard != nil {
 			c.lastHeard[m.From] = time.Now()
 		}
@@ -262,17 +278,25 @@ func (c *WireConduit) register(h uint16, fn transport.Handler) {
 func (c *WireConduit) count(dir map[uint16]*wireStat, h uint16, bytes int) {
 	s := dir[h]
 	if s == nil {
-		s = &wireStat{}
-		dir[h] = s
+		return // unknown handler: never counted (the maps must not grow)
 	}
-	s.frames++
-	s.bytes += int64(bytes)
+	s.frames.Add(1)
+	s.bytes.Add(int64(bytes))
 }
 
 // send is the counted send path every outgoing frame takes.
 func (c *WireConduit) send(m transport.Message) error {
 	c.count(c.tx, m.Handler, len(m.Payload))
+	c.ring.Instant(obs.KWireTx, m.To, uint32(len(m.Payload)), uint64(m.Handler))
 	return c.tep.Send(m)
+}
+
+// SetObs installs the rank's span ring on the conduit's frame paths.
+// Call before traffic starts; the ring itself is nil-safe, so a
+// conduit without one records nothing.
+func (c *WireConduit) SetObs(ring *obs.Ring) {
+	c.ring = ring
+	c.tep.SetObs(ring)
 }
 
 // Counters reports this conduit's wire traffic as named counters:
@@ -285,10 +309,14 @@ func (c *WireConduit) Counters() map[string]float64 {
 	fold := func(prefix string, dir map[uint16]*wireStat) {
 		var frames, bytes int64
 		for h, s := range dir {
-			frames += s.frames
-			bytes += s.bytes
-			out[prefix+"_frames_"+handlerName(h)] = float64(s.frames)
-			out[prefix+"_bytes_"+handlerName(h)] = float64(s.bytes)
+			f, b := s.frames.Load(), s.bytes.Load()
+			if f == 0 && b == 0 {
+				continue
+			}
+			frames += f
+			bytes += b
+			out[prefix+"_frames_"+handlerName(h)] = float64(f)
+			out[prefix+"_bytes_"+handlerName(h)] = float64(b)
 		}
 		out[prefix+"_frames"] = float64(frames)
 		out[prefix+"_bytes"] = float64(bytes)
@@ -827,6 +855,7 @@ func (c *WireConduit) onTick() {
 		}
 		peer := r
 		c.pingOut[peer] = true
+		c.ring.Instant(obs.KPing, int32(peer), 0, 0)
 		c.nextToken++
 		c.acks[c.nextToken] = &wireAck{to: peer, deadline: now.Add(c.hb.HeartbeatTimeout),
 			fn: func(_ []byte, err error) {
@@ -853,6 +882,8 @@ func (c *WireConduit) markDead(rank int, cause error) {
 	}
 	c.dead[rank] = true
 	c.deadCause[rank] = cause
+	c.ring.Instant(obs.KDeath, int32(rank), 0, 0)
+	obs.Logf(1, c.Rank(), "wire: declaring rank %d dead: %v", rank, cause)
 	// Collect first: the callbacks may register new tokens.
 	var toks []uint64
 	for tok, a := range c.acks {

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The debug plane has two halves. Each child rank process runs a tiny
+// TCP state server (StartStateServer) answering one-line queries —
+// "metrics", "trace", "ranks" — and advertises its address via an
+// .addr file in a directory the launcher owns. The launcher serves
+// HTTP (NewDebugHandler): /debug/metrics, /debug/trace and
+// /debug/ranks fan the query out to every advertised child, merge,
+// and render; /debug/pprof profiles the launcher itself. With no
+// children advertised (in-process runs) the handler falls back to
+// this process's own registry/rings.
+
+// StartStateServer listens on a loopback port, writes the address to
+// dir/debug-rank<R>.addr, and answers state queries until stop is
+// called. R is the lowest world rank hosted by this process.
+func StartStateServer(dir string, rank int) (stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addrPath := filepath.Join(dir, fmt.Sprintf("debug-rank%03d.addr", rank))
+	if err := os.WriteFile(addrPath, []byte(ln.Addr().String()), 0o644); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serveStateConn(c)
+		}
+	}()
+	return func() {
+		ln.Close()
+		os.Remove(addrPath)
+	}, nil
+}
+
+func serveStateConn(c net.Conn) {
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		return
+	}
+	switch strings.TrimSpace(line) {
+	case "metrics":
+		io.WriteString(c, Reg().Prometheus())
+	case "trace":
+		WriteProcessTrace(c)
+	case "ranks":
+		io.WriteString(c, HealthJSON())
+	}
+}
+
+// queryState asks one child state server for a document.
+func queryState(addr, cmd string) ([]byte, error) {
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.WriteString(c, cmd+"\n"); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(c)
+}
+
+// childAddrs lists the advertised child state servers as rank->addr.
+func childAddrs(stateDir string) map[int]string {
+	out := map[int]string{}
+	if stateDir == "" {
+		return out
+	}
+	paths, _ := filepath.Glob(filepath.Join(stateDir, "debug-rank*.addr"))
+	for _, p := range paths {
+		base := filepath.Base(p)
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "debug-rank"), ".addr"))
+		if err != nil {
+			continue
+		}
+		if b, err := os.ReadFile(p); err == nil {
+			out[n] = strings.TrimSpace(string(b))
+		}
+	}
+	return out
+}
+
+func sortedRanks(m map[int]string) []int {
+	rs := make([]int, 0, len(m))
+	for r := range m {
+		rs = append(rs, r)
+	}
+	sort.Ints(rs)
+	return rs
+}
+
+// NewDebugHandler builds the launcher-side debug mux. stateDir is
+// where children advertise their state servers; empty (or no .addr
+// files yet) serves this process's own state.
+func NewDebugHandler(stateDir string) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		addrs := childAddrs(stateDir)
+		if len(addrs) == 0 {
+			io.WriteString(w, Reg().Prometheus())
+			return
+		}
+		for _, r := range sortedRanks(addrs) {
+			body, err := queryState(addrs[r], "metrics")
+			if err != nil {
+				fmt.Fprintf(w, "# rank %d unreachable: %v\n", r, err)
+				continue
+			}
+			w.Write(body)
+		}
+	})
+
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		addrs := childAddrs(stateDir)
+		if len(addrs) == 0 {
+			WriteProcessTrace(w)
+			return
+		}
+		var parts []TraceFile
+		for _, r := range sortedRanks(addrs) {
+			body, err := queryState(addrs[r], "trace")
+			if err != nil {
+				continue
+			}
+			var tf TraceFile
+			if json.Unmarshal(body, &tf) == nil {
+				parts = append(parts, tf)
+			}
+		}
+		merged := mergeTraceFiles(parts)
+		json.NewEncoder(w).Encode(&merged)
+	})
+
+	mux.HandleFunc("/debug/ranks", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		addrs := childAddrs(stateDir)
+		if len(addrs) == 0 {
+			io.WriteString(w, HealthJSON())
+			return
+		}
+		var health []byte
+		reach := map[int]bool{}
+		for _, r := range sortedRanks(addrs) {
+			body, err := queryState(addrs[r], "ranks")
+			reach[r] = err == nil
+			if err == nil && health == nil {
+				health = bytes.TrimSpace(body)
+			}
+		}
+		var b strings.Builder
+		b.WriteString("{\"children\":{")
+		for i, r := range sortedRanks(addrs) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			status := "up"
+			if !reach[r] {
+				status = "unreachable"
+			}
+			fmt.Fprintf(&b, "\"%d\":%q", r, status)
+		}
+		b.WriteString("},\"health\":")
+		if health == nil {
+			health = []byte("null")
+		}
+		b.Write(health)
+		b.WriteString("}")
+		io.WriteString(w, b.String())
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// ServeDebug starts the launcher debug HTTP server on addr and
+// returns the bound address (addr may use port 0) and a stop func.
+func ServeDebug(addr, stateDir string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewDebugHandler(stateDir)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The health table mirrors rank liveness for the debug endpoint. It is
+// deliberately obs-owned state, fed by the conduits' death detection
+// (core.markRankDead / wire heartbeat) rather than read from them, so
+// /debug/ranks never races runtime internals.
+var (
+	healthMu sync.Mutex
+	healthN  int            // world size, 0 = unknown
+	healthD  map[int]string // dead rank -> reason
+)
+
+// InitHealth declares the world size for the liveness table.
+func InitHealth(ranks int) {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	healthN = ranks
+	healthD = map[int]string{}
+}
+
+// MarkDead records a rank as dead with a reason. Idempotent; the first
+// reason wins.
+func MarkDead(rank int, reason string) {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	if healthD == nil {
+		healthD = map[int]string{}
+	}
+	if _, ok := healthD[rank]; !ok {
+		healthD[rank] = reason
+	}
+}
+
+func resetHealth() {
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	healthN = 0
+	healthD = nil
+}
+
+// HealthJSON renders the liveness table as a JSON object:
+// {"ranks":N,"alive":[...],"dead":{"3":"heartbeat timeout"}}.
+func HealthJSON() string {
+	healthMu.Lock()
+	n := healthN
+	dead := make(map[int]string, len(healthD))
+	for r, why := range healthD {
+		dead[r] = why
+	}
+	healthMu.Unlock()
+
+	var alive []int
+	for i := 0; i < n; i++ {
+		if _, d := dead[i]; !d {
+			alive = append(alive, i)
+		}
+	}
+	deadRanks := make([]int, 0, len(dead))
+	for r := range dead {
+		deadRanks = append(deadRanks, r)
+	}
+	sort.Ints(deadRanks)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"ranks\":%d,\"alive\":[", n)
+	for i, r := range alive {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", r)
+	}
+	b.WriteString("],\"dead\":{")
+	for i, r := range deadRanks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%q", fmt.Sprintf("%d", r), dead[r])
+	}
+	b.WriteString("}}")
+	return b.String()
+}

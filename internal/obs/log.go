@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// verbosity is the leveled-logging gate. 0 (default) is silent; 1
+// logs lifecycle events (connects, deaths, flush decisions); 2+ is
+// chatty. Set by upcxx-run's -v flag or the UPCXX_VERBOSE env var.
+var verbosity atomic.Int32
+
+func init() {
+	if s := os.Getenv("UPCXX_VERBOSE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			verbosity.Store(int32(n))
+		}
+	}
+}
+
+// SetVerbosity sets the logging level.
+func SetVerbosity(v int) { verbosity.Store(int32(v)) }
+
+// Verbosity returns the current logging level.
+func Verbosity() int { return int(verbosity.Load()) }
+
+// logOut is swappable for tests asserting silence.
+var logOut atomic.Pointer[os.File]
+
+func logDest() *os.File {
+	if f := logOut.Load(); f != nil {
+		return f
+	}
+	return os.Stderr
+}
+
+// SetLogOutput redirects Logf (tests). Pass nil to restore stderr.
+func SetLogOutput(f *os.File) { logOut.Store(f) }
+
+// Logf writes one rank-prefixed log line if the current verbosity is
+// at least level. The disabled path is one atomic load.
+func Logf(level, rank int, format string, args ...any) {
+	if int(verbosity.Load()) < level {
+		return
+	}
+	fmt.Fprintf(logDest(), "[upcxx %d] %s\n", rank, fmt.Sprintf(format, args...))
+}

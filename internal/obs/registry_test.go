@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCountersAndSnapshot(t *testing.T) {
+	t.Cleanup(Reset)
+	Reg().reset()
+
+	c := Reg().NewCounter("upcxx_rpc_total", 0)
+	c.Add(41)
+	c.Inc()
+	g := Reg().NewGauge("upcxx_pending_ops", 1)
+	g.Set(7)
+	g.Add(-2)
+	h := Reg().NewHistogram("upcxx_rpc_rtt_ns", 0)
+	h.Observe(1)
+	h.Observe(1000)
+	h.Observe(1_000_000)
+	remove := Reg().AddSource(2, func() map[string]int64 {
+		return map[string]int64{"wire_tx_frames": 9}
+	})
+	defer remove()
+
+	snap := Reg().Snapshot()
+	if snap["upcxx_rpc_total{rank=0}"] != 42 {
+		t.Fatalf("counter snapshot = %d, want 42", snap["upcxx_rpc_total{rank=0}"])
+	}
+	if snap["upcxx_pending_ops{rank=1}"] != 5 {
+		t.Fatalf("gauge snapshot = %d, want 5", snap["upcxx_pending_ops{rank=1}"])
+	}
+	if snap["upcxx_rpc_rtt_ns_count{rank=0}"] != 3 || snap["upcxx_rpc_rtt_ns_sum{rank=0}"] != 1_001_001 {
+		t.Fatalf("histogram snapshot wrong: %v", snap)
+	}
+	if snap["wire_tx_frames{rank=2}"] != 9 {
+		t.Fatalf("source snapshot = %d, want 9", snap["wire_tx_frames{rank=2}"])
+	}
+}
+
+func TestRegistryIdempotentCreate(t *testing.T) {
+	t.Cleanup(Reset)
+	Reg().reset()
+	a := Reg().NewCounter("x", 3)
+	b := Reg().NewCounter("x", 3)
+	if a != b {
+		t.Fatal("same name+rank must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter not shared")
+	}
+}
+
+func TestPrometheusRender(t *testing.T) {
+	t.Cleanup(Reset)
+	Reg().reset()
+
+	Reg().NewCounter("upcxx_flushes_total", 0).Add(3)
+	Reg().NewCounter("upcxx_flushes_total", 1).Add(5)
+	h := Reg().NewHistogram("upcxx_flush_bytes", 0)
+	h.Observe(100)
+	h.Observe(5000)
+
+	text := Reg().Prometheus()
+	for _, want := range []string{
+		"# TYPE upcxx_flushes_total counter",
+		`upcxx_flushes_total{rank="0"} 3`,
+		`upcxx_flushes_total{rank="1"} 5`,
+		"# TYPE upcxx_flush_bytes histogram",
+		`upcxx_flush_bytes_bucket{rank="0",le="+Inf"} 2`,
+		`upcxx_flush_bytes_sum{rank="0"} 5100`,
+		`upcxx_flush_bytes_count{rank="0"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	// Rank samples of one family must sort under one TYPE header.
+	if strings.Count(text, "# TYPE upcxx_flushes_total") != 1 {
+		t.Fatalf("duplicate TYPE headers:\n%s", text)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	t.Cleanup(Reset)
+	Reg().reset()
+	h := Reg().NewHistogram("b", 0)
+	// 1 -> bucket 0 (<=1); 2 -> bucket 1 (<=2); 3 -> bucket 2 (<=4).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(0)
+	if got := h.buckets[0].Load(); got != 2 { // 0 and 1
+		t.Fatalf("bucket0 = %d, want 2", got)
+	}
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Fatalf("bucket1 = %d, want 1", got)
+	}
+	if got := h.buckets[2].Load(); got != 1 {
+		t.Fatalf("bucket2 = %d, want 1", got)
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must be inert")
+	}
+}

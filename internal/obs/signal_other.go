@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// InstallTraceSignal is a no-op where SIGUSR1 does not exist.
+func InstallTraceSignal(dir string, rank int) func() { return func() {} }

@@ -1,0 +1,36 @@
+//go:build unix
+
+package obs
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// InstallTraceSignal makes SIGUSR1 dump this process's trace to dir
+// (same file DumpTraceFile writes at exit), so a stuck run can be
+// inspected without killing it. Returns an uninstall func.
+func InstallTraceSignal(dir string, rank int) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				if err := DumpTraceFile(dir, rank); err != nil {
+					Logf(1, rank, "trace dump failed: %v", err)
+				} else {
+					Logf(1, rank, "trace dumped to %s", dir)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestRingTraceEventsPairing(t *testing.T) {
+	withTracing(t)
+	r := NewRing(1, 64)
+	r.SetPid(2)
+	r.Begin(KFinish, -1, 0)
+	r.Begin(KRPCExec, 4, 32)
+	r.Instant(KAggFlush, -1, 512, FlushMaxOps)
+	r.End(KRPCExec)
+	r.End(KFinish)
+	r.Begin(KEvWait, -1, 0) // left open: must be closed at dump time
+
+	evs := RingTraceEvents(r)
+	if len(evs) != 4 {
+		t.Fatalf("got %d trace events, want 4: %+v", len(evs), evs)
+	}
+	byName := map[string]TraceEvent{}
+	for _, e := range evs {
+		byName[e.Name] = e
+		if e.Pid != 2 || e.Tid != 1 {
+			t.Fatalf("bad pid/tid: %+v", e)
+		}
+	}
+	fin, rpc := byName["finish"], byName["rpc.exec"]
+	if fin.Ph != "X" || rpc.Ph != "X" {
+		t.Fatalf("spans must be complete events: %+v %+v", fin, rpc)
+	}
+	if rpc.Ts < fin.Ts || rpc.Ts+rpc.Dur > fin.Ts+fin.Dur+0.002 {
+		t.Fatalf("rpc span not nested in finish span: %+v in %+v", rpc, fin)
+	}
+	if rpc.Args["peer"] != int32(4) || rpc.Args["bytes"] != uint32(32) {
+		t.Fatalf("span args lost: %+v", rpc.Args)
+	}
+	if byName["agg.flush"].Args["reason"] != "MaxOps" {
+		t.Fatalf("flush reason not decoded: %+v", byName["agg.flush"])
+	}
+	if byName["event.wait"].Ph != "X" {
+		t.Fatalf("unclosed begin not closed: %+v", byName["event.wait"])
+	}
+}
+
+func TestOrphanEndDropped(t *testing.T) {
+	withTracing(t)
+	r := NewRing(0, 64)
+	r.End(KRPCExec) // no matching begin (as after wraparound)
+	r.Instant(KPing, 1, 0, 0)
+	evs := RingTraceEvents(r)
+	if len(evs) != 1 || evs[0].Name != "wire.ping" {
+		t.Fatalf("orphan end must be dropped, got %+v", evs)
+	}
+}
+
+func TestDumpMergeValidate(t *testing.T) {
+	withTracing(t)
+	dir := t.TempDir()
+
+	// Two "processes": write two per-rank files with distinct rings.
+	r0 := RingFor(0)
+	r0.Begin(KBarrier, -1, 0)
+	r0.Instant(KWireTx, 1, 64, 2)
+	r0.End(KBarrier)
+	if err := DumpTraceFile(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	Reset()
+	SetTracing(true)
+	r1 := RingFor(1)
+	r1.Instant(KShmRx, 0, 128, 0)
+	r1.Begin(KAggApply, 0, 256)
+	r1.End(KAggApply)
+	if err := DumpTraceFile(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "trace.json")
+	n, err := MergeTraceDir(dir, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("merged %d events, want 4", n)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	if sum.Events != 4 || sum.Tids[0] != 2 || sum.Tids[1] != 2 {
+		t.Fatalf("unexpected summary: %+v", sum)
+	}
+	for _, cat := range []string{"core", "wire", "shm", "agg"} {
+		if sum.Categories[cat] == 0 {
+			t.Fatalf("category %s missing: %+v", cat, sum.Categories)
+		}
+	}
+}
+
+func TestMergeClockAlignment(t *testing.T) {
+	// Two parts whose epochs differ by 1ms: after merging, the later
+	// process's events must shift forward by 1000us.
+	base := time.Now().UnixNano()
+	mk := func(epochNs int64, ts float64) TraceFile {
+		return TraceFile{
+			TraceEvents: []TraceEvent{{Name: "e", Cat: "core", Ph: "i", Ts: ts, Tid: 0}},
+			OtherData:   map[string]string{"epochNs": strconv.FormatInt(epochNs, 10)},
+		}
+	}
+	merged := mergeTraceFiles([]TraceFile{mk(base, 10), mk(base+1_000_000, 10)})
+	if len(merged.TraceEvents) != 2 {
+		t.Fatalf("got %d events", len(merged.TraceEvents))
+	}
+	if merged.TraceEvents[0].Ts != 10 || merged.TraceEvents[1].Ts != 1010 {
+		t.Fatalf("clock alignment wrong: %v %v", merged.TraceEvents[0].Ts, merged.TraceEvents[1].Ts)
+	}
+}
+
+func TestValidateTraceRejectsGarbage(t *testing.T) {
+	if _, err := ValidateTrace([]byte("{not json")); err == nil {
+		t.Fatal("garbage must not validate")
+	}
+	bad, _ := json.Marshal(TraceFile{TraceEvents: []TraceEvent{{Name: "x", Ph: "X", Dur: -1}}})
+	if _, err := ValidateTrace(bad); err == nil {
+		t.Fatal("negative dur must not validate")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"traceEvents":[{"name":"","ph":"i"}]}`)
+	if _, err := ValidateTrace(buf.Bytes()); err == nil {
+		t.Fatal("empty name must not validate")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"upcxx/internal/core"
 	"upcxx/internal/gasnet"
+	"upcxx/internal/obs"
 	"upcxx/internal/segment"
 	"upcxx/internal/transport"
 )
@@ -130,6 +131,7 @@ func RunWireChild(rendezvous string, rank, n, segBytes int, cfg core.Config, mai
 		// program arms them.
 		tep.SetFault(cfg.Fault.ForRank(rank))
 	}
+	obs.Logf(1, rank, "spmd: listening on %s, dialing rendezvous %s", tep.Addr(), rendezvous)
 	addrs, err := DialRendezvous(rendezvous, rank, n, tep.Addr())
 	if err != nil {
 		tep.Close()
@@ -139,6 +141,7 @@ func RunWireChild(rendezvous string, rank, n, segBytes int, cfg core.Config, mai
 		tep.Close()
 		return core.Stats{}, err
 	}
+	obs.Logf(1, rank, "spmd: mesh connected (%d ranks)", n)
 	seg := segment.New(segBytes)
 	cd := gasnet.NewWireConduit(tep, seg)
 	defer cd.Close()

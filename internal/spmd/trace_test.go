@@ -1,0 +1,102 @@
+package spmd
+
+// Golden test for the observability plane: a 2-rank wire job with
+// tracing on must produce a merged Chrome trace_event file that parses,
+// validates (known phases, non-negative durations, per-tid monotone
+// timestamps), and carries spans from several runtime subsystems on
+// both ranks' timelines.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"upcxx/internal/core"
+	"upcxx/internal/obs"
+	"upcxx/internal/rpc"
+)
+
+func TestWireLocalGoldenTrace(t *testing.T) {
+	obs.Reset()
+	obs.SetTracing(true)
+	t.Cleanup(func() {
+		obs.SetTracing(false)
+		obs.Reset()
+	})
+
+	// A small workload that crosses subsystems: registered-task RPC
+	// (core + wire frames), a distributed Finish, and barriers.
+	_, err := RunWireLocal(2, 1<<17, core.Config{}, func(me *core.Rank) {
+		core.Finish(me, func() {
+			f := core.AsyncTaskFuture(me, 1-me.ID(), twEcho, rpc.U64s(40))
+			f.Wait()
+		})
+		me.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both goroutine ranks live in this one process, so one process
+	// dump carries both rings; the merger then produces trace.json.
+	dir := t.TempDir()
+	if err := obs.DumpTraceFile(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "trace.json")
+	n, err := obs.MergeTraceDir(dir, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("merged trace has no events")
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("merged trace does not validate: %v", err)
+	}
+	if sum.Events != n {
+		t.Errorf("validator saw %d events, merger wrote %d", sum.Events, n)
+	}
+	for _, tid := range []int{0, 1} {
+		if sum.Tids[tid] == 0 {
+			t.Errorf("no events on rank %d's timeline; tids = %v", tid, sum.Tids)
+		}
+	}
+	for _, cat := range []string{"core", "wire", "net"} {
+		if sum.Categories[cat] == 0 {
+			t.Errorf("no %q-subsystem events in trace; categories = %v", cat, sum.Categories)
+		}
+	}
+
+	// Every complete span must have begun and ended on the same
+	// timeline: re-parse and check X events carry a tid the summary
+	// knows and durations fit inside the trace extent.
+	var tf obs.TraceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	var maxTs float64
+	for _, e := range tf.TraceEvents {
+		if e.Ts+e.Dur > maxTs {
+			maxTs = e.Ts + e.Dur
+		}
+	}
+	for _, e := range tf.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if sum.Tids[e.Tid] == 0 {
+			t.Fatalf("span %q on unknown tid %d", e.Name, e.Tid)
+		}
+		if e.Ts+e.Dur > maxTs {
+			t.Fatalf("span %q [%f +%f] extends past the trace extent %f", e.Name, e.Ts, e.Dur, maxTs)
+		}
+	}
+}

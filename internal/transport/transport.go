@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"upcxx/internal/fault"
+	"upcxx/internal/obs"
 )
 
 // Message is one framed active message.
@@ -120,7 +121,15 @@ type TCPEndpoint struct {
 	tickEvery time.Duration
 	tick      func()
 	lastTick  time.Time
+
+	// ring is this rank's span ring (nil unless tracing is on);
+	// installed by the conduit via SetObs.
+	ring *obs.Ring
 }
+
+// SetObs installs the rank's span ring on the endpoint's flush and
+// blocking-wait paths.
+func (ep *TCPEndpoint) SetObs(ring *obs.Ring) { ep.ring = ring }
 
 // SetFault installs a fault injector consulted on every outgoing remote
 // frame. A nil injector (the default) costs one predictable branch.
@@ -197,6 +206,7 @@ func (ep *TCPEndpoint) markPeerDown(peer int32, cause error) {
 	ep.failMu.Lock()
 	ep.downCause[peer] = cause
 	ep.failMu.Unlock()
+	obs.Logf(1, int(ep.rank), "transport: peer %d down: %v", peer, cause)
 	ep.mu.Lock()
 	if c := ep.conns[peer]; c != nil {
 		c.Close()
@@ -541,12 +551,19 @@ func (ep *TCPEndpoint) Flush() { ep.flushOut() }
 // authority on peer loss.
 func (ep *TCPEndpoint) flushOut() {
 	ep.mu.Lock()
+	buffered := 0
 	for _, w := range ep.outs {
 		if w != nil {
+			if ep.ring != nil {
+				buffered += w.Buffered()
+			}
 			_ = w.Flush()
 		}
 	}
 	ep.mu.Unlock()
+	if buffered > 0 {
+		ep.ring.Instant(obs.KNetFlush, -1, uint32(buffered), 0)
+	}
 }
 
 // Poll dispatches queued messages to their handlers without blocking and
@@ -571,6 +588,10 @@ func (ep *TCPEndpoint) Poll() int {
 // frames are flushed whenever the wait is about to block, so a peer
 // can never be left waiting on a frame parked in our write buffer.
 func (ep *TCPEndpoint) WaitFor(pred func() bool) error {
+	if !pred() && ep.ring != nil {
+		ep.ring.Begin(obs.KNetWait, -1, 0)
+		defer ep.ring.End(obs.KNetWait)
+	}
 	for !pred() {
 		select {
 		case m := <-ep.inbox:
