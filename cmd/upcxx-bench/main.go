@@ -22,7 +22,8 @@
 //
 // Experiments: fig4, tableiv (alias tab4), fig5, fig6, fig7, fig8,
 // dhtbench (alias dht), collbench (alias coll), rpcbench (alias rpc),
-// futbench (alias fut), all — run -list for descriptions.
+// futbench (alias fut), loadcurve (alias load), all — run -list for
+// descriptions.
 package main
 
 import (

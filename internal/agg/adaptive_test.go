@@ -1,0 +1,220 @@
+package agg
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// sink is a Flusher that discards batches and acks immediately — the
+// controller tests care about flush shapes, not applied state.
+func sink() Flusher {
+	return func(dst int, batch []byte, ops int, done func()) { done() }
+}
+
+// trickle drives one op into dst and immediately ages it out via an
+// injected clock: with the budget above 1 every flush the controller
+// sees is age-triggered with occupancy 1 (at the floor the op
+// size-flushes at issue instead, which the raise's rate gate
+// recognizes as trickle by its inter-flush spacing).
+func trickle(a *Aggregator, now *time.Time, dst, n int) {
+	for i := 0; i < n; i++ {
+		a.Xor64(dst, uint64(i*8), 1, nil)
+		// The age bound never exceeds 8x the configured MaxAge, so
+		// advancing by 16x always crosses it.
+		*now = now.Add(DefaultMaxAge * 16)
+		a.Tick()
+	}
+}
+
+func TestAdaptiveBulkGrowsBudgetToCap(t *testing.T) {
+	a := New(2, Config{Adaptive: true}, sink())
+	mo0, age0 := a.Tuning(1)
+	if mo0 != DefaultMaxOps || age0 != DefaultMaxAge {
+		t.Fatalf("initial tuning = (%d, %v), want configured (%d, %v)", mo0, age0, DefaultMaxOps, DefaultMaxAge)
+	}
+	// Saturating load: every flush is size-triggered, so each window
+	// raises the budget additively until it pins at the cap.
+	for i := 0; a.maxOpsFor(1) < adaptMaxOps && i < 3_000_000; i++ {
+		a.Xor64(1, uint64(i*8), 1, nil)
+	}
+	mo, age := a.Tuning(1)
+	if mo != adaptMaxOps {
+		t.Fatalf("bulk load converged to MaxOps %d, want cap %d", mo, adaptMaxOps)
+	}
+	if age <= DefaultMaxAge {
+		t.Errorf("bulk load left MaxAge at %v, want relaxed above %v", age, DefaultMaxAge)
+	}
+	if age > DefaultMaxAge*8 {
+		t.Errorf("MaxAge %v exceeds the 8x bound", age)
+	}
+	if c := a.Counters(); c["agg_adaptive_raises"] == 0 || c["agg_adaptive_cuts"] != 0 {
+		t.Errorf("counters = raises %v cuts %v, want raises>0 cuts==0",
+			c["agg_adaptive_raises"], c["agg_adaptive_cuts"])
+	}
+	// The untouched destination keeps its seed tuning: control is
+	// per-destination.
+	if mo, _ := a.Tuning(0); mo != DefaultMaxOps {
+		t.Errorf("idle destination tuning drifted to %d", mo)
+	}
+}
+
+func TestAdaptiveTrickleShrinksToOne(t *testing.T) {
+	a := New(1, Config{Adaptive: true}, sink())
+	now := time.Unix(0, 0)
+	a.now = func() time.Time { return now }
+
+	// Age-triggered flushes at occupancy 1 halve the budget per window
+	// (64 -> 32 -> ... -> 1 in 6 windows). At the floor each single op
+	// fills the 1-op budget and reads as a size flush, but the raise's
+	// rate gate sees the window's flushes spaced far beyond the age
+	// bound and holds: the floor is sticky under a steady trickle —
+	// no latency-spiking probe sawtooth.
+	reached1 := false
+	probeCeil := 0
+	for i := 0; i < adaptWindow*40; i++ {
+		trickle(a, &now, 0, 1)
+		mo, _ := a.Tuning(0)
+		if mo == 1 {
+			reached1 = true
+		}
+		if reached1 && mo > probeCeil {
+			probeCeil = mo
+		}
+	}
+	if !reached1 {
+		mo, _ := a.Tuning(0)
+		t.Fatalf("trickle never converged to MaxOps 1 (at %d)", mo)
+	}
+	if probeCeil != 1 {
+		t.Errorf("budget rebounded to %d from the floor; the rate gate should hold a steady trickle at 1", probeCeil)
+	}
+	if _, age := a.Tuning(0); age >= DefaultMaxAge {
+		t.Errorf("trickle MaxAge = %v, want tightened below the configured %v", age, DefaultMaxAge)
+	}
+	if c := a.Counters(); c["agg_adaptive_cuts"] == 0 {
+		t.Errorf("no cuts recorded for a pure trickle: %v", c)
+	}
+}
+
+func TestAdaptiveBurstyReconverges(t *testing.T) {
+	a := New(1, Config{Adaptive: true}, sink())
+	now := time.Unix(0, 0)
+	a.now = func() time.Time { return now }
+
+	// Phase 1: trickle collapses the budget (stop at the moment it
+	// touches the floor; the sawtooth would otherwise probe back up).
+	for i := 0; ; i++ {
+		if mo, _ := a.Tuning(0); mo == 1 {
+			break
+		}
+		if i > adaptWindow*100 {
+			mo, _ := a.Tuning(0)
+			t.Fatalf("trickle phase never reached MaxOps 1 (at %d)", mo)
+		}
+		trickle(a, &now, 0, 1)
+	}
+	// Phase 2: sustained bulk re-grows it past the configured seed.
+	for i := 0; a.maxOpsFor(0) < DefaultMaxOps*2 && i < 3_000_000; i++ {
+		a.Xor64(0, uint64(i*8), 1, nil)
+	}
+	if mo, _ := a.Tuning(0); mo < DefaultMaxOps*2 {
+		t.Fatalf("bulk burst re-converged only to MaxOps %d, want >= %d", mo, DefaultMaxOps*2)
+	}
+	c := a.Counters()
+	if c["agg_adaptive_raises"] == 0 || c["agg_adaptive_cuts"] == 0 {
+		t.Errorf("bursty load should record both raises and cuts: %v", c)
+	}
+}
+
+func TestAdaptiveMixedWindowHoldsSteady(t *testing.T) {
+	a := New(1, Config{Adaptive: true}, sink())
+	now := time.Unix(0, 0)
+	a.now = func() time.Time { return now }
+
+	// Alternate size- and age-triggered flushes: neither reaches the
+	// 3/4 dominance bound, so windows classify as mixed and the knobs
+	// hold.
+	for w := 0; w < 4; w++ {
+		for i := 0; i < adaptWindow/2; i++ {
+			for j := 0; j < DefaultMaxOps; j++ { // one full batch -> size flush
+				a.Xor64(0, uint64(j*8), 1, nil)
+			}
+			trickle(a, &now, 0, 1) // one age flush
+		}
+	}
+	mo, age := a.Tuning(0)
+	if mo != DefaultMaxOps || age != DefaultMaxAge {
+		t.Errorf("mixed load moved tuning to (%d, %v), want seed (%d, %v)",
+			mo, age, DefaultMaxOps, DefaultMaxAge)
+	}
+}
+
+func TestAdaptiveFullAgeFlushKeepsBudget(t *testing.T) {
+	a := New(1, Config{Adaptive: true}, sink())
+	now := time.Unix(0, 0)
+	a.now = func() time.Time { return now }
+
+	// Age flushes at high occupancy (budget-1 ops buffered when the
+	// age bound hits) mean the budget fits the load and only the age
+	// bound is slightly tight: MaxOps must hold while MaxAge tightens.
+	for i := 0; i < adaptWindow*2; i++ {
+		for j := 0; j < DefaultMaxOps-1; j++ {
+			a.Xor64(0, uint64(j*8), 1, nil)
+		}
+		now = now.Add(DefaultMaxAge * 16)
+		if a.Tick() != 1 {
+			t.Fatal("full batch did not age-flush")
+		}
+	}
+	mo, age := a.Tuning(0)
+	if mo != DefaultMaxOps {
+		t.Errorf("high-occupancy age flushes cut MaxOps to %d, want %d held", mo, DefaultMaxOps)
+	}
+	if age >= DefaultMaxAge {
+		t.Errorf("MaxAge = %v, want tightened below %v", age, DefaultMaxAge)
+	}
+}
+
+// TestAdaptiveConcurrentReaders is the race-mode soak: the SPMD
+// goroutine drives ops, ticks and flushes while observers pull
+// Counters and Tuning live, the way the debug endpoint does. Run with
+// -race this checks every knob and counter crossing goroutines is an
+// atomic.
+func TestAdaptiveConcurrentReaders(t *testing.T) {
+	a := New(4, Config{Adaptive: true, MaxAge: 50 * time.Microsecond}, sink())
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = a.Counters()
+				for dst := 0; dst < 4; dst++ {
+					_, _ = a.Tuning(dst)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200_000; i++ {
+		a.Xor64(i%4, uint64(i*8), 1, nil)
+		if i%97 == 0 {
+			a.Tick()
+		}
+		if i%5001 == 0 {
+			a.FlushAll()
+		}
+	}
+	close(done)
+	wg.Wait()
+	a.FlushAll() // agg_ops counts shipped ops; drain the open batches
+	if got := a.Counters()["agg_ops"]; got != 200_000 {
+		t.Fatalf("agg_ops = %v, want 200000", got)
+	}
+}

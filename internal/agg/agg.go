@@ -24,7 +24,10 @@
 // waits flush). Operations to one destination are applied in the order
 // they were buffered; no order holds across destinations, and none
 // holds against unaggregated operations unless the caller flushes
-// first.
+// first. With Config.Adaptive the MaxOps/MaxAge thresholds become
+// per-destination operating points steered by an AIMD controller fed
+// from the flush-reason mix (see Config.Adaptive and the controller
+// law at adaptWindow).
 //
 // An Aggregator is confined to its rank's SPMD goroutine, like the
 // conduit it feeds; it performs no internal locking.
@@ -36,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"upcxx/internal/frames"
 	"upcxx/internal/obs"
 )
 
@@ -80,6 +84,18 @@ type Config struct {
 	// MaxAge flushes a destination at the next Tick once its oldest
 	// buffered op has waited this long.
 	MaxAge time.Duration
+	// Adaptive replaces the static MaxOps/MaxAge thresholds with a
+	// per-destination AIMD controller seeded from them: destinations
+	// whose batches fill before they age out grow their op budget
+	// (additively, toward adaptMaxOps) and relax their age bound;
+	// destinations whose batches age out near-empty shed budget
+	// (multiplicatively, toward 1 op) and tighten it — so bulk flows
+	// converge to deep batches and latency-sensitive trickles to
+	// immediate sends, per destination, with no retuning by the
+	// caller. MaxBytes stays a static bound either way. The realized
+	// per-destination knobs surface through Tuning and the
+	// agg_adaptive_* / agg_maxops_avg / agg_maxage_us_avg counters.
+	Adaptive bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,8 +114,61 @@ func (c Config) withDefaults() Config {
 // Flusher ships one encoded batch of ops operations to rank dst and
 // invokes done exactly once when the destination has applied every
 // operation in the batch (on the wire: when the batch ack returns).
-// The batch slice is owned by the Flusher from the call on.
+// The batch slice is owned by the Flusher from the call on; it comes
+// from the frames pool, and the Flusher (or the layer it hands the
+// batch to — the wire conduit's SendBatch recycles after the writev)
+// must route it to frames.Put once the bytes are on the wire.
 type Flusher func(dst int, batch []byte, ops int, done func())
+
+// Adaptive controller law. The controller watches a window of
+// adaptWindow threshold-triggered flushes per destination and
+// classifies the load by which trigger dominated (explicit and barrier
+// flushes say nothing about load shape and are not counted):
+//
+//   - size-dominated (≥3/4 of the window hit MaxOps/MaxBytes): bulk
+//     flow. Additive increase — the op budget grows by adaptStep up to
+//     adaptMaxOps, and the age bound relaxes ×5/4 (capped at 8× the
+//     configured MaxAge) so deep batches are not cut short. The raise
+//     is rate-gated: at a small budget a trickle also reads as size
+//     flushes (a single op fills a 1-op batch), so the controller
+//     raises only when the window's flushes arrived faster than the
+//     age bound on average — if ops trickle in slower than MaxAge, a
+//     deeper batch cannot coalesce them and would only park each op
+//     for the full age bound again. The gate is what lets the budget
+//     *stay* at the floor under a steady trickle instead of probing
+//     a latency-spiking sawtooth.
+//   - age-dominated (≥3/4 hit MaxAge): trickle. Multiplicative
+//     decrease — the op budget halves toward 1 *if* batches were also
+//     running near-empty (occupancy under half the budget; an age
+//     flush of a nearly full batch means the budget is fine and only
+//     the age bound is slightly tight), and the age bound tightens
+//     ×4/5 (floored at 1/8 of the configured MaxAge) so a trickle's
+//     ops stop paying the full worst-case latency.
+//   - mixed: no change.
+//
+// The window then resets. AIMD gives the usual sawtooth convergence:
+// sustained bulk load climbs to deep batches, a shift to latency-
+// sensitive traffic collapses the budget within a few windows.
+const (
+	adaptWindow = 16
+	adaptStep   = 8
+	adaptMaxOps = 1024
+)
+
+// destCtl is one destination's adaptive controller: the realized
+// knobs, plus the flush-classification window. The knobs are atomics
+// because Counters and Tuning read them from other goroutines (the
+// debug endpoint, tests) while the SPMD goroutine retunes; the window
+// fields are touched only on the flush path and need no
+// synchronization.
+type destCtl struct {
+	maxOps   atomic.Int64
+	maxAge   atomic.Int64 // nanoseconds
+	sizeFl   int          // size-triggered flushes in the current window
+	ageFl    int          // age-triggered flushes in the current window
+	opsSum   int          // total ops across the window's flushes
+	winStart time.Time    // when the current window's first flush landed
+}
 
 // Applier executes decoded batch operations against the receiving
 // rank's state: puts and xors against its registered segment, AMs
@@ -125,8 +194,9 @@ type Aggregator struct {
 	cfg      Config
 	flush    Flusher
 	bufs     []destBuf
-	buffered int // ops across all open batches (so the empty case is O(1))
-	inflight int // ops shipped but not yet acknowledged
+	ctls     []destCtl // per-destination controllers; nil unless cfg.Adaptive
+	buffered int       // ops across all open batches (so the empty case is O(1))
+	inflight int       // ops shipped but not yet acknowledged
 
 	now func() time.Time // injectable clock for tests
 
@@ -145,17 +215,52 @@ type Aggregator struct {
 	// byReason counts flushes per trigger, indexed by the obs.Flush*
 	// reason codes.
 	byReason [obs.FlushBarrier + 1]atomic.Int64
+	// Adaptive-controller decisions across all destinations.
+	raises atomic.Int64
+	cuts   atomic.Int64
 }
 
 // New builds an aggregator over ranks destinations shipping through
 // flush.
 func New(ranks int, cfg Config, flush Flusher) *Aggregator {
-	return &Aggregator{
+	a := &Aggregator{
 		cfg:   cfg.withDefaults(),
 		flush: flush,
 		bufs:  make([]destBuf, ranks),
 		now:   time.Now,
 	}
+	if a.cfg.Adaptive {
+		a.ctls = make([]destCtl, ranks)
+		for i := range a.ctls {
+			a.ctls[i].maxOps.Store(int64(a.cfg.MaxOps))
+			a.ctls[i].maxAge.Store(int64(a.cfg.MaxAge))
+		}
+	}
+	return a
+}
+
+// maxOpsFor is the realized op budget for dst: the controller's when
+// adaptive, the configured threshold otherwise.
+func (a *Aggregator) maxOpsFor(dst int) int {
+	if a.ctls == nil {
+		return a.cfg.MaxOps
+	}
+	return int(a.ctls[dst].maxOps.Load())
+}
+
+// maxAgeFor is the realized age bound for dst.
+func (a *Aggregator) maxAgeFor(dst int) time.Duration {
+	if a.ctls == nil {
+		return a.cfg.MaxAge
+	}
+	return time.Duration(a.ctls[dst].maxAge.Load())
+}
+
+// Tuning reports the realized flush knobs for dst — the controller's
+// current operating point when adaptive, the static configuration
+// otherwise. Safe to call from any goroutine.
+func (a *Aggregator) Tuning(dst int) (maxOps int, maxAge time.Duration) {
+	return a.maxOpsFor(dst), a.maxAgeFor(dst)
 }
 
 // SetObs attaches the aggregator to the observability plane: the
@@ -174,6 +279,16 @@ func (a *Aggregator) room(dst, need int) *destBuf {
 	if b.ops > 0 && len(b.buf)+need > a.cfg.MaxBytes {
 		a.flushReason(dst, obs.FlushMaxBytes)
 	}
+	if b.buf == nil {
+		// Pooled encoder buffer, sized so the common batch never
+		// regrows (MaxBytes is its flush bound); a single oversized op
+		// gets an exact-size buffer instead of append-doubling into it.
+		n := a.cfg.MaxBytes
+		if need > n {
+			n = need
+		}
+		b.buf = frames.Get(n)[:0]
+	}
 	return b
 }
 
@@ -187,7 +302,7 @@ func (a *Aggregator) noteOp(dst int, b *destBuf, done func()) {
 	a.buffered++
 	b.dones = append(b.dones, done)
 	a.ring.Instant(obs.KAggOp, int32(dst), uint32(len(b.buf)), 0)
-	if b.ops >= a.cfg.MaxOps {
+	if b.ops >= a.maxOpsFor(dst) {
 		a.flushReason(dst, obs.FlushMaxOps)
 	} else if len(b.buf) >= a.cfg.MaxBytes {
 		a.flushReason(dst, obs.FlushMaxBytes)
@@ -263,6 +378,9 @@ func (a *Aggregator) flushReason(dst int, reason uint64) {
 	}
 	a.ring.Instant(obs.KAggFlush, int32(dst), uint32(len(batch)), reason)
 	a.flushBytes.Observe(int64(len(batch)))
+	if a.ctls != nil {
+		a.adapt(dst, reason, ops)
+	}
 
 	a.flush(dst, batch, ops, func() {
 		a.inflight -= ops
@@ -272,6 +390,56 @@ func (a *Aggregator) flushReason(dst int, reason uint64) {
 			}
 		}
 	})
+}
+
+// adapt feeds one threshold-triggered flush into dst's controller and
+// retunes the knobs when the classification window fills. See the law
+// above the adaptWindow constants.
+func (a *Aggregator) adapt(dst int, reason uint64, ops int) {
+	c := &a.ctls[dst]
+	switch reason {
+	case obs.FlushMaxOps, obs.FlushMaxBytes:
+		c.sizeFl++
+	case obs.FlushMaxAge:
+		c.ageFl++
+	default:
+		// Explicit and barrier flushes are caller-driven; they carry
+		// no signal about whether the thresholds fit the load.
+		return
+	}
+	if c.sizeFl+c.ageFl == 1 {
+		c.winStart = a.now()
+	}
+	c.opsSum += ops
+	n := c.sizeFl + c.ageFl
+	if n < adaptWindow {
+		return
+	}
+	const dominant = adaptWindow * 3 / 4
+	mo := c.maxOps.Load()
+	ma := c.maxAge.Load()
+	switch {
+	case c.sizeFl >= dominant:
+		// Rate gate (see the law above): only raise when this window's
+		// flushes averaged less than one age bound apart — flushes
+		// spaced wider are a trickle wearing a too-small budget, and a
+		// deeper batch would park ops without coalescing anything.
+		if a.now().Sub(c.winStart) >= time.Duration(ma)*adaptWindow {
+			break
+		}
+		mo = min(adaptMaxOps, mo+adaptStep)
+		ma = min(int64(a.cfg.MaxAge)*8, ma*5/4)
+		a.raises.Add(1)
+	case c.ageFl >= dominant:
+		if int64(c.opsSum/n) <= mo/2 {
+			mo = max(1, mo/2)
+		}
+		ma = max(int64(a.cfg.MaxAge)/8, ma*4/5)
+		a.cuts.Add(1)
+	}
+	c.maxOps.Store(mo)
+	c.maxAge.Store(ma)
+	c.sizeFl, c.ageFl, c.opsSum = 0, 0, 0
 }
 
 // FlushAll ships every open batch. O(1) when nothing is buffered, so
@@ -300,10 +468,10 @@ func (a *Aggregator) Tick() int {
 	if a.buffered == 0 {
 		return 0
 	}
-	cutoff := a.now().Add(-a.cfg.MaxAge)
+	now := a.now()
 	n := 0
 	for dst := range a.bufs {
-		if b := &a.bufs[dst]; b.ops > 0 && !b.oldest.After(cutoff) {
+		if b := &a.bufs[dst]; b.ops > 0 && now.Sub(b.oldest) >= a.maxAgeFor(dst) {
 			a.flushReason(dst, obs.FlushMaxAge)
 			n++
 		}
@@ -338,6 +506,18 @@ func (a *Aggregator) Counters() map[string]float64 {
 	}
 	if batches > 0 {
 		c["agg_ops_per_batch"] = float64(ops) / float64(batches)
+	}
+	if a.ctls != nil {
+		c["agg_adaptive_raises"] = float64(a.raises.Load())
+		c["agg_adaptive_cuts"] = float64(a.cuts.Load())
+		var mo, ma float64
+		for i := range a.ctls {
+			mo += float64(a.ctls[i].maxOps.Load())
+			ma += float64(a.ctls[i].maxAge.Load())
+		}
+		n := float64(len(a.ctls))
+		c["agg_maxops_avg"] = mo / n
+		c["agg_maxage_us_avg"] = ma / n / 1e3
 	}
 	return c
 }

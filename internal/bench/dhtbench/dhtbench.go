@@ -10,6 +10,7 @@ package dhtbench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -28,6 +29,11 @@ type Params struct {
 	// or the baseline (MaxOps = 1: every insert ships as its own
 	// single-op frame pair).
 	Aggregate bool
+	// Adaptive additionally enables the aggregator's per-destination
+	// AIMD controller (agg.Config.Adaptive) on the aggregated
+	// configuration; under this bench's bulk load it grows the batch
+	// budget past the static default, cutting frames per op further.
+	Adaptive bool
 	// Repeats runs the whole job this many times and reports the
 	// fastest insert phase (default 3) — best-of-N suppresses the
 	// scheduler-stall noise a single wall-clock measurement on a
@@ -46,6 +52,7 @@ type Result struct {
 	InsertsPerSec   float64
 	WireFrames      float64 // total frames sent across ranks, whole run
 	FramesPerInsert float64
+	AllocsPerInsert float64 // process-wide heap allocations per insert (pool efficacy)
 	OpsPerBatch     float64 // realized aggregation ratio (0 when off)
 	Checksum        uint64  // verified table checksum (backend-independent)
 }
@@ -58,6 +65,7 @@ func (r Result) Counters() map[string]float64 {
 		"inserts_per_sec":   r.InsertsPerSec,
 		"wire_tx_frames":    r.WireFrames,
 		"frames_per_insert": r.FramesPerInsert,
+		"allocs_per_insert": r.AllocsPerInsert,
 		"agg_ops_per_batch": r.OpsPerBatch,
 	}
 }
@@ -87,16 +95,30 @@ func runOnce(p Params) Result {
 	cfg := core.Config{}
 	if !p.Aggregate {
 		cfg.Agg = agg.Config{MaxOps: 1}
+	} else if p.Adaptive {
+		cfg.Agg = agg.Config{Adaptive: true}
 	}
 	var (
 		mu       sync.Mutex
 		insertNs time.Duration
 		sum      uint64
+		mallocs  uint64
 	)
 	segBytes := dht.SegBytes(dht.DefaultCapacity(p.InsertsPerRank))
 	stats, err := spmd.RunWireLocal(p.Ranks, segBytes, cfg, func(me *core.Rank) {
 		tbl := dht.New(me, dht.DefaultCapacity(p.InsertsPerRank))
 		me.Barrier()
+		// Rank 0 brackets the insert phase with the process-global
+		// malloc counter: every rank runs the same phase between the
+		// same barriers, so the delta is the whole job's insert-phase
+		// allocation count — the pooled-frames win made measurable.
+		var ms runtime.MemStats
+		if me.ID() == 0 {
+			runtime.ReadMemStats(&ms)
+			mu.Lock()
+			mallocs = ms.Mallocs
+			mu.Unlock()
+		}
 		t0 := time.Now()
 		for i := 0; i < p.InsertsPerRank; i++ {
 			k := key(me.ID(), i)
@@ -104,6 +126,12 @@ func runOnce(p Params) Result {
 		}
 		me.Barrier() // drains every in-flight insert
 		dt := time.Since(t0)
+		if me.ID() == 0 {
+			runtime.ReadMemStats(&ms)
+			mu.Lock()
+			mallocs = ms.Mallocs - mallocs
+			mu.Unlock()
+		}
 		s := tbl.Checksum(me)
 		mu.Lock()
 		if dt > insertNs {
@@ -148,6 +176,7 @@ func runOnce(p Params) Result {
 	}
 	if r.Inserts > 0 {
 		r.FramesPerInsert = r.WireFrames / float64(r.Inserts)
+		r.AllocsPerInsert = float64(mallocs) / float64(r.Inserts)
 	}
 	if p.Aggregate && batches > 0 {
 		r.OpsPerBatch = ops / batches

@@ -5,6 +5,7 @@ import (
 	"upcxx/internal/bench/dhtbench"
 	"upcxx/internal/bench/futbench"
 	"upcxx/internal/bench/gups"
+	"upcxx/internal/bench/loadcurve"
 	"upcxx/internal/bench/lulesh"
 	"upcxx/internal/bench/raytrace"
 	"upcxx/internal/bench/rpcbench"
@@ -139,6 +140,7 @@ func DHTBench(o Options) Result {
 		r, wall := timed(func() dhtbench.Result {
 			return dhtbench.Run(dhtbench.Params{
 				Ranks: p, InsertsPerRank: inserts, Aggregate: aggregate,
+				Adaptive: aggregate, // agg-on rides the AIMD controller
 			})
 		})
 		return Point{Ranks: p, Value: r.InsertsPerSec,
@@ -234,6 +236,7 @@ func RPCBench(o Options) Result {
 		r, wall := timed(func() rpcbench.Result {
 			return rpcbench.Run(rpcbench.Params{
 				Ranks: p, RPCsPerRank: rpcs, Aggregate: aggregate,
+				Adaptive: aggregate, // batched rides the AIMD controller
 			})
 		})
 		return Point{Ranks: p, Value: r.RPCsPerSec,
@@ -287,6 +290,64 @@ func FutBench(o Options) Result {
 	for _, p := range ranks {
 		res.Series[0].Points = append(res.Series[0].Points, run(p, true))
 		res.Series[1].Points = append(res.Series[1].Points, run(p, false))
+	}
+	return res
+}
+
+// LoadCurve traces the aggregation layer's latency-vs-throughput
+// trade-off over the wire conduit: rank 0 paces aggregated active
+// messages toward rank 1 at a swept offered rate and rank 1 samples
+// issue-to-apply latency in the handler (see internal/bench/loadcurve),
+// with static flush thresholds vs the adaptive AIMD controller as the
+// two series. The headline value is the p50 one-way latency at each
+// offered rate; achieved rate, p99 and realized batch occupancy ride
+// along as counters. Wall-clock, like DHTBench, and gated with the
+// same wide tolerance.
+func LoadCurve(o Options) Result {
+	res := Result{
+		ID: "loadcurve", PaperRef: "§IV (beyond the paper)",
+		Title:  "Aggregation latency vs offered load, adaptive vs static (p50 usec)",
+		Metric: "latency", Unit: "usec",
+		Quick:   o.Quick,
+		Profile: sim.NewProfile(sim.Local, sim.SWUPCXX),
+		Series: []Series{
+			{Name: "adaptive", System: "upcxx"},
+			{Name: "static", System: "upcxx"},
+		},
+		// The sweep axis is offered load (kops/s), not rank count.
+		SweepLabel: "offered_kops", Format: "%.3g", Ratio: true,
+		// Wall-clock latency on shared CI runners drifts far more than
+		// the virtual-time sweeps; gate only order-of-magnitude.
+		DiffTolerance: 0.9,
+	}
+	rates := []int{1, 8, 64, 256}
+	repeats := 2
+	if o.Quick {
+		rates = []int{1, 64}
+		repeats = 1
+	}
+	run := func(rate int, adaptive bool) Point {
+		// Roughly a second of offered load at the trickle end, capped
+		// so the fast points stay fast; always enough ops for the
+		// controller to converge (a few hundred).
+		ops := rate * 1000
+		if ops > 6000 {
+			ops = 6000
+		}
+		if ops < 600 {
+			ops = 600
+		}
+		r, wall := timed(func() loadcurve.Result {
+			return loadcurve.Run(loadcurve.Params{
+				OfferedKops: rate, Ops: ops, Adaptive: adaptive, Repeats: repeats,
+			})
+		})
+		return Point{Ranks: rate, Value: r.P50Usec,
+			WallSeconds: wall, Counters: r.Counters()}
+	}
+	for _, rate := range rates {
+		res.Series[0].Points = append(res.Series[0].Points, run(rate, true))
+		res.Series[1].Points = append(res.Series[1].Points, run(rate, false))
 	}
 	return res
 }

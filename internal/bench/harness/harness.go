@@ -174,6 +174,8 @@ var registry = []Experiment{
 		Title: "Registered-task RPCs over the wire conduit, batched vs unbatched", Run: RPCBench},
 	{ID: "futbench", Aliases: []string{"fut"}, PaperRef: "§III-D / §V-E (beyond the paper)",
 		Title: "Chained ReadAsync+Then vs blocking Reads over the wire conduit", Run: FutBench},
+	{ID: "loadcurve", Aliases: []string{"load", "curve"}, PaperRef: "§IV (beyond the paper)",
+		Title: "Aggregation latency vs offered load, adaptive vs static", Run: LoadCurve},
 }
 
 // Experiments returns the registered experiments in paper order.

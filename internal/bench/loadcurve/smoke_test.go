@@ -1,0 +1,16 @@
+package loadcurve
+
+import "testing"
+
+func TestCurveSmoke(t *testing.T) {
+	for _, ad := range []bool{false, true} {
+		for _, rate := range []int{1, 200} {
+			r := Run(Params{OfferedKops: rate, Ops: 600, Adaptive: ad, Repeats: 1})
+			t.Logf("adaptive=%v offered=%dk achieved=%.1fk p50=%.1fus p99=%.1fus opb=%.2f maxops=%.1f",
+				ad, rate, r.AchievedKops, r.P50Usec, r.P99Usec, r.OpsPerBatch, r.MaxOpsAvg)
+			if r.P99Usec <= 0 || r.AchievedKops <= 0 {
+				t.Fatalf("degenerate point: %+v", r)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ package rpcbench
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -45,6 +46,11 @@ type Params struct {
 	// or the baseline (MaxOps = 1: every request and done-ack ships as
 	// its own single-op frame pair).
 	Aggregate bool
+	// Adaptive additionally enables the aggregator's per-destination
+	// AIMD controller (agg.Config.Adaptive) on the aggregated
+	// configuration; under this bench's bulk load it grows the batch
+	// budget past the static default, cutting frames per op further.
+	Adaptive bool
 	// Repeats runs the whole job this many times and reports the
 	// fastest RPC phase (default 3), suppressing scheduler-stall noise
 	// on shared CI runners the way dhtbench does.
@@ -59,6 +65,7 @@ type Result struct {
 	RPCsPerSec   float64
 	WireFrames   float64 // total frames sent across ranks, whole run
 	FramesPerRPC float64
+	AllocsPerRPC float64 // process-wide heap allocations per RPC (pool efficacy)
 	OpsPerBatch  float64 // realized aggregation ratio (0 when off)
 	Checksum     uint64  // verified accumulator checksum
 }
@@ -71,6 +78,7 @@ func (r Result) Counters() map[string]float64 {
 		"rpcs_per_sec":      r.RPCsPerSec,
 		"wire_tx_frames":    r.WireFrames,
 		"frames_per_rpc":    r.FramesPerRPC,
+		"allocs_per_rpc":    r.AllocsPerRPC,
 		"agg_ops_per_batch": r.OpsPerBatch,
 	}
 }
@@ -108,12 +116,15 @@ func runOnce(p Params) Result {
 	cfg := core.Config{}
 	if !p.Aggregate {
 		cfg.Agg = agg.Config{MaxOps: 1}
+	} else if p.Adaptive {
+		cfg.Agg = agg.Config{Adaptive: true}
 	}
 	n := p.Ranks
 	var (
-		mu    sync.Mutex
-		rpcNs time.Duration
-		sum   uint64
+		mu      sync.Mutex
+		rpcNs   time.Duration
+		sum     uint64
+		mallocs uint64
 	)
 	stats, err := spmd.RunWireLocal(n, 1<<17, cfg, func(me *core.Rank) {
 		cell := core.Allocate[uint64](me, me.ID(), 1)
@@ -121,6 +132,17 @@ func runOnce(p Params) Result {
 		cells := core.TeamAllGather(me.World(), cell)
 		me.Barrier()
 
+		// Rank 0 brackets the RPC phase with the process-global malloc
+		// counter: every rank runs the same phase between the same
+		// barriers, so the delta is the whole job's RPC-phase
+		// allocation count — the pooled-frames win made measurable.
+		var ms runtime.MemStats
+		if me.ID() == 0 {
+			runtime.ReadMemStats(&ms)
+			mu.Lock()
+			mallocs = ms.Mallocs
+			mu.Unlock()
+		}
 		t0 := time.Now()
 		target := (me.ID() + 1) % n
 		tc := cells[target]
@@ -132,6 +154,12 @@ func runOnce(p Params) Result {
 		})
 		me.Barrier()
 		dt := time.Since(t0)
+		if me.ID() == 0 {
+			runtime.ReadMemStats(&ms)
+			mu.Lock()
+			mallocs = ms.Mallocs - mallocs
+			mu.Unlock()
+		}
 
 		// Our cell holds the left neighbor's marks; the Finish/Barrier
 		// pair guarantees they have all landed.
@@ -176,6 +204,7 @@ func runOnce(p Params) Result {
 	}
 	if r.RPCs > 0 {
 		r.FramesPerRPC = r.WireFrames / float64(r.RPCs)
+		r.AllocsPerRPC = float64(mallocs) / float64(r.RPCs)
 	}
 	if p.Aggregate && batches > 0 {
 		r.OpsPerBatch = ops / batches

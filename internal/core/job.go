@@ -534,11 +534,16 @@ func (r *Rank) Advance() int {
 	defer r.exit()
 	r.chaosSync()
 	n := r.ep.Poll()
-	if r.onWire() {
-		n += r.cd.Poll()
-	}
+	// Age out overdue batches before servicing the conduit: dispatching
+	// an acknowledgement runs the ack cut-through flush, which would
+	// otherwise sweep an already-aged batch out as an explicit flush —
+	// shipping it no sooner but robbing the age signal the adaptive
+	// controller tunes on.
 	if r.agg != nil {
 		n += r.agg.Tick()
+	}
+	if r.onWire() {
+		n += r.cd.Poll()
 	}
 	return n
 }

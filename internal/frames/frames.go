@@ -1,0 +1,94 @@
+// Package frames provides the size-classed frame-buffer pools shared by
+// the transport's vectored send plane, its receive loop, and the
+// aggregation batch encoder. Hot loops on the wire path allocate one
+// payload buffer per frame; recycling those buffers through a handful
+// of power-of-two size classes keeps the steady state at ~0 allocations
+// per frame (gated by the transport's testing.AllocsPerRun tests).
+//
+// The pools store pointers to fixed-size arrays, not slices: putting a
+// *[N]byte into a sync.Pool boxes a pointer (no allocation), where
+// putting a []byte would heap-allocate a slice header on every Put.
+// Get slices the class array down to the requested length; Put recovers
+// the array from the slice's capacity.
+//
+// Ownership discipline: a buffer passes between layers with its frame
+// (transport rx loop -> handler, agg encoder -> Flusher -> SendOwned ->
+// writev), and exactly one owner calls Put when the bytes are dead.
+// Put is forgiving by design — nil slices and buffers whose capacity
+// matches no class (a caller's own allocation, a subslice) are dropped
+// for the garbage collector, never pooled, so a stray foreign buffer
+// can corrupt nothing.
+package frames
+
+import "sync"
+
+// The size classes. Chosen for the traffic the runtime actually
+// carries: c256 covers control frames and small aggregated ops, c2K the
+// inline-payload slabs' spill and typical RPC bodies, c16K the
+// transport's header slabs and mid-size fragments, c32K the default
+// aggregation batch (agg.DefaultMaxBytes), c128K and c1M bulk puts and
+// collective tables. Larger requests (up to transport.MaxPayload) fall
+// through to plain make and are never pooled — they are rare, huge, and
+// pinning 16 MiB arrays in pools would be worse than allocating.
+const (
+	c256  = 256
+	c2K   = 2 << 10
+	c16K  = 16 << 10
+	c32K  = 32 << 10
+	c128K = 128 << 10
+	c1M   = 1 << 20
+)
+
+var (
+	p256  = sync.Pool{New: func() any { return new([c256]byte) }}
+	p2K   = sync.Pool{New: func() any { return new([c2K]byte) }}
+	p16K  = sync.Pool{New: func() any { return new([c16K]byte) }}
+	p32K  = sync.Pool{New: func() any { return new([c32K]byte) }}
+	p128K = sync.Pool{New: func() any { return new([c128K]byte) }}
+	p1M   = sync.Pool{New: func() any { return new([c1M]byte) }}
+)
+
+// Get returns a buffer of length n whose capacity is the smallest size
+// class holding n (or exactly n, unpooled, beyond the largest class).
+// The contents are NOT zeroed — callers overwrite every byte they use.
+func Get(n int) []byte {
+	switch {
+	case n <= c256:
+		return p256.Get().(*[c256]byte)[:n]
+	case n <= c2K:
+		return p2K.Get().(*[c2K]byte)[:n]
+	case n <= c16K:
+		return p16K.Get().(*[c16K]byte)[:n]
+	case n <= c32K:
+		return p32K.Get().(*[c32K]byte)[:n]
+	case n <= c128K:
+		return p128K.Get().(*[c128K]byte)[:n]
+	case n <= c1M:
+		return p1M.Get().(*[c1M]byte)[:n]
+	default:
+		return make([]byte, n)
+	}
+}
+
+// Put recycles a buffer obtained from Get. Safe on nil and on foreign
+// buffers (capacity matching no class): those are simply dropped. The
+// caller must not touch b afterwards.
+func Put(b []byte) {
+	if b == nil {
+		return
+	}
+	switch cap(b) {
+	case c256:
+		p256.Put((*[c256]byte)(b[:c256]))
+	case c2K:
+		p2K.Put((*[c2K]byte)(b[:c2K]))
+	case c16K:
+		p16K.Put((*[c16K]byte)(b[:c16K]))
+	case c32K:
+		p32K.Put((*[c32K]byte)(b[:c32K]))
+	case c128K:
+		p128K.Put((*[c128K]byte)(b[:c128K]))
+	case c1M:
+		p1M.Put((*[c1M]byte)(b[:c1M]))
+	}
+}

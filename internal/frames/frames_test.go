@@ -1,0 +1,71 @@
+package frames
+
+import "testing"
+
+func TestGetLengthAndClassCapacity(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{0, c256}, {1, c256}, {256, c256},
+		{257, c2K}, {c2K, c2K},
+		{c2K + 1, c16K}, {c16K, c16K},
+		{c16K + 1, c32K}, {c32K, c32K},
+		{c32K + 1, c128K}, {c128K, c128K},
+		{c128K + 1, c1M}, {c1M, c1M},
+	}
+	for _, tc := range cases {
+		b := Get(tc.n)
+		if len(b) != tc.n {
+			t.Errorf("Get(%d): len %d, want %d", tc.n, len(b), tc.n)
+		}
+		if cap(b) != tc.wantCap {
+			t.Errorf("Get(%d): cap %d, want class %d", tc.n, cap(b), tc.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestOversizedFallsThrough(t *testing.T) {
+	n := c1M + 1
+	b := Get(n)
+	if len(b) != n || cap(b) != n {
+		t.Fatalf("oversized Get(%d): len %d cap %d, want exact unpooled slice", n, len(b), cap(b))
+	}
+	Put(b) // must be a silent drop
+}
+
+func TestPutTolerance(t *testing.T) {
+	Put(nil)                  // nil-safe
+	Put(make([]byte, 10))     // foreign capacity: dropped
+	Put(Get(100)[10:])        // subslice with non-class cap: dropped
+	Put(make([]byte, 0, 777)) // empty foreign buffer: dropped
+}
+
+func TestRoundTripReuse(t *testing.T) {
+	// A released buffer should come back out of the pool (not a hard
+	// guarantee of sync.Pool, but on a single goroutine with no GC in
+	// between it holds; if the pool dropped it we still get a valid
+	// buffer and only this assertion's point is lost).
+	b := Get(100)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	c := Get(50)
+	if cap(c) != c256 || len(c) != 50 {
+		t.Fatalf("reuse Get(50): len %d cap %d", len(c), cap(c))
+	}
+	Put(c)
+}
+
+func TestAllocsSteadyState(t *testing.T) {
+	// Warm the class, then check a get/put cycle allocates nothing:
+	// array pointers box into sync.Pool's interface without escaping.
+	Put(Get(1024))
+	avg := testing.AllocsPerRun(1000, func() {
+		b := Get(1024)
+		b[0] = 1
+		Put(b)
+	})
+	if avg > 0.1 {
+		t.Errorf("get/put cycle allocates %.2f times per op, want ~0", avg)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 	"unsafe"
 
+	"upcxx/internal/frames"
 	"upcxx/internal/obs"
 	"upcxx/internal/transport"
 )
@@ -403,6 +404,9 @@ func (h *HierConduit) SendBatch(to int, payload []byte, onAck func()) error {
 	h.nextToken++
 	h.shmAcks[h.nextToken] = onAck
 	h.shm.Send(li, shmBatch, h.nextToken, payload)
+	// shm.Send copied the batch into the ring; the pooled encoder
+	// buffer arrived owned by this call, so recycle it here.
+	frames.Put(payload)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"upcxx/internal/frames"
 	"upcxx/internal/obs"
 	"upcxx/internal/transport"
 )
@@ -284,11 +285,23 @@ func (c *WireConduit) count(dir map[uint16]*wireStat, h uint16, bytes int) {
 	s.bytes.Add(int64(bytes))
 }
 
-// send is the counted send path every outgoing frame takes.
+// send is the counted send path every outgoing frame takes. The
+// payload is borrowed until the transport's next flush (small payloads
+// are copied at the call) — callers that reuse the buffer sooner go
+// through sendOwned.
 func (c *WireConduit) send(m transport.Message) error {
 	c.count(c.tx, m.Handler, len(m.Payload))
 	c.ring.Instant(obs.KWireTx, m.To, uint32(len(m.Payload)), uint64(m.Handler))
 	return c.tep.Send(m)
+}
+
+// sendOwned is send with ownership transfer: the payload (typically a
+// frames pool buffer) belongs to the transport from the call on and is
+// recycled once the frame ships.
+func (c *WireConduit) sendOwned(m transport.Message) error {
+	c.count(c.tx, m.Handler, len(m.Payload))
+	c.ring.Instant(obs.KWireTx, m.To, uint32(len(m.Payload)), uint64(m.Handler))
+	return c.tep.SendOwned(m)
 }
 
 // SetObs installs the rank's span ring on the conduit's frame paths.
@@ -348,15 +361,35 @@ func (c *WireConduit) Capabilities() Caps {
 // In resilient mode the wait also completes — with a RankDeadError —
 // if the target is declared dead first, so a blocked requester never
 // hangs on a lost peer.
+//
+// The returned reply buffer is a retained frame-pool buffer: the caller
+// owns it and must hand it to frames.Put once consumed.
 func (c *WireConduit) request(to int, handler uint16, payload []byte) ([]byte, error) {
+	return c.requestMode(to, handler, payload, false)
+}
+
+// requestOwned is request with payload ownership transferred to the
+// transport (released once the frame ships).
+func (c *WireConduit) requestOwned(to int, handler uint16, payload []byte) ([]byte, error) {
+	return c.requestMode(to, handler, payload, true)
+}
+
+func (c *WireConduit) requestMode(to int, handler uint16, payload []byte, owned bool) ([]byte, error) {
 	if err := c.deadErr(to); err != nil {
+		if owned {
+			frames.Put(payload)
+		}
 		return nil, err
 	}
 	c.nextToken++
 	tok := c.nextToken
-	err := c.send(transport.Message{
-		To: int32(to), Handler: handler, Arg: tok, Payload: payload,
-	})
+	m := transport.Message{To: int32(to), Handler: handler, Arg: tok, Payload: payload}
+	var err error
+	if owned {
+		err = c.sendOwned(m)
+	} else {
+		err = c.send(m)
+	}
 	if err != nil {
 		if derr := c.noteSendError(to, err); derr != nil {
 			return nil, derr
@@ -411,21 +444,27 @@ func (c *WireConduit) reply(m transport.Message, payload []byte) {
 	_ = c.send(transport.Message{To: m.From, Handler: hReply, Arg: m.Arg, Payload: payload})
 }
 
-func (c *WireConduit) onReply(_ *transport.TCPEndpoint, m transport.Message) {
+func (c *WireConduit) onReply(ep *transport.TCPEndpoint, m transport.Message) {
 	// A voided token's requester gave up (death sweep, deadline): the
-	// late reply is dropped, not parked.
+	// late reply is dropped, not parked (its pooled payload recycles
+	// when this handler returns).
 	if _, gone := c.void[m.Arg]; gone {
 		delete(c.void, m.Arg)
 		return
 	}
 	// Batch acknowledgements and async-data-plane replies carry a
-	// callback instead of a parked requester; everything else parks in
-	// the replies map.
+	// callback instead of a parked requester; the callback consumes the
+	// payload synchronously (GetAsync copies into its destination), so
+	// the buffer recycles on return. Everything else parks in the
+	// replies map past this dispatch: retain the pooled buffer —
+	// ownership passes to the blocked requester, which releases it once
+	// consumed (see request).
 	if a, ok := c.acks[m.Arg]; ok {
 		delete(c.acks, m.Arg)
 		a.fn(m.Payload, nil)
 		return
 	}
+	ep.Retain()
 	c.replies[m.Arg] = m.Payload
 }
 
@@ -467,6 +506,7 @@ func (c *WireConduit) Get(rank int, off uint64, p []byte) error {
 			return fmt.Errorf("gasnet: wire get of %d bytes returned %d", n, len(rep))
 		}
 		copy(p, rep)
+		frames.Put(rep)
 		p = p[n:]
 		off += uint64(n)
 	}
@@ -482,9 +522,11 @@ func (c *WireConduit) onGet(_ *transport.TCPEndpoint, m transport.Message) {
 		c.reply(m, nil)
 		return
 	}
-	buf := make([]byte, n)
+	// Pooled reply buffer, handed to the transport with the frame: the
+	// hot read-serving loop recycles instead of allocating per request.
+	buf := frames.Get(int(n))
 	c.mem.Read(off, buf)
-	c.reply(m, buf)
+	_ = c.sendOwned(transport.Message{To: m.From, Handler: hReply, Arg: m.Arg, Payload: buf})
 }
 
 // Put copies p into rank's segment at off.
@@ -498,12 +540,14 @@ func (c *WireConduit) Put(rank int, off uint64, p []byte) error {
 		if n > maxChunk {
 			n = maxChunk
 		}
-		req := make([]byte, 8+n)
+		req := frames.Get(8 + n)
 		putU64(req, off)
 		copy(req[8:], p[:n])
-		if _, err := c.request(rank, hPut, req); err != nil {
+		rep, err := c.requestOwned(rank, hPut, req)
+		if err != nil {
 			return err
 		}
+		frames.Put(rep)
 		p = p[n:]
 		off += uint64(n)
 	}
@@ -627,14 +671,14 @@ func (c *WireConduit) PutAsync(rank int, off uint64, p []byte, timeout time.Dura
 		if n > maxChunk {
 			n = maxChunk
 		}
-		req := make([]byte, 8+n)
+		req := frames.Get(8 + n)
 		putU64(req, off)
 		copy(req[8:], p[:n])
 		c.nextToken++
 		c.acks[c.nextToken] = &wireAck{to: rank, deadline: deadline, fn: func(_ []byte, err error) {
 			st.complete(err)
 		}}
-		if err := c.send(transport.Message{
+		if err := c.sendOwned(transport.Message{
 			To: int32(rank), Handler: hPut, Arg: c.nextToken, Payload: req,
 		}); err != nil {
 			return c.failAsyncSend(st, c.nextToken, rank, issued, err)
@@ -678,7 +722,9 @@ func (c *WireConduit) Xor64(rank int, off uint64, val uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return u64(rep), nil
+	v := u64(rep)
+	frames.Put(rep)
+	return v, nil
 }
 
 func (c *WireConduit) onXor(_ *transport.TCPEndpoint, m transport.Message) {
@@ -716,6 +762,7 @@ func (c *WireConduit) SendBatch(to int, payload []byte, onAck func()) error {
 		onAck = func() {} // the ack must still be consumed, or it parks in the replies map forever
 	}
 	if c.isDead(to) {
+		frames.Put(payload) // ownership arrived with the call; the frame never ships
 		c.lostBatches++
 		onAck()
 		return nil
@@ -723,7 +770,10 @@ func (c *WireConduit) SendBatch(to int, payload []byte, onAck func()) error {
 	c.nextToken++
 	tok := c.nextToken
 	c.acks[tok] = &wireAck{to: to, lossy: true, fn: func([]byte, error) { onAck() }}
-	err := c.send(transport.Message{
+	// The batch buffer comes from the aggregation encoder's frame pool
+	// and is owned by this call: the transport recycles it once the
+	// frame ships (or on a failed send).
+	err := c.sendOwned(transport.Message{
 		To: int32(to), Handler: hBatch, Arg: tok, Payload: payload,
 	})
 	if err != nil {
@@ -733,8 +783,15 @@ func (c *WireConduit) SendBatch(to int, payload []byte, onAck func()) error {
 			onAck()
 			return nil
 		}
+		return err
 	}
-	return err
+	// Ship eagerly: the batch is itself the coalescing unit, so parking
+	// it in the transport's tx queue until the next progress call would
+	// re-batch the already-batched and charge every op a poll-cadence
+	// latency — exactly what a size-triggered flush of a 1-op adaptive
+	// batch must not pay.
+	c.tep.Flush()
+	return nil
 }
 
 func (c *WireConduit) onBatch(_ *transport.TCPEndpoint, m transport.Message) {
@@ -926,6 +983,7 @@ func (c *WireConduit) Alloc(rank int, size uint64) (uint64, error) {
 		return 0, err
 	}
 	v := u64(rep)
+	frames.Put(rep)
 	if v == 0 {
 		return 0, fmt.Errorf("gasnet: remote alloc of %d bytes on rank %d failed", size, rank)
 	}
@@ -951,7 +1009,9 @@ func (c *WireConduit) Free(rank int, off uint64) error {
 	if err != nil {
 		return err
 	}
-	if u64(rep) == 0 {
+	ok := u64(rep) != 0
+	frames.Put(rep)
+	if !ok {
 		return fmt.Errorf("gasnet: remote free at offset %d on rank %d failed", off, rank)
 	}
 	return nil
@@ -988,7 +1048,9 @@ func (c *WireConduit) LockAcquire(home int, id uint64, try bool) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return u64(rep) == 1, nil
+	got := u64(rep) == 1
+	frames.Put(rep)
+	return got, nil
 }
 
 func (c *WireConduit) onLockAcquire(_ *transport.TCPEndpoint, m transport.Message) {
@@ -1015,7 +1077,8 @@ func (c *WireConduit) onLockAcquire(_ *transport.TCPEndpoint, m transport.Messag
 func (c *WireConduit) LockRelease(home int, id uint64) error {
 	var req [8]byte
 	putU64(req[:], id)
-	_, err := c.request(home, hLockRel, req[:])
+	rep, err := c.request(home, hLockRel, req[:])
+	frames.Put(rep)
 	return err
 }
 
@@ -1068,11 +1131,13 @@ func (c *WireConduit) sendFragmented(to int, handler uint16, gen uint64, payload
 		if n > maxFragData {
 			n = maxFragData
 		}
-		frame := make([]byte, 16+n)
+		frame := frames.Get(int(16 + n))
 		putU64(frame[0:], total)
 		putU64(frame[8:], off)
 		copy(frame[16:], payload[off:off+n])
-		if err := c.send(transport.Message{
+		// The fragment buffer is pooled and handed to the transport,
+		// which recycles it after the writev (or on any error path).
+		if err := c.sendOwned(transport.Message{
 			To: int32(to), Handler: handler, Arg: gen, Payload: frame,
 		}); err != nil {
 			return err
@@ -1336,12 +1401,12 @@ func encodeParts(parts [][]byte) []byte {
 	for _, p := range parts {
 		total += 8 + len(p)
 	}
-	enc := make([]byte, 0, total)
-	var hdr [8]byte
+	enc := make([]byte, total)
+	off := 0
 	for _, p := range parts {
-		putU64(hdr[:], uint64(len(p)))
-		enc = append(enc, hdr[:]...)
-		enc = append(enc, p...)
+		putU64(enc[off:], uint64(len(p)))
+		off += 8
+		off += copy(enc[off:], p)
 	}
 	return enc
 }

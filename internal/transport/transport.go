@@ -13,7 +13,6 @@
 package transport
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -24,6 +23,7 @@ import (
 	"time"
 
 	"upcxx/internal/fault"
+	"upcxx/internal/frames"
 	"upcxx/internal/obs"
 )
 
@@ -34,6 +34,12 @@ type Message struct {
 	Handler uint16
 	Arg     uint64
 	Payload []byte
+
+	// pooled marks a payload owned by the transport (rx-loop buffers
+	// from internal/frames, SendOwned loopbacks): dispatch releases it
+	// back to the pool after the handler returns unless the handler
+	// called Retain.
+	pooled bool
 }
 
 // MaxPayload bounds a frame's payload, both on send (oversized messages
@@ -82,6 +88,135 @@ const (
 	peerDownHandler uint16 = 0xFFFD
 )
 
+// Vectored send plane tuning.
+const (
+	// frameHdrLen is the fixed frame header: [to u32][from u32]
+	// [handler u16][arg u64][len u64].
+	frameHdrLen = 26
+	// inlineMax is the largest payload copied into the header slab
+	// instead of queued by reference: small control payloads (tokens,
+	// offsets, stack-allocated request encodings) cost less to copy 26
+	// bytes away from their header than to spend an iovec entry on, and
+	// the copy ends the caller's borrow at Send return.
+	inlineMax = 64
+	// slabCap sizes the pooled header/inline slabs (a frames size
+	// class; ~500 header+small-payload runs per slab).
+	slabCap = 16 << 10
+	// flushThreshold ships a peer's queue from inside Send once this
+	// many bytes are queued, bounding memory under one-way storms.
+	flushThreshold = 256 << 10
+)
+
+// outQ is one peer's vectored send queue: frame headers (and inlined
+// small payloads) are carved from pooled slabs, large payloads are
+// queued by reference, and the whole run ships as one
+// net.Buffers.WriteTo — a single writev on a *net.TCPConn — per flush,
+// so the tx path copies nothing it can scatter-gather. Guarded by the
+// endpoint's mu.
+type outQ struct {
+	bufs  net.Buffers // iovec list, in frame order
+	owned [][]byte    // pooled payloads released once shipped
+	slab  []byte      // active header/inline slab (len = bytes used)
+	slabs [][]byte    // retired slabs awaiting release
+	run   int         // slab offset where bufs' open tail entry begins; -1 when sealed
+	qn    int         // total queued bytes
+}
+
+// slabAppend copies p into the slab, extending the open tail iovec when
+// p lands contiguously after it (headers and inline payloads of
+// consecutive frames coalesce into one entry).
+func (q *outQ) slabAppend(p []byte) {
+	if q.slab == nil || len(q.slab)+len(p) > cap(q.slab) {
+		if q.slab != nil {
+			q.slabs = append(q.slabs, q.slab)
+		}
+		q.slab = frames.Get(slabCap)[:0]
+		q.run = -1
+	}
+	start := len(q.slab)
+	q.slab = append(q.slab, p...)
+	if q.run >= 0 {
+		q.bufs[len(q.bufs)-1] = q.slab[q.run:len(q.slab):len(q.slab)]
+	} else {
+		q.run = start
+		q.bufs = append(q.bufs, q.slab[start:len(q.slab):len(q.slab)])
+	}
+	q.qn += len(p)
+}
+
+// refAppend queues p by reference as its own iovec entry, sealing the
+// slab run (the next header starts a new entry, preserving frame order).
+func (q *outQ) refAppend(p []byte) {
+	q.run = -1
+	q.bufs = append(q.bufs, p)
+	q.qn += len(p)
+}
+
+// enqueue queues one frame. owned payloads are released by the queue
+// (after the flush that ships them, or immediately when inlined);
+// borrowed payloads stay aliased until the flush.
+func (q *outQ) enqueue(m Message, owned bool) {
+	var hdr [frameHdrLen]byte
+	putHeader(hdr[:], m, len(m.Payload))
+	q.slabAppend(hdr[:])
+	switch {
+	case len(m.Payload) == 0:
+	case len(m.Payload) <= inlineMax:
+		q.slabAppend(m.Payload)
+		if owned {
+			frames.Put(m.Payload)
+		}
+	default:
+		q.refAppend(m.Payload)
+		if owned {
+			q.owned = append(q.owned, m.Payload)
+		}
+	}
+}
+
+// ship writes every queued byte to c with one vectored WriteTo and
+// resets the queue (releasing owned payloads and retired slabs) whether
+// or not the write succeeded — after an error the connection is dead
+// and the bytes are gone either way.
+func (q *outQ) ship(c net.Conn) error {
+	if q.qn == 0 {
+		return nil
+	}
+	bufs := q.bufs
+	_, err := bufs.WriteTo(c)
+	q.reset()
+	return err
+}
+
+// reset drops queued state, returning owned payloads and retired slabs
+// to the pool and keeping every slice's capacity for reuse.
+func (q *outQ) reset() {
+	for i := range q.bufs {
+		q.bufs[i] = nil
+	}
+	q.bufs = q.bufs[:0]
+	for i, b := range q.owned {
+		frames.Put(b)
+		q.owned[i] = nil
+	}
+	q.owned = q.owned[:0]
+	for i, s := range q.slabs {
+		frames.Put(s)
+		q.slabs[i] = nil
+	}
+	q.slabs = q.slabs[:0]
+	q.slab = q.slab[:0]
+	q.run = -1
+	q.qn = 0
+}
+
+// free releases everything including the active slab; the queue is dead.
+func (q *outQ) free() {
+	q.reset()
+	frames.Put(q.slab)
+	q.slab = nil
+}
+
 // TCPEndpoint is one rank's attachment to a full-mesh TCP fabric.
 type TCPEndpoint struct {
 	rank     int32
@@ -90,8 +225,13 @@ type TCPEndpoint struct {
 	handlers []Handler
 
 	mu    sync.Mutex
-	conns []net.Conn      // by peer rank; nil for self
-	outs  []*bufio.Writer // buffered write side of conns, same indexing
+	conns []net.Conn // by peer rank; nil for self
+	qs    []*outQ    // vectored send queue per peer, same indexing
+
+	// retained is the dispatch-scope flag Retain sets: the handler
+	// currently executing keeps the pooled payload alive past its
+	// return. Dispatch goroutine only.
+	retained bool
 
 	inbox     chan Message
 	done      chan struct{}
@@ -212,8 +352,9 @@ func (ep *TCPEndpoint) markPeerDown(peer int32, cause error) {
 		c.Close()
 		ep.conns[peer] = nil
 	}
-	if ep.outs != nil {
-		ep.outs[peer] = nil
+	if ep.qs != nil && ep.qs[peer] != nil {
+		ep.qs[peer].free()
+		ep.qs[peer] = nil
 	}
 	ep.mu.Unlock()
 	select {
@@ -275,7 +416,19 @@ func (ep *TCPEndpoint) Ranks() int { return int(ep.n) }
 // crashing the dispatch loop; a correct peer never sends one).
 func (ep *TCPEndpoint) Dropped() int64 { return ep.dropped.Load() }
 
+// Retain transfers ownership of the payload being dispatched to the
+// calling handler: the transport will not recycle it when the handler
+// returns. Handlers that park a payload past their return (the wire
+// conduit's reply map) must call it; handlers that consume or copy the
+// payload synchronously must not. Valid only while a handler executes,
+// on the dispatch goroutine.
+func (ep *TCPEndpoint) Retain() { ep.retained = true }
+
 // dispatch routes one message to its handler, tolerating bogus indices.
+// Pooled payloads (rx-loop buffers, owned loopbacks) return to the
+// frame pool when the handler does — unless it called Retain — which is
+// what keeps the steady-state receive loop at zero allocations per
+// frame.
 func (ep *TCPEndpoint) dispatch(m Message) {
 	if m.Handler == peerDownHandler {
 		ep.failMu.Lock()
@@ -288,19 +441,33 @@ func (ep *TCPEndpoint) dispatch(m Message) {
 	}
 	if int(m.Handler) >= len(ep.handlers) || ep.handlers[m.Handler] == nil {
 		ep.dropped.Add(1)
+		if m.pooled {
+			frames.Put(m.Payload)
+		}
 		return
 	}
+	ep.retained = false
 	ep.handlers[m.Handler](ep, m)
+	if m.pooled && !ep.retained {
+		frames.Put(m.Payload)
+	}
 }
 
-// writeFrame serializes a message: [to][from][handler][arg][len][payload].
-func writeFrame(w io.Writer, m Message) error {
-	var hdr [26]byte
+// putHeader serializes a frame header announcing an n-byte payload:
+// [to][from][handler][arg][len].
+func putHeader(hdr []byte, m Message, n int) {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.To))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.From))
 	binary.LittleEndian.PutUint16(hdr[8:], m.Handler)
 	binary.LittleEndian.PutUint64(hdr[10:], m.Arg)
-	binary.LittleEndian.PutUint64(hdr[18:], uint64(len(m.Payload)))
+	binary.LittleEndian.PutUint64(hdr[18:], uint64(n))
+}
+
+// writeFrame serializes one message directly to w (the Connect hello
+// exchange; steady-state traffic goes through the vectored queues).
+func writeFrame(w io.Writer, m Message) error {
+	var hdr [frameHdrLen]byte
+	putHeader(hdr[:], m, len(m.Payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -308,9 +475,18 @@ func writeFrame(w io.Writer, m Message) error {
 	return err
 }
 
-// readFrame deserializes one message.
+// readFrame deserializes one message. The payload buffer comes from the
+// frame pool; dispatch releases it after the handler runs (see Retain).
 func readFrame(r io.Reader) (Message, error) {
-	var hdr [26]byte
+	var hdr [frameHdrLen]byte
+	return readFrameHdr(r, &hdr)
+}
+
+// readFrameHdr is readFrame with a caller-provided header scratch
+// buffer: hdr escapes through the io.ReadFull interface call, so the
+// reader loop hoists one out of its per-frame path instead of heap-
+// allocating 26 bytes per received frame.
+func readFrameHdr(r io.Reader, hdr *[frameHdrLen]byte) (Message, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
@@ -325,8 +501,10 @@ func readFrame(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
 	if n > 0 {
-		m.Payload = make([]byte, n)
+		m.Payload = frames.Get(int(n))
+		m.pooled = true
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			frames.Put(m.Payload)
 			return Message{}, err
 		}
 	}
@@ -405,17 +583,19 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 	if acceptErr != nil {
 		return acceptErr
 	}
-	// Buffer the write side of every connection: frames accumulate and
-	// ship in few large writes instead of a syscall pair each, which is
-	// what lets pipelined non-blocking operations (GetAsync storms, the
-	// aggregation plane) actually overlap instead of serializing on
-	// per-frame write cost. Flushed whenever this rank is about to
-	// block (WaitFor) and at the end of every Poll, so no frame can sit
-	// buffered while its sender sleeps.
-	ep.outs = make([]*bufio.Writer, ep.n)
+	// Give every connection a vectored send queue: frames accumulate as
+	// header-slab and payload iovecs and ship as one writev-backed
+	// WriteTo per flush, instead of a syscall pair (or a copy into a
+	// buffered writer) each — which is what lets pipelined non-blocking
+	// operations (GetAsync storms, the aggregation plane) actually
+	// overlap, with zero payload copies on the tx path. Flushed whenever
+	// this rank is about to block (WaitFor), at the end of every Poll,
+	// and inline once a queue passes flushThreshold, so no frame can sit
+	// queued while its sender sleeps.
+	ep.qs = make([]*outQ, ep.n)
 	for r, c := range ep.conns {
 		if c != nil {
-			ep.outs[r] = bufio.NewWriterSize(c, 1<<16)
+			ep.qs[r] = &outQ{run: -1}
 		}
 	}
 	// One reader goroutine per peer feeds the inbox. A read error with
@@ -431,8 +611,9 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 		go func(peer int32, c net.Conn) {
 			defer ep.wg.Done()
 			sawBye := false
+			var hdr [frameHdrLen]byte // one header scratch per reader, not per frame
 			for {
-				m, err := readFrame(c)
+				m, err := readFrameHdr(c, &hdr)
 				if err != nil {
 					if sawBye {
 						return // peer announced a clean close
@@ -462,49 +643,104 @@ func (ep *TCPEndpoint) Connect(addrs []string) error {
 
 // Send queues a message for the target rank (loopback is delivered
 // through the inbox like any other message). Remote frames accumulate
-// in a per-peer write buffer and ship when the buffer fills, when this
-// endpoint is about to block in WaitFor, at the end of Poll, or at an
-// explicit Flush — so a caller that sends and then stops making
-// progress calls must Flush. Payloads over MaxPayload and sends on a
-// closed endpoint are rejected up front.
-func (ep *TCPEndpoint) Send(m Message) error {
+// in a per-peer vectored queue and ship when the queue passes the
+// inline-flush threshold, when this endpoint is about to block in
+// WaitFor, at the end of Poll, or at an explicit Flush — so a caller
+// that sends and then stops making progress calls must Flush.
+//
+// Ownership: Send BORROWS the payload until the flush that ships it
+// (payloads of at most inlineMax bytes are copied at the call, ending
+// the borrow immediately). Callers that mutate or recycle the payload
+// before then must use SendOwned. Payloads over MaxPayload and sends on
+// a closed endpoint are rejected up front.
+func (ep *TCPEndpoint) Send(m Message) error { return ep.enqueue(m, false) }
+
+// SendOwned is Send with ownership transfer: the payload belongs to the
+// transport from the call on and is released to the frame pool once the
+// frame has shipped (or on any error path), so callers can hand over
+// pooled buffers without waiting for a flush. The caller must not touch
+// the payload after the call.
+func (ep *TCPEndpoint) SendOwned(m Message) error { return ep.enqueue(m, true) }
+
+// disposeOwned releases an owned payload on a path where the frame
+// never ships.
+func disposeOwned(m Message, owned bool) {
+	if owned {
+		frames.Put(m.Payload)
+	}
+}
+
+func (ep *TCPEndpoint) enqueue(m Message, owned bool) error {
 	if len(m.Payload) > MaxPayload {
+		disposeOwned(m, owned)
 		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(m.Payload))
 	}
 	select {
 	case <-ep.done:
+		disposeOwned(m, owned)
 		return ep.closedErr()
 	default:
 	}
 	m.From = ep.rank
 	if m.To == ep.rank {
+		// Loopback: an owned payload rides the pooled-release path
+		// through dispatch, exactly like an rx buffer.
+		m.pooled = owned
 		select {
 		case ep.inbox <- m:
 			return nil
 		case <-ep.done:
+			disposeOwned(m, owned)
 			return ep.closedErr()
 		}
 	}
 	if ep.downed[m.To].Load() {
+		disposeOwned(m, owned)
 		return ep.peerDownErr(int(m.To))
 	}
 	if act, fired := ep.inj.OnSend(int(m.To), m.Handler); fired {
 		switch act.Kind {
 		case fault.Drop:
+			disposeOwned(m, owned)
 			return nil // the frame silently vanishes
 		case fault.Delay:
 			time.Sleep(act.Delay)
 		case fault.Sever:
+			// The sever writes a header-only torn frame; the payload
+			// itself never ships (severFrame reads only its length).
+			disposeOwned(m, owned)
 			return ep.severFrame(m)
 		}
 	}
 	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	w := ep.outs[m.To]
-	if w == nil {
+	q := ep.qs[m.To]
+	if q == nil {
+		ep.mu.Unlock()
+		disposeOwned(m, owned)
 		return fmt.Errorf("transport: no connection to rank %d", m.To)
 	}
-	return writeFrame(w, m)
+	q.enqueue(m, owned)
+	var err error
+	if q.qn >= flushThreshold {
+		err = q.ship(ep.conns[m.To])
+	}
+	ep.mu.Unlock()
+	if err != nil {
+		return ep.flushFailed(m.To, err)
+	}
+	return nil
+}
+
+// flushFailed routes a failed vectored write into the peer-loss path
+// (outside ep.mu — markPeerDown retakes it) and returns the typed send
+// error the caller should see.
+func (ep *TCPEndpoint) flushFailed(peer int32, err error) error {
+	cause := fmt.Errorf("transport: rank %d flushing to rank %d: %w", ep.rank, peer, err)
+	ep.peerLost(peer, cause)
+	if ep.survivable.Load() {
+		return ep.peerDownErr(int(peer))
+	}
+	return cause
 }
 
 // severFrame executes an injected mid-frame sever: it writes only the
@@ -515,15 +751,11 @@ func (ep *TCPEndpoint) Send(m Message) error {
 // path and the caller gets the typed peer-down error.
 func (ep *TCPEndpoint) severFrame(m Message) error {
 	ep.mu.Lock()
-	if w := ep.outs[m.To]; w != nil {
-		var hdr [26]byte
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(m.To))
-		binary.LittleEndian.PutUint32(hdr[4:], uint32(m.From))
-		binary.LittleEndian.PutUint16(hdr[8:], m.Handler)
-		binary.LittleEndian.PutUint64(hdr[10:], m.Arg)
-		binary.LittleEndian.PutUint64(hdr[18:], uint64(len(m.Payload)+1))
-		w.Write(hdr[:])
-		w.Flush()
+	if q := ep.qs[m.To]; q != nil {
+		var hdr [frameHdrLen]byte
+		putHeader(hdr[:], m, len(m.Payload)+1)
+		q.slabAppend(hdr[:])
+		_ = q.ship(ep.conns[m.To])
 	}
 	c := ep.conns[m.To]
 	ep.mu.Unlock()
@@ -539,30 +771,40 @@ func (ep *TCPEndpoint) severFrame(m Message) error {
 	return cause
 }
 
-// Flush ships every buffered frame now. Callers that send and then
+// Flush ships every queued frame now. Callers that send and then
 // neither poll nor wait (a collective root answering its children
-// after its own wait completed) must flush, or the frames sit in the
-// buffer while the peers sleep.
+// after its own wait completed) must flush, or the frames sit queued
+// while the peers sleep.
 func (ep *TCPEndpoint) Flush() { ep.flushOut() }
 
-// flushOut ships every buffered frame. Errors are deliberately not
-// surfaced here: a broken connection is detected (and the endpoint
-// torn down) by that peer's reader goroutine, which is the single
-// authority on peer loss.
+// flushOut ships every queued frame, one vectored write per peer. A
+// failed write means that peer's connection is dead: the failure routes
+// into the peer-loss path (peer-down retirement in survivable mode,
+// whole-endpoint teardown otherwise) after ep.mu is released — so a
+// dead peer surfaces at flush time instead of waiting for the reader
+// goroutine to notice, and a flush error is never silently swallowed.
 func (ep *TCPEndpoint) flushOut() {
+	var failedPeers []int32
+	var failedErrs []error
 	ep.mu.Lock()
 	buffered := 0
-	for _, w := range ep.outs {
-		if w != nil {
-			if ep.ring != nil {
-				buffered += w.Buffered()
-			}
-			_ = w.Flush()
+	for r, q := range ep.qs {
+		if q == nil || q.qn == 0 {
+			continue
+		}
+		buffered += q.qn
+		if err := q.ship(ep.conns[r]); err != nil {
+			failedPeers = append(failedPeers, int32(r))
+			failedErrs = append(failedErrs, err)
 		}
 	}
 	ep.mu.Unlock()
-	if buffered > 0 {
+	if buffered > 0 && ep.ring != nil {
 		ep.ring.Instant(obs.KNetFlush, -1, uint32(buffered), 0)
+	}
+	// Route failures outside ep.mu: markPeerDown retakes it.
+	for i, peer := range failedPeers {
+		_ = ep.flushFailed(peer, failedErrs[i])
 	}
 }
 
@@ -637,13 +879,13 @@ func (ep *TCPEndpoint) WaitFor(pred func() bool) error {
 func (ep *TCPEndpoint) Goodbye() {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	for r, w := range ep.outs {
-		if w == nil {
+	for r, q := range ep.qs {
+		if q == nil {
 			continue
 		}
 		// Best-effort: an unreachable peer is already tearing down.
-		writeFrame(w, Message{From: ep.rank, To: int32(r), Handler: byeHandler})
-		w.Flush()
+		q.enqueue(Message{From: ep.rank, To: int32(r), Handler: byeHandler}, false)
+		_ = q.ship(ep.conns[r])
 	}
 }
 
