@@ -37,13 +37,16 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strconv"
+	"syscall"
 
 	"upcxx/internal/core"
 	"upcxx/internal/fault"
 	"upcxx/internal/obs"
 	"upcxx/internal/spmd"
+	_ "upcxx/internal/svc" // registers the gateserve program
 )
 
 // Children find their identity and the parent's rendezvous address in
@@ -66,6 +69,7 @@ func main() {
 	rdvTimeout := flag.Duration("rendezvous-timeout", spmd.RendezvousTimeout,
 		"deadline for the tcp backend's address rendezvous (raise for slow or congested hosts)")
 	chaos := flag.String("chaos", "", `fault plan, e.g. "kill:rank=2,at=500ms" or "drop:rank=0,peer=1,op=3" (see internal/fault)`)
+	gateway := flag.String("gateway", "", "launch an upcxx-gate HTTP front door on this address as rank n of the job (tcp backend, gateway program); SIGTERM to the launcher drains it gracefully")
 	traceDir := flag.String("trace", "", "enable runtime tracing; per-rank Chrome trace dumps land in this directory, merged into <dir>/trace.json on exit (open in Perfetto)")
 	debugAddr := flag.String("debug-addr", "", "serve the live debug endpoint (/debug/metrics, /debug/trace, /debug/ranks, pprof) on this address, e.g. 127.0.0.1:8090")
 	verbose := flag.Int("v", 0, "runtime log verbosity, 0 = silent (UPCXX_VERBOSE sets the same level)")
@@ -120,6 +124,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	// A gateway job is heterogeneous: n compute ranks running a gateway
+	// program plus the upcxx-gate binary as rank n. The pieces only fit
+	// together one way, so reject every other combination up front — in
+	// particular a gateway program run standalone, which would park its
+	// ranks forever waiting for a drain broadcast that never comes.
+	if prog.Gateway && *gateway == "" {
+		fmt.Fprintf(os.Stderr, "upcxx-run: program %q is the compute half of a gateway job and would hang standalone; launch it with -gateway <addr>\n", prog.Name)
+		os.Exit(2)
+	}
+	if *gateway != "" {
+		switch {
+		case !prog.Gateway:
+			fmt.Fprintf(os.Stderr, "upcxx-run: -gateway needs a gateway program (got %q); see -list\n", prog.Name)
+			os.Exit(2)
+		case *backend != "tcp" || *ppn > 1:
+			fmt.Fprintln(os.Stderr, "upcxx-run: -gateway requires -backend tcp (the gateway is its own OS process joining the wire mesh)")
+			os.Exit(2)
+		case plan != nil:
+			fmt.Fprintln(os.Stderr, "upcxx-run: -gateway does not combine with -chaos; the gatebench chaos experiment covers fault injection against a gateway")
+			os.Exit(2)
+		}
+	}
+
 	// Resolve the topology. The hier backend groups ranks onto virtual
 	// hosts ppn at a time; tcp with ppn>1 is the same job, so it
 	// upgrades, and a bare "-procs-per-node K" (no explicit -backend)
@@ -164,9 +191,9 @@ func main() {
 	case "proc":
 		runProc(prog, *n, *scale, *ppn, plan, *traceDir, *debugAddr)
 	case "tcp":
-		runTCP(prog, *n, *scale, 0, plan, *traceDir, *debugAddr)
+		runTCP(prog, *n, *scale, 0, plan, *traceDir, *debugAddr, *gateway)
 	case "hier":
-		runTCP(prog, *n, *scale, *ppn, plan, *traceDir, *debugAddr)
+		runTCP(prog, *n, *scale, *ppn, plan, *traceDir, *debugAddr, "")
 	default:
 		fmt.Fprintf(os.Stderr, "upcxx-run: unknown backend %q (want proc, tcp or hier)\n", *backend)
 		os.Exit(2)
@@ -260,7 +287,15 @@ func mergeTrace(dir string) {
 // ppn > 0 the job is hierarchical: the parent owns a temp directory of
 // mmap'd segment files that co-located children share, and tells the
 // children their topology through the environment.
-func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan, traceDir, debugAddr string) {
+//
+// A non-empty gateway address grows the job by one rank: the upcxx-gate
+// binary (expected beside this executable) joins the same rendezvous as
+// rank n and serves HTTP on that address. The launcher then also
+// forwards SIGTERM/SIGINT to the gateway so `kill -TERM <launcher>`
+// drains the whole job gracefully, and it spawns every child in its own
+// process group so a terminal interrupt reaches the job only through
+// that forwarding path.
+func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan, traceDir, debugAddr, gateway string) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "upcxx-run:", err)
@@ -312,19 +347,38 @@ func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan, traceDir, debug
 		defer stop()
 		fmt.Fprintf(os.Stderr, "upcxx-run: debug endpoint on http://%s/debug/\n", bound)
 	}
+	// With a gateway the wire job has one more rank than -n says, and the
+	// rendezvous diagnostic labels it by role: a timeout reports
+	// "missing: [gateway]" rather than a bare rank number.
+	total := n
+	if gateway != "" {
+		total = n + 1
+	}
 	rdvErr := make(chan error, 1)
-	go func() { rdvErr <- spmd.Rendezvous(ln, n) }()
+	go func() {
+		rdvErr <- spmd.RendezvousWithNames(ln, total, func(rank int) string {
+			if gateway != "" && rank == n {
+				return "gateway"
+			}
+			return ""
+		})
+	}()
 
-	children := make([]*exec.Cmd, n)
+	children := make([]*exec.Cmd, 0, total)
 	for i := 0; i < n; i++ {
 		c := exec.Command(exe, os.Args[1:]...)
 		c.Stdout = os.Stdout
 		c.Stderr = os.Stderr
 		c.Env = append(os.Environ(),
 			envRank+"="+strconv.Itoa(i),
-			envRanks+"="+strconv.Itoa(n),
+			envRanks+"="+strconv.Itoa(total),
 			envRendezvous+"="+ln.Addr().String(),
 		)
+		if gateway != "" {
+			// Own process group: a terminal ^C must not tear the compute
+			// mesh down under the gateway mid-drain.
+			c.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		}
 		if ppn > 0 {
 			c.Env = append(c.Env,
 				envPPN+"="+strconv.Itoa(ppn),
@@ -339,12 +393,49 @@ func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan, traceDir, debug
 		}
 		if err := c.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "upcxx-run: spawning rank %d: %v\n", i, err)
-			for _, prev := range children[:i] {
+			for _, prev := range children {
 				prev.Process.Kill()
 			}
 			os.Exit(1)
 		}
-		children[i] = c
+		children = append(children, c)
+	}
+	if gateway != "" {
+		// The gateway binary lives beside the launcher (both come out of
+		// `go build ./cmd/...`).
+		gateExe := filepath.Join(filepath.Dir(exe), "upcxx-gate")
+		c := exec.Command(gateExe,
+			"-addr", gateway,
+			"-scale", strconv.Itoa(scale),
+			"-rendezvous-timeout", spmd.RendezvousTimeout.String(),
+		)
+		c.Stdout = os.Stdout
+		c.Stderr = os.Stderr
+		c.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+		c.Env = append(os.Environ(),
+			envRank+"="+strconv.Itoa(n),
+			envRanks+"="+strconv.Itoa(total),
+			envRendezvous+"="+ln.Addr().String(),
+		)
+		if err := c.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "upcxx-run: spawning gateway (%s): %v\n", gateExe, err)
+			for _, prev := range children {
+				prev.Process.Kill()
+			}
+			os.Exit(1)
+		}
+		children = append(children, c)
+
+		// The launcher is the job's pid: forward shutdown signals to the
+		// gateway, whose drain releases the compute ranks in turn.
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+		defer signal.Stop(sigs)
+		go func() {
+			for range sigs {
+				c.Process.Signal(syscall.SIGTERM)
+			}
+		}()
 	}
 
 	// exitCode propagates the first failing child's own status (a rank
@@ -352,6 +443,10 @@ func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan, traceDir, debug
 	// above the launcher can tell an assertion failure from a crash.
 	exitCode := 0
 	for i, c := range children {
+		label := fmt.Sprintf("rank %d", i)
+		if gateway != "" && i == n {
+			label = "gateway rank"
+		}
 		err := c.Wait()
 		if err == nil {
 			continue
@@ -362,15 +457,15 @@ func runTCP(prog spmd.Prog, n, scale, ppn int, plan *fault.Plan, traceDir, debug
 		var xerr *exec.ExitError
 		if errors.As(err, &xerr) && xerr.ExitCode() == core.ChaosExitCode {
 			if plan.KillsRank(i) {
-				fmt.Fprintf(os.Stderr, "upcxx-run: rank %d killed by fault plan\n", i)
+				fmt.Fprintf(os.Stderr, "upcxx-run: %s killed by fault plan\n", label)
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d exited with the chaos status %d but the plan does not kill it\n",
-				i, core.ChaosExitCode)
+			fmt.Fprintf(os.Stderr, "upcxx-run: %s exited with the chaos status %d but the plan does not kill it\n",
+				label, core.ChaosExitCode)
 		} else if errors.As(err, &xerr) {
-			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d exited with status %d\n", i, xerr.ExitCode())
+			fmt.Fprintf(os.Stderr, "upcxx-run: %s exited with status %d\n", label, xerr.ExitCode())
 		} else {
-			fmt.Fprintf(os.Stderr, "upcxx-run: rank %d: %v\n", i, err)
+			fmt.Fprintf(os.Stderr, "upcxx-run: %s: %v\n", label, err)
 		}
 		if exitCode == 0 {
 			if errors.As(err, &xerr) && xerr.ExitCode() > 0 {

@@ -1,0 +1,445 @@
+// Package gatebench is the closed-loop load generator for the service
+// plane: it assembles a full in-process gateway job — n compute ranks
+// plus the gateway rank, each with its own transport endpoint, segment
+// and wire conduit over localhost TCP — fronts it with a real HTTP
+// server over the production mux, and drives it with N workers over M
+// keep-alive connections. Workers issue PUT/GET traffic on zipfian or
+// uniform keys, a warmup window lets the aggregation controller and the
+// connection pool settle, and the measurement window samples end-to-end
+// request latency at the client. The headline numbers are QPS and the
+// p50/p99/p999 tail.
+//
+// The chaos variant aborts one compute rank's endpoint mid-measurement
+// — an unannounced crash, exactly what the transport's failure detector
+// is built to notice — while the workers keep writing. Every PUT the
+// gateway acknowledged before, during and after the death is re-read at
+// the end: with K=2 replication the job must not lose a single acked
+// write, and the error budget the clients observe stays bounded (the
+// store's failover retry re-routes around the corpse).
+package gatebench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"upcxx/internal/core"
+	"upcxx/internal/dht"
+	"upcxx/internal/gasnet"
+	"upcxx/internal/segment"
+	"upcxx/internal/svc"
+	"upcxx/internal/transport"
+)
+
+// Params configures one gatebench run.
+type Params struct {
+	// Ranks is the number of compute ranks; the gateway is one more.
+	Ranks int
+	// Scale is the distinct-key population (0 = svc default).
+	Scale int
+	// Workers is the closed-loop client concurrency.
+	Workers int
+	// Conns bounds the HTTP connection pool (0 = Workers).
+	Conns int
+	// Zipf draws keys zipfian (s=1.07) instead of uniform.
+	Zipf bool
+	// GetFrac is the fraction of single-op requests that are GETs.
+	GetFrac float64
+	// BatchSize > 1 routes traffic through the batch endpoints with
+	// this many ops per request; 0/1 uses the single-op endpoints.
+	BatchSize int
+	// Warmup and Measure bound the two windows.
+	Warmup, Measure time.Duration
+	// Chaos hard-aborts compute rank KillRank's endpoint KillAfter
+	// into the measurement window. Every acked write is verified
+	// readable afterwards and Result.Lost counts the misses.
+	Chaos     bool
+	KillRank  int
+	KillAfter time.Duration
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Ops      int     // requests completed inside the measurement window
+	QPS      float64 // key operations per second (batch ops count individually)
+	P50Usec  float64 // end-to-end request latency percentiles
+	P99Usec  float64
+	P999Usec float64
+	Acked    int // PUTs acknowledged over the whole run (chaos bookkeeping)
+	Errs5xx  int // 5xx responses observed by the workers
+	Lost     int // acked writes missing or wrong on post-run verification
+}
+
+// Counters reports the run as named counters for the harness.
+func (r Result) Counters() map[string]float64 {
+	return map[string]float64{
+		"qps":       r.QPS,
+		"p50_usec":  r.P50Usec,
+		"p99_usec":  r.P99Usec,
+		"p999_usec": r.P999Usec,
+		"acked":     float64(r.Acked),
+		"errs_5xx":  float64(r.Errs5xx),
+		"lost":      float64(r.Lost),
+	}
+}
+
+// Run executes one gatebench configuration end to end.
+func Run(p Params) Result {
+	if p.Ranks <= 0 {
+		p.Ranks = 3
+	}
+	if p.Workers <= 0 {
+		p.Workers = 32
+	}
+	if p.Conns <= 0 {
+		p.Conns = p.Workers
+	}
+	if p.GetFrac < 0 || p.GetFrac >= 1 {
+		p.GetFrac = 0.5
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = 200 * time.Millisecond
+	}
+	if p.Measure <= 0 {
+		p.Measure = time.Second
+	}
+	scale := p.Scale
+	if scale <= 0 {
+		scale = svc.DefaultGateScale
+	}
+	total := p.Ranks + 1
+	gateRank := p.Ranks
+	if !p.Chaos {
+		p.KillRank = -1
+	} else if p.KillRank < 0 || p.KillRank >= gateRank {
+		panic("gatebench: KillRank must be a compute rank")
+	}
+
+	st := svc.NewDHTStore(svc.StoreConfig{})
+	app := svc.New(st, svc.Config{MaxInFlight: 4 * p.Workers, RequestTimeout: 30 * time.Second})
+
+	// The mesh is assembled by hand (not spmd.RunWireLocal) so the chaos
+	// variant can reach into the fabric and abort the victim's endpoint:
+	// an unannounced TCP-level death, as a kill -9 would present.
+	eps := make([]*transport.TCPEndpoint, total)
+	addrs := make([]string, total)
+	for i := range eps {
+		tep, err := transport.ListenTCP(i, total, "127.0.0.1:0")
+		if err != nil {
+			panic(fmt.Sprintf("gatebench: listen rank %d: %v", i, err))
+		}
+		eps[i] = tep
+		addrs[i] = tep.Addr()
+	}
+	killCh := make(chan struct{})
+	segBytes := svc.GateSegBytes(total, scale)
+	sums := make([]uint64, total)
+	alive := make([]bool, total) // rank completed its body normally
+	panics := make([]any, total)
+
+	var mesh sync.WaitGroup
+	for i := 0; i < total; i++ {
+		mesh.Add(1)
+		go func(i int) {
+			defer mesh.Done()
+			// The victim's teardown races its own abort; everything it
+			// throws from under the axe is scripted, not a failure.
+			defer func() { panics[i] = recover() }()
+			if err := eps[i].Connect(addrs); err != nil {
+				panic(fmt.Sprintf("rank %d connect: %v", i, err))
+			}
+			seg := segment.New(segBytes)
+			cd := gasnet.NewWireConduit(eps[i], seg)
+			defer cd.Close()
+			core.RunWire(core.Config{Resilient: true}, cd, seg, func(me *core.Rank) {
+				switch {
+				case i == gateRank:
+					sums[i] = svc.GatewayMain(me, st, scale)
+				case i == p.KillRank:
+					sums[i] = victimMain(me, scale, killCh, eps[i])
+				default:
+					sums[i] = svc.ServeMain(me, scale)
+				}
+				alive[i] = true
+			})
+			cd.Goodbye()
+		}(i)
+	}
+
+	res := driveHTTP(p, scale, st, app, killCh)
+
+	st.Stop()
+	mesh.Wait()
+	for i, pv := range panics {
+		if pv != nil && i != p.KillRank {
+			panic(fmt.Sprintf("gatebench: rank %d: %v", i, pv))
+		}
+	}
+	// Every survivor left through the same collective: their checksums
+	// must agree or the job's state diverged under load.
+	ref := sums[gateRank]
+	for i := 0; i < total; i++ {
+		if alive[i] && sums[i] != ref {
+			panic(fmt.Sprintf("gatebench: rank %d checksum %#x != gateway %#x", i, sums[i], ref))
+		}
+	}
+	return res
+}
+
+// victimMain is the doomed compute rank's body: a full DHT member
+// serving traffic like any other, until the driver's signal aborts its
+// endpoint — no goodbye, no drain; its peers find out from the failure
+// detector. It never reaches the closing collective.
+func victimMain(me *core.Rank, scale int, killCh <-chan struct{}, ep *transport.TCPEndpoint) uint64 {
+	stopped := false
+	core.RegisterAMHandler(me, svc.CtlHandler, func(*core.Rank, int, []byte) { stopped = true })
+	tbl := dht.NewWithConfig(me, svc.GateCapacity(me.Ranks(), scale),
+		dht.Config{Replicas: svc.GateReplicas, ReadRepair: true})
+	killed := false
+	me.WaitUntil(func() bool {
+		select {
+		case <-killCh:
+			killed = true
+			return true
+		default:
+			return stopped
+		}
+	})
+	if !killed {
+		// The run ended before the kill time; leave like any other rank.
+		return tbl.Checksum(me)
+	}
+	ep.Abort()
+	// Unwind without marking the rank alive; the driver expects (and
+	// discards) exactly this panic from the killed rank.
+	panic("gatebench: scripted kill")
+}
+
+// worker is one closed-loop client's bookkeeping.
+type worker struct {
+	id    int
+	seq   int // keys generated (chaos key uniqueness)
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	acked map[string]uint64 // key -> last acked value (chaos verification)
+	lats  []time.Duration   // in-window request latencies
+	ops   int               // in-window key operations
+	e5xx  int
+}
+
+func (w *worker) key(p Params, scale int) string {
+	if p.Chaos {
+		// Chaos mode writes each key once (unique per worker and op),
+		// so verification needs no last-write-wins reasoning under
+		// concurrency: the one acked value is the only right answer.
+		w.seq++
+		return fmt.Sprintf("c%d-%d", w.id, w.seq)
+	}
+	if w.zipf != nil {
+		return "k" + strconv.FormatUint(w.zipf.Uint64(), 10)
+	}
+	return "k" + strconv.Itoa(w.rng.Intn(scale))
+}
+
+// driveHTTP runs the client side: HTTP server over the production mux,
+// Workers closed loops, warmup then measurement, then (chaos) the
+// acked-write verification read-back.
+func driveHTTP(p Params, scale int, st *svc.DHTStore, app *svc.Service, killCh chan struct{}) Result {
+	for !st.Ready() {
+		time.Sleep(time.Millisecond)
+	}
+	srv := httptest.NewServer(svc.Handler(app))
+	defer srv.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        p.Conns,
+		MaxIdleConnsPerHost: p.Conns,
+		MaxConnsPerHost:     p.Conns,
+	}}
+	defer client.CloseIdleConnections()
+
+	workers := make([]*worker, p.Workers)
+	for i := range workers {
+		rng := rand.New(rand.NewSource(int64(0x9E3779B9*(i+1)) ^ 42))
+		w := &worker{id: i, rng: rng, acked: map[string]uint64{}}
+		if p.Zipf {
+			w.zipf = rand.NewZipf(rng, 1.07, 1, uint64(scale-1))
+		}
+		workers[i] = w
+	}
+
+	start := time.Now()
+	measureFrom := start.Add(p.Warmup)
+	end := measureFrom.Add(p.Measure)
+	if p.Chaos {
+		time.AfterFunc(p.Warmup+p.KillAfter, func() { close(killCh) })
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for {
+				t0 := time.Now()
+				if t0.After(end) {
+					return
+				}
+				ops, status, acked := w.request(p, scale, client, srv.URL)
+				if t0.After(measureFrom) {
+					w.ops += ops
+					w.lats = append(w.lats, time.Since(t0))
+					if status >= 500 {
+						w.e5xx++
+					}
+				}
+				for k, v := range acked {
+					w.acked[k] = v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var res Result
+	var lats []time.Duration
+	for _, w := range workers {
+		res.Ops += w.ops
+		res.Errs5xx += w.e5xx
+		res.Acked += len(w.acked)
+		lats = append(lats, w.lats...)
+	}
+	res.QPS = float64(res.Ops) / p.Measure.Seconds()
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	if n := len(lats); n > 0 {
+		res.P50Usec = float64(lats[n/2]) / 1e3
+		res.P99Usec = float64(lats[n*99/100]) / 1e3
+		res.P999Usec = float64(lats[n*999/1000]) / 1e3
+	}
+	if p.Chaos {
+		for _, w := range workers {
+			res.Lost += verifyAcked(client, srv.URL, w.acked)
+		}
+	}
+	return res
+}
+
+// request issues one client request (a single op, or one batch) and
+// reports (key ops completed, HTTP status, acked puts).
+func (w *worker) request(p Params, scale int, c *http.Client, base string) (int, int, map[string]uint64) {
+	if p.BatchSize > 1 {
+		return w.batchRequest(p, scale, c, base)
+	}
+	if !p.Chaos && w.rng.Float64() < p.GetFrac {
+		resp, err := c.Get(base + "/kv/" + w.key(p, scale))
+		if err != nil {
+			return 0, 599, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return 1, resp.StatusCode, nil
+	}
+	key := w.key(p, scale)
+	val := w.rng.Uint64()
+	req, _ := http.NewRequest(http.MethodPut, base+"/kv/"+key,
+		strings.NewReader(strconv.FormatUint(val, 10)))
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, 599, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return 1, resp.StatusCode, map[string]uint64{key: val}
+	}
+	return 1, resp.StatusCode, nil
+}
+
+// batchRequest issues one batch-put of BatchSize pairs.
+func (w *worker) batchRequest(p Params, scale int, c *http.Client, base string) (int, int, map[string]uint64) {
+	type item struct {
+		Key   string `json:"key"`
+		Value uint64 `json:"value"`
+	}
+	var in struct {
+		Items []item `json:"items"`
+	}
+	vals := make(map[string]uint64, p.BatchSize)
+	for i := 0; i < p.BatchSize; i++ {
+		k := w.key(p, scale)
+		v := w.rng.Uint64()
+		in.Items = append(in.Items, item{Key: k, Value: v})
+		vals[k] = v
+	}
+	body, _ := json.Marshal(in)
+	resp, err := c.Post(base+"/kv/batch/put", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 599, nil
+	}
+	var out struct {
+		Results []struct {
+			Key string `json:"key"`
+			OK  bool   `json:"ok"`
+		} `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	acked := make(map[string]uint64, len(vals))
+	if err == nil {
+		for _, r := range out.Results {
+			if r.OK {
+				acked[r.Key] = vals[r.Key]
+			}
+		}
+	}
+	return len(in.Items), resp.StatusCode, acked
+}
+
+// verifyAcked re-reads every acked write through the batch-get endpoint
+// and returns how many are missing or wrong — the chaos variant's loss
+// count, which must be zero.
+func verifyAcked(c *http.Client, base string, acked map[string]uint64) int {
+	keys := make([]string, 0, len(acked))
+	for k := range acked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lost := 0
+	const chunk = 512
+	for at := 0; at < len(keys); at += chunk {
+		sub := keys[at:min(at+chunk, len(keys))]
+		body, _ := json.Marshal(struct {
+			Keys []string `json:"keys"`
+		}{sub})
+		resp, err := c.Post(base+"/kv/batch/get", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return lost + len(keys) - at // can't verify: count the remainder lost
+		}
+		var out struct {
+			Items []struct {
+				Key   string `json:"key"`
+				Value uint64 `json:"value"`
+				Found bool   `json:"found"`
+			} `json:"items"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || len(out.Items) != len(sub) {
+			return lost + len(keys) - at
+		}
+		for _, it := range out.Items {
+			if !it.Found || it.Value != acked[it.Key] {
+				lost++
+			}
+		}
+	}
+	return lost
+}

@@ -1,0 +1,58 @@
+package gatebench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosZeroAckedLoss is the durability gate of the service plane:
+// kill one K=2 replica holder mid-measurement under concurrent PUT
+// load, then re-read every acknowledged write. The count of lost acked
+// writes must be exactly zero, and the client-visible error budget
+// stays bounded — the store's failover retry absorbs the death.
+func TestChaosZeroAckedLoss(t *testing.T) {
+	r := Run(Params{
+		Ranks:     3,
+		Scale:     1 << 12,
+		Workers:   8,
+		Warmup:    150 * time.Millisecond,
+		Measure:   700 * time.Millisecond,
+		Chaos:     true,
+		KillRank:  1,
+		KillAfter: 200 * time.Millisecond,
+	})
+	t.Logf("chaos: ops=%d qps=%.0f acked=%d 5xx=%d lost=%d p99=%.0fus",
+		r.Ops, r.QPS, r.Acked, r.Errs5xx, r.Lost, r.P99Usec)
+	if r.Lost != 0 {
+		t.Fatalf("lost %d acked writes to a single rank death under K=2 replication", r.Lost)
+	}
+	if r.Acked == 0 {
+		t.Fatal("no writes acked; the run measured nothing")
+	}
+	// Failover retries absorb the death; a handful of exhausted-budget
+	// 5xx responses are tolerable, an error storm is not.
+	if limit := r.Ops/10 + 5; r.Errs5xx > limit {
+		t.Fatalf("5xx budget: %d errors over %d ops (limit %d)", r.Errs5xx, r.Ops, limit)
+	}
+}
+
+// TestSmoke runs the fault-free single-op path at a tiny size so the
+// plain bench loop (zipf keys, mixed PUT/GET) stays covered by tier-1.
+func TestSmoke(t *testing.T) {
+	r := Run(Params{
+		Ranks:   2,
+		Scale:   1 << 10,
+		Workers: 4,
+		Zipf:    true,
+		Warmup:  100 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+	})
+	t.Logf("smoke: ops=%d qps=%.0f 5xx=%d p50=%.0fus p99=%.0fus",
+		r.Ops, r.QPS, r.Errs5xx, r.P50Usec, r.P99Usec)
+	if r.Ops == 0 || r.QPS == 0 {
+		t.Fatal("no measured throughput")
+	}
+	if r.Errs5xx != 0 {
+		t.Fatalf("%d 5xx responses on a fault-free run", r.Errs5xx)
+	}
+}

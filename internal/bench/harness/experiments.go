@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"time"
+
 	"upcxx/internal/bench/collbench"
 	"upcxx/internal/bench/dhtbench"
 	"upcxx/internal/bench/futbench"
+	"upcxx/internal/bench/gatebench"
 	"upcxx/internal/bench/gups"
 	"upcxx/internal/bench/loadcurve"
 	"upcxx/internal/bench/lulesh"
@@ -348,6 +351,60 @@ func LoadCurve(o Options) Result {
 	for _, rate := range rates {
 		res.Series[0].Points = append(res.Series[0].Points, run(rate, true))
 		res.Series[1].Points = append(res.Series[1].Points, run(rate, false))
+	}
+	return res
+}
+
+// Gatebench drives the service plane end to end: an in-process gateway
+// job (3 compute ranks + the gateway, K=2 replicated DHT) behind a real
+// HTTP server, loaded by a closed loop of N workers on zipfian keys
+// (see internal/bench/gatebench). The sweep axis is worker concurrency;
+// the single series uses per-op PUT/GET requests, the batch series
+// packs 64 ops per request through the batch endpoints, and the chaos
+// series kills one replica holder mid-measurement — its lost counter
+// (acked writes missing afterwards) must read zero and rides along for
+// the diff gate. Wall-clock like dhtbench, gated order-of-magnitude.
+func Gatebench(o Options) Result {
+	res := Result{
+		ID: "gatebench", PaperRef: "§IV (beyond the paper)",
+		Title:  "HTTP gateway closed-loop load: throughput and tail latency (ops/s)",
+		Metric: "throughput", Unit: "ops/s",
+		Quick:   o.Quick,
+		Profile: sim.NewProfile(sim.Local, sim.SWUPCXX),
+		Series: []Series{
+			{Name: "single", System: "upcxx"},
+			{Name: "batch64", System: "upcxx"},
+			{Name: "chaos", System: "upcxx"},
+		},
+		SweepLabel: "workers", Format: "%.3g",
+		// Wall-clock QPS on shared CI runners drifts like the other
+		// wall-clock benches; gate only order-of-magnitude.
+		DiffTolerance: 0.9,
+	}
+	workers := []int{8, 32, 64}
+	measure := time.Second
+	if o.Quick {
+		workers = []int{8, 32}
+		measure = 400 * time.Millisecond
+	}
+	run := func(w, batch int, chaos bool) Point {
+		r, wall := timed(func() gatebench.Result {
+			pp := gatebench.Params{
+				Ranks: 3, Scale: 1 << 14, Workers: w, Zipf: true,
+				BatchSize: batch,
+				Warmup:    150 * time.Millisecond, Measure: measure,
+			}
+			if chaos {
+				pp.Chaos, pp.KillRank, pp.KillAfter = true, 1, measure/3
+			}
+			return gatebench.Run(pp)
+		})
+		return Point{Ranks: w, Value: r.QPS, WallSeconds: wall, Counters: r.Counters()}
+	}
+	for _, w := range workers {
+		res.Series[0].Points = append(res.Series[0].Points, run(w, 0, false))
+		res.Series[1].Points = append(res.Series[1].Points, run(w, 64, false))
+		res.Series[2].Points = append(res.Series[2].Points, run(w, 0, true))
 	}
 	return res
 }

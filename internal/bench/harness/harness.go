@@ -176,6 +176,8 @@ var registry = []Experiment{
 		Title: "Chained ReadAsync+Then vs blocking Reads over the wire conduit", Run: FutBench},
 	{ID: "loadcurve", Aliases: []string{"load", "curve"}, PaperRef: "§IV (beyond the paper)",
 		Title: "Aggregation latency vs offered load, adaptive vs static", Run: LoadCurve},
+	{ID: "gatebench", Aliases: []string{"gate"}, PaperRef: "§IV (beyond the paper)",
+		Title: "HTTP gateway closed-loop load: throughput and tail latency", Run: Gatebench},
 }
 
 // Experiments returns the registered experiments in paper order.

@@ -57,7 +57,7 @@ func TestLookup(t *testing.T) {
 }
 
 func TestRegistryCoversPaper(t *testing.T) {
-	want := []string{"fig4", "tableiv", "fig5", "fig6", "fig7", "fig8", "dhtbench", "collbench", "rpcbench", "futbench", "loadcurve"}
+	want := []string{"fig4", "tableiv", "fig5", "fig6", "fig7", "fig8", "dhtbench", "collbench", "rpcbench", "futbench", "loadcurve", "gatebench"}
 	var got []string
 	for _, e := range Experiments() {
 		got = append(got, e.ID)

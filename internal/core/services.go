@@ -41,6 +41,21 @@ func (r *Rank) WaitUntil(pred func() bool) { r.waitProgress(pred) }
 // the given modeled arrival time.
 func (r *Rank) WakeAt(target int, arrival float64) { r.ep.Wake(target, arrival) }
 
+// ExternalWaker returns a function that, called from ANY goroutine,
+// makes this rank's blocked WaitUntil re-evaluate its predicate
+// promptly. It is the handoff seam between non-SPMD threads (an HTTP
+// server's handler goroutines, a signal handler) and the rank's
+// progress loop: publish work where the predicate can see it, then
+// call the waker. On backends without the wakeup extension
+// (ProcConduit) it returns a harmless no-op — those backends' waits
+// are driven by modeled messages (WakeAt) instead.
+func (r *Rank) ExternalWaker() func() {
+	if w := r.caps.Waker; w != nil {
+		return w.Wake
+	}
+	return func() {}
+}
+
 // Now returns the rank's current virtual time in nanoseconds (alias of
 // Clock, reading more naturally in timing expressions).
 func (r *Rank) Now() float64 { return r.ep.Clock.Now() }

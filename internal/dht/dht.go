@@ -217,12 +217,13 @@ func (t *Table) slot(key uint64) uint64 {
 // Insert stores (key, val), overwriting any previous value for key —
 // on every live replica, fanned out through the aggregation plane.
 // Owner-local copies apply immediately; remote ones travel as
-// aggregated AMs and are visible at their replicas once an event
-// passed as ev fires (nil: by the caller's next barrier). Like all
-// aggregated ops, inserts to one replica apply in issue order, so the
-// last insert of a key wins deterministically at each replica.
+// aggregated AMs and are visible at their replicas once the completion
+// object passed as done fires (nil: by the caller's next barrier; an
+// *Event or *Promise both work). Like all aggregated ops, inserts to
+// one replica apply in issue order, so the last insert of a key wins
+// deterministically at each replica.
 // Panics typed (core.ErrRankDead) if no replica is left alive.
-func (t *Table) Insert(me *core.Rank, key, val uint64, ev *core.Event) {
+func (t *Table) Insert(me *core.Rank, key, val uint64, done core.Completer) {
 	t.inserts++
 	live := t.liveReplicas(me, key)
 	if len(live) == 0 {
@@ -235,10 +236,10 @@ func (t *Table) Insert(me *core.Rank, key, val uint64, ev *core.Event) {
 		if r == me.ID() {
 			t.localOps++
 			t.put(key, val)
-			core.SignalNow(ev, me)
+			core.CompleteNow(done, me)
 			continue
 		}
-		core.AggSend(me, r, hInsert, p[:], ev)
+		core.AggSend(me, r, hInsert, p[:], done)
 	}
 }
 
@@ -291,6 +292,7 @@ type Lookup struct {
 	done      bool
 	found     bool
 	val       uint64
+	cb        func(*Lookup) // OnDone continuation, nil until registered
 }
 
 // Lookup starts a (possibly remote) probe for key and returns its
@@ -363,9 +365,11 @@ func (t *Table) finishLookup(me *core.Rank, l *Lookup) {
 		// re-routing happens at death time): the key is unreachable.
 		l.failed = fmt.Errorf("dht: lookup of key %#x: every replica dead: %w", l.key, core.ErrRankDead)
 		l.done = true
+		l.fire()
 		return
 	}
 	l.done = true
+	defer l.fire()
 	if !l.found || !t.cfg.ReadRepair || len(l.stale) == 0 {
 		return
 	}
@@ -446,6 +450,42 @@ func (t *Table) onAnswer(me *core.Rank, from int, payload []byte) {
 
 // Key returns the key this lookup probes — handy when Waiting a batch.
 func (l *Lookup) Key() uint64 { return l.key }
+
+// fire runs the OnDone continuation, if one is registered.
+func (l *Lookup) fire() {
+	if l.cb != nil {
+		cb := l.cb
+		l.cb = nil
+		cb(l)
+	}
+}
+
+// OnDone registers fn to run on the owning rank's goroutine when the
+// lookup settles — immediately, if it already has (the local fast path
+// and the every-replica-dead path settle inside Lookup itself). Like
+// every Table operation, OnDone must be called from the rank's own
+// goroutine; the continuation runs there too, from progress dispatch.
+// It is the event-loop alternative to Wait for callers multiplexing
+// many lookups (the gateway's serve loop).
+func (l *Lookup) OnDone(fn func(*Lookup)) {
+	if l.done {
+		fn(l)
+		return
+	}
+	l.cb = fn
+}
+
+// Done reports whether the lookup has settled (answer absorbed or
+// failed); once true, Result is valid and Wait will not block.
+func (l *Lookup) Done() bool { return l.done }
+
+// Result returns the settled lookup's outcome without panicking: the
+// value, whether the key was present, and the typed failure (nil
+// unless every replica of the key died). Valid only once Done reports
+// true.
+func (l *Lookup) Result() (val uint64, found bool, err error) {
+	return l.val, l.found, l.failed
+}
 
 // Wait blocks until the lookup's answer arrives (servicing progress,
 // which also flushes the request if it is still buffered) and returns

@@ -1,0 +1,71 @@
+package dht
+
+// String-key convenience layer. The table's native key space is u64 —
+// that is what the wire format, the shard layout and ReplicaRanks are
+// defined over — but external clients (the HTTP gateway) address the
+// store by arbitrary strings. StrKey maps a string deterministically
+// onto the native space; StrKeys adds a collision check for callers
+// that cannot tolerate two distinct strings silently aliasing one
+// bucket (a 64-bit hash makes that astronomically unlikely per pair,
+// but a front door serving millions of keys should be able to prove
+// it, not assume it).
+
+// strKeyOffset/strKeyPrime are the FNV-1a 64-bit parameters. FNV-1a
+// is chosen deliberately: a short, dependency-free, byte-order-free
+// recurrence whose output for a given string is a wire-format
+// constant — the golden values in strkey_test.go pin it forever, so a
+// gateway restarted years later (or a different-language client
+// implementing the same recurrence) still addresses the same buckets.
+const (
+	strKeyOffset uint64 = 14695981039346656037
+	strKeyPrime  uint64 = 1099511628211
+)
+
+// StrKey hashes s onto the table's native u64 key space (FNV-1a).
+// Deterministic across processes, platforms and repo versions; the
+// same string always routes to the same replicas.
+func StrKey(s string) uint64 {
+	h := strKeyOffset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= strKeyPrime
+	}
+	return h
+}
+
+// StrKeys is a collision-checked view of the string key space: Key
+// remembers every (hash, string) binding it has issued and panics if
+// two distinct strings ever map to one hash, turning a silent aliasing
+// bug into a loud one. It is verification mode — the memory cost is
+// one map entry per distinct string, so benchmarks and production
+// gateways that trust 64-bit dispersion use plain StrKey, while tests
+// and verifying runs route through StrKeys.
+//
+// Not safe for concurrent use; confine one StrKeys to one goroutine
+// (the gateway keeps it on the SPMD serve loop).
+type StrKeys struct {
+	seen map[uint64]string
+}
+
+// NewStrKeys returns an empty collision-checked key mapper.
+func NewStrKeys() *StrKeys {
+	return &StrKeys{seen: make(map[uint64]string)}
+}
+
+// Key maps s through StrKey, recording the binding; panics if the hash
+// is already bound to a different string.
+func (sk *StrKeys) Key(s string) uint64 {
+	h := StrKey(s)
+	if prev, ok := sk.seen[h]; ok {
+		if prev != s {
+			panic("dht: string-key collision: " +
+				prev + " and " + s + " hash to the same u64 key")
+		}
+		return h
+	}
+	sk.seen[h] = s
+	return h
+}
+
+// Len reports how many distinct strings have been mapped.
+func (sk *StrKeys) Len() int { return len(sk.seen) }

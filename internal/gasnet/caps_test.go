@@ -124,13 +124,13 @@ func TestConduitCapabilities(t *testing.T) {
 	hier := buildHierFleet(t, 1, 1, minShmRingBytes, 1<<12)[0]
 
 	cases := []struct {
-		name                                              string
-		cd                                                Conduit
-		batch, async, resilient, teams, counters, localty bool
+		name                                                     string
+		cd                                                       Conduit
+		batch, async, resilient, teams, counters, localty, waker bool
 	}{
-		{"proc", proc, false, false, false, true, false, false},
-		{"wire", wire, true, true, true, true, true, false},
-		{"hier", hier, true, true, false, true, true, true},
+		{"proc", proc, false, false, false, true, false, false, false},
+		{"wire", wire, true, true, true, true, true, false, true},
+		{"hier", hier, true, true, false, true, true, true, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -146,6 +146,7 @@ func TestConduitCapabilities(t *testing.T) {
 			check("Teams", caps.Teams != nil, tc.teams)
 			check("Counters", caps.Counters != nil, tc.counters)
 			check("Locality", caps.Locality != nil, tc.localty)
+			check("Waker", caps.Waker != nil, tc.waker)
 		})
 	}
 }

@@ -116,6 +116,22 @@ type Caps struct {
 	// Locality reports the host topology the conduit was launched
 	// with; nil when the backend has no notion of co-location.
 	Locality LocalityConduit
+	// Waker is the cross-goroutine wakeup extension: external threads
+	// (an HTTP server, a signal handler) nudging a blocked progress
+	// loop. Nil on backends whose WaitFor already spins (ProcConduit).
+	Waker WakerConduit
+}
+
+// WakerConduit is the optional extension that lets a goroutine OTHER
+// than the rank's progress goroutine unblock a WaitFor on this
+// conduit. Wake must be safe to call from any goroutine, any number
+// of times, and must cause a concurrently blocked WaitFor on this
+// conduit's own rank to re-evaluate its predicate promptly. Spurious
+// wakes (nobody waiting) must be harmless. This is the seam the
+// service plane uses to hand work from HTTP handler goroutines to the
+// SPMD progress loop without polling latency.
+type WakerConduit interface {
+	Wake()
 }
 
 // TeamConduit is the optional extension backing team-scoped

@@ -190,10 +190,17 @@ func (h *HierConduit) Ranks() int { return h.wire.Ranks() }
 func (h *HierConduit) WireCapable() bool { return true }
 
 // Capabilities: batching, the async data plane, team collectives,
-// counters and locality. No resilience (see type comment).
+// counters, locality and external wakeup. No resilience (see type
+// comment).
 func (h *HierConduit) Capabilities() Caps {
-	return Caps{Batch: h, Async: h, Teams: h, Counters: h, Locality: h}
+	return Caps{Batch: h, Async: h, Teams: h, Counters: h, Locality: h, Waker: h}
 }
+
+// Wake unblocks a WaitFor on this conduit from a foreign goroutine
+// (WakerConduit). The wire leg's inbox is what waitFor blocks on when
+// this rank has no co-located peers; with peers the wait spins and a
+// wake is unnecessary but harmless.
+func (h *HierConduit) Wake() { h.wire.Wake() }
 
 // Nodes returns the launch topology (LocalityConduit).
 func (h *HierConduit) Nodes() []int { return h.nodes }

@@ -350,11 +350,15 @@ func (c *WireConduit) Ranks() int { return c.tep.Ranks() }
 func (c *WireConduit) WireCapable() bool { return true }
 
 // Capabilities: the full extension set — batching, the async data
-// plane, resilience, team collectives and traffic counters. No
-// locality: a flat wire mesh encodes no co-location.
+// plane, resilience, team collectives, traffic counters and external
+// wakeup. No locality: a flat wire mesh encodes no co-location.
 func (c *WireConduit) Capabilities() Caps {
-	return Caps{Batch: c, Async: c, Resilient: c, Teams: c, Counters: c}
+	return Caps{Batch: c, Async: c, Resilient: c, Teams: c, Counters: c, Waker: c}
 }
+
+// Wake unblocks a WaitFor on this conduit from a foreign goroutine
+// (WakerConduit).
+func (c *WireConduit) Wake() { c.tep.Wake() }
 
 // request sends one encoded-argument message and blocks until its
 // tokened reply arrives, dispatching incoming requests while waiting.

@@ -37,6 +37,23 @@ var RendezvousTimeout = 30 * time.Second
 // answers each with the complete address table. It returns once every
 // child has been answered.
 func Rendezvous(ln net.Listener, n int) error {
+	return RendezvousWithNames(ln, n, nil)
+}
+
+// RendezvousWithNames is Rendezvous with launcher-assigned role names:
+// name(rank), when non-nil, labels each rank in the timeout diagnostic
+// so a heterogeneous job (compute mesh + gateway) reports WHICH side
+// never showed up — "missing: [gateway]" reads very differently from
+// "missing: [4]". A nil name keeps the plain numeric labels.
+func RendezvousWithNames(ln net.Listener, n int, name func(rank int) string) error {
+	label := func(rank int) string {
+		if name != nil {
+			if s := name(rank); s != "" {
+				return s
+			}
+		}
+		return fmt.Sprint(rank)
+	}
 	deadline := time.Now().Add(RendezvousTimeout)
 	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
 		d.SetDeadline(deadline)
@@ -58,9 +75,9 @@ func Rendezvous(ln net.Listener, n int) error {
 			var got, missing []string
 			for r := 0; r < n; r++ {
 				if conns[r] != nil {
-					got = append(got, fmt.Sprint(r))
+					got = append(got, label(r))
 				} else {
-					missing = append(missing, fmt.Sprint(r))
+					missing = append(missing, label(r))
 				}
 			}
 			return fmt.Errorf("spmd: rendezvous accept (%d of %d ranks registered; connected: [%s], missing: [%s]): %w",

@@ -34,6 +34,24 @@ type Prog struct {
 	// typed rank-death failures) even without an injected fault plan:
 	// the program is written to survive rank death.
 	Resilient bool
+	// Gateway marks a program that is only the compute half of a
+	// launcher-assembled gateway job (upcxx-run -gateway): its ranks
+	// park until a gateway rank's drain broadcast, so running it
+	// standalone would hang forever. Standalone sweeps and plain
+	// launches must skip or reject it.
+	Gateway bool
+}
+
+// Register adds a program to the registry. Packages outside spmd (the
+// service plane, benchmarks) register their programs through this from
+// an init function, keeping the dependency arrow pointing at spmd.
+func Register(p Prog) {
+	for _, q := range registry {
+		if q.Name == p.Name {
+			panic("spmd: duplicate program " + p.Name)
+		}
+	}
+	registry = append(registry, p)
 }
 
 var registry = []Prog{

@@ -54,6 +54,11 @@ func runWireChecksum(t *testing.T, p Prog, n, scale int) uint64 {
 // the in-process and TCP backends at the same rank count.
 func TestBackendsAgree(t *testing.T) {
 	for _, p := range Progs() {
+		if p.Gateway {
+			// Gateway programs park until a launcher-provided gateway
+			// rank broadcasts its drain; standalone they hang forever.
+			continue
+		}
 		for _, n := range []int{1, 2, 4} {
 			t.Run(fmt.Sprintf("%s/n=%d", p.Name, n), func(t *testing.T) {
 				scale := p.DefaultScale

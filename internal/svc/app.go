@@ -1,0 +1,239 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"upcxx/internal/core"
+)
+
+// Config tunes the application layer's production behaviors.
+type Config struct {
+	// MaxInFlight bounds admitted requests; one more is rejected with
+	// ErrSaturated (429) instead of queueing — the service sheds load
+	// at the door rather than letting latency grow without bound.
+	// Default 1024.
+	MaxInFlight int
+	// RequestTimeout bounds each admitted request end to end; expiry
+	// maps to 504. Default 5s.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Service is the application layer: admission control, per-request
+// deadlines and graceful drain around a Store. It is transport-
+// agnostic — the HTTP adapter calls these methods, and so do tests,
+// without a socket in sight.
+type Service struct {
+	store Store
+	cfg   Config
+
+	mu       sync.Mutex
+	inflight int           // admitted, unfinished requests
+	draining bool          // Drain has begun; reject everything new
+	idle     chan struct{} // non-nil while Drain waits; closed at inflight 0
+
+	// Counters for the metrics plane.
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	timeouts  atomic.Int64
+	storeErrs atomic.Int64
+}
+
+// New wraps store in the application layer.
+func New(store Store, cfg Config) *Service {
+	return &Service{store: store, cfg: cfg.withDefaults()}
+}
+
+// admit claims one in-flight slot, without queueing: a saturated
+// service answers immediately, it never builds an invisible backlog.
+// The returned release must be called exactly once when the request
+// finishes.
+func (s *Service) admit() (release func(), err error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if s.inflight >= s.cfg.MaxInFlight {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrSaturated
+	}
+	s.inflight++
+	s.mu.Unlock()
+	s.admitted.Add(1)
+	return func() {
+		s.mu.Lock()
+		s.inflight--
+		if s.inflight == 0 && s.idle != nil {
+			close(s.idle)
+			s.idle = nil
+		}
+		s.mu.Unlock()
+	}, nil
+}
+
+// Put stores one pair through admission control.
+func (s *Service) Put(ctx context.Context, key string, val uint64) error {
+	release, err := s.admit()
+	if err != nil {
+		return err
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	return s.note(s.store.Put(ctx, key, val))
+}
+
+// Get reads one key through admission control.
+func (s *Service) Get(ctx context.Context, key string) (uint64, bool, error) {
+	release, err := s.admit()
+	if err != nil {
+		return 0, false, err
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	v, found, err := s.store.Get(ctx, key)
+	return v, found, s.note(err)
+}
+
+// PutBatch stores a set of pairs under ONE admission slot and one
+// deadline: the batch is the unit of admission, which is the point of
+// offering batch endpoints — a thousand keys cost one slot and
+// coalesce into aggregated traffic.
+func (s *Service) PutBatch(ctx context.Context, keys []string, vals []uint64) ([]error, error) {
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	errs := s.store.PutBatch(ctx, keys, vals)
+	for _, e := range errs {
+		s.note(e)
+	}
+	return errs, nil
+}
+
+// GetBatch reads a set of keys under one admission slot.
+func (s *Service) GetBatch(ctx context.Context, keys []string) ([]GetResult, error) {
+	release, err := s.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	res := s.store.GetBatch(ctx, keys)
+	for _, r := range res {
+		s.note(r.Err)
+	}
+	return res, nil
+}
+
+// note feeds the error counters and passes err through.
+func (s *Service) note(err error) error {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+	default:
+		s.storeErrs.Add(1)
+	}
+	return err
+}
+
+// Ready reports whether the service can serve traffic: store attached
+// and not draining. /readyz serves this.
+func (s *Service) Ready() bool {
+	return !s.Draining() && s.store.Ready()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain flips the service into drain mode — every new request is
+// rejected with ErrDraining, /readyz goes negative — and blocks until
+// the in-flight requests finish or ctx expires. It is step one of the
+// SIGTERM sequence; the caller then drains the store adapter and
+// leaves the mesh.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.mu.Unlock()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Counters exposes the application layer's counters for the metrics
+// plane (merged into /debug/metrics by the HTTP adapter).
+func (s *Service) Counters() map[string]float64 {
+	s.mu.Lock()
+	inflight := s.inflight
+	s.mu.Unlock()
+	return map[string]float64{
+		"svc.admitted":   float64(s.admitted.Load()),
+		"svc.rejected":   float64(s.rejected.Load()),
+		"svc.timeouts":   float64(s.timeouts.Load()),
+		"svc.store_errs": float64(s.storeErrs.Load()),
+		"svc.inflight":   float64(inflight),
+	}
+}
+
+// HTTPStatus maps an application-layer error onto its transport status
+// code, the single place wire semantics are decided:
+//
+//	nil                       → 200
+//	ErrSaturated              → 429 (client should back off; Retry-After set)
+//	ErrDraining               → 503 (instance going away; retry elsewhere)
+//	ErrUnavailable            → 503 (replicas lost / failover exhausted)
+//	core.ErrRankDead (typed)  → 503 (death surfaced mid-request)
+//	context.DeadlineExceeded  → 504
+//	anything else             → 500
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrUnavailable),
+		errors.Is(err, core.ErrRankDead):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,184 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"upcxx/internal/core"
+)
+
+// stubStore is a controllable Store for app-layer tests: every call
+// blocks until the test releases it, so saturation and deadlines are
+// deterministic — no SPMD job anywhere near these tests, which is the
+// point of the port.
+type stubStore struct {
+	gate  chan struct{} // nil: complete immediately; else block until recv
+	err   error
+	ready bool
+}
+
+func (s *stubStore) wait(ctx context.Context) error {
+	if s.gate == nil {
+		return s.err
+	}
+	select {
+	case <-s.gate:
+		return s.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *stubStore) Put(ctx context.Context, _ string, _ uint64) error { return s.wait(ctx) }
+func (s *stubStore) Get(ctx context.Context, _ string) (uint64, bool, error) {
+	return 7, true, s.wait(ctx)
+}
+func (s *stubStore) PutBatch(ctx context.Context, keys []string, _ []uint64) []error {
+	errs := make([]error, len(keys))
+	for i := range errs {
+		errs[i] = s.wait(ctx)
+	}
+	return errs
+}
+func (s *stubStore) GetBatch(ctx context.Context, keys []string) []GetResult {
+	res := make([]GetResult, len(keys))
+	for i := range res {
+		res[i] = GetResult{Val: 7, Found: true, Err: s.wait(ctx)}
+	}
+	return res
+}
+func (s *stubStore) Ready() bool { return s.ready }
+
+// TestAdmissionControl pins the saturation contract: MaxInFlight
+// requests are admitted, request MaxInFlight+1 is rejected immediately
+// with ErrSaturated (never queued), and slots freed by completing
+// requests readmit.
+func TestAdmissionControl(t *testing.T) {
+	store := &stubStore{gate: make(chan struct{}), ready: true}
+	s := New(store, Config{MaxInFlight: 2, RequestTimeout: 5 * time.Second})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Put(context.Background(), fmt.Sprint(i), 1)
+		}(i)
+	}
+	// Wait until both requests hold their slots.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Counters()["svc.inflight"] != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("admitted requests never claimed their slots")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	if err := s.Put(context.Background(), "over", 1); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("over-budget request: err = %v, want ErrSaturated", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("saturated rejection took %v; must be immediate, not queued", d)
+	}
+
+	close(store.gate) // complete the admitted pair
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("admitted request %d: %v", i, err)
+		}
+	}
+	if err := s.Put(context.Background(), "after", 1); err != nil {
+		t.Fatalf("request after slots freed: %v", err)
+	}
+	if got := s.Counters()["svc.rejected"]; got != 1 {
+		t.Fatalf("svc.rejected = %v, want 1", got)
+	}
+}
+
+// TestRequestTimeout pins the per-request deadline: a store that never
+// answers maps to context.DeadlineExceeded (504), not a hang.
+func TestRequestTimeout(t *testing.T) {
+	store := &stubStore{gate: make(chan struct{}), ready: true}
+	s := New(store, Config{MaxInFlight: 4, RequestTimeout: 20 * time.Millisecond})
+	start := time.Now()
+	err := s.Put(context.Background(), "k", 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timeout took %v", d)
+	}
+	if got := HTTPStatus(err); got != http.StatusGatewayTimeout {
+		t.Fatalf("HTTPStatus(timeout) = %d, want 504", got)
+	}
+}
+
+// TestDrainRejectsNewWork: after Drain, every entry point answers
+// ErrDraining and Ready flips false while in-flight work completes.
+func TestDrainRejectsNewWork(t *testing.T) {
+	store := &stubStore{gate: make(chan struct{}), ready: true}
+	s := New(store, Config{MaxInFlight: 4, RequestTimeout: 5 * time.Second})
+
+	inflight := make(chan error, 1)
+	go func() { inflight <- s.Put(context.Background(), "k", 1) }()
+	for s.Counters()["svc.inflight"] != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := s.Put(context.Background(), "new", 1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("put during drain: err = %v, want ErrDraining", err)
+	}
+	if _, _, err := s.Get(context.Background(), "new"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("get during drain: err = %v, want ErrDraining", err)
+	}
+	if s.Ready() {
+		t.Fatal("Ready() true while draining")
+	}
+
+	close(store.gate) // let the in-flight request finish
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestHTTPStatusMapping pins the full error → status table.
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{ErrSaturated, http.StatusTooManyRequests},
+		{ErrDraining, http.StatusServiceUnavailable},
+		{ErrUnavailable, http.StatusServiceUnavailable},
+		{fmt.Errorf("wrapped: %w", core.ErrRankDead), http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{errors.New("mystery"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package svc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"upcxx/internal/obs"
+)
+
+// The inbound HTTP/JSON adapter: a mux over the application layer.
+//
+//	PUT  /kv/{key}        body: decimal u64, or {"value": N}   → 204
+//	GET  /kv/{key}                                             → {"key","value"} | 404
+//	POST /kv/batch/put    {"items":[{"key","value"},...]}      → {"results":[...]}
+//	POST /kv/batch/get    {"keys":[...]}                       → {"items":[...]}
+//	GET  /healthz         process liveness (always 200)
+//	GET  /readyz          200 only after rendezvous + DHT attach, 503 while draining
+//	     /debug/...       the runtime metrics plane (internal/obs)
+//
+// Error mapping is HTTPStatus; saturation answers carry Retry-After so
+// well-behaved clients back off instead of hammering a full server.
+
+// maxBodyBytes bounds request bodies; batch items are bounded by it
+// implicitly.
+const maxBodyBytes = 8 << 20
+
+// Handler builds the gateway's full mux around the application layer.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("PUT /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		val, err := readValue(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Put(r.Context(), r.PathValue("key"), val); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /kv/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		val, found, err := s.Get(r.Context(), key)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if !found {
+			http.Error(w, "key not found", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, kvItem{Key: key, Value: val})
+	})
+
+	mux.HandleFunc("POST /kv/batch/put", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Items []kvItem `json:"items"`
+		}
+		if err := readJSON(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		keys := make([]string, len(req.Items))
+		vals := make([]uint64, len(req.Items))
+		for i, it := range req.Items {
+			keys[i], vals[i] = it.Key, it.Value
+		}
+		errs, err := s.PutBatch(r.Context(), keys, vals)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out := struct {
+			Results []batchResult `json:"results"`
+		}{Results: make([]batchResult, len(errs))}
+		for i, e := range errs {
+			out.Results[i] = batchResult{Key: keys[i], OK: e == nil, Error: errString(e)}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /kv/batch/get", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Keys []string `json:"keys"`
+		}
+		if err := readJSON(r, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := s.GetBatch(r.Context(), req.Keys)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		out := struct {
+			Items []batchItem `json:"items"`
+		}{Items: make([]batchItem, len(res))}
+		for i, gr := range res {
+			out.Items[i] = batchItem{
+				Key: req.Keys[i], Value: gr.Val, Found: gr.Found, Error: errString(gr.Err),
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+
+	// The runtime observability plane: /debug/metrics (Prometheus
+	// text, including the gate.* and svc.* counters registered as a
+	// source), /debug/trace, /debug/ranks, pprof.
+	mux.Handle("/debug/", obs.NewDebugHandler(""))
+
+	return mux
+}
+
+// kvItem is the JSON shape of one pair, shared by single and batch
+// endpoints.
+type kvItem struct {
+	Key   string `json:"key"`
+	Value uint64 `json:"value"`
+}
+
+type batchResult struct {
+	Key   string `json:"key"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+type batchItem struct {
+	Key   string `json:"key"`
+	Value uint64 `json:"value,omitempty"`
+	Found bool   `json:"found"`
+	Error string `json:"error,omitempty"`
+}
+
+// readValue parses a PUT body: a bare decimal u64 (curl-friendly) or a
+// JSON object {"value": N}.
+func readValue(r *http.Request) (uint64, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		return 0, fmt.Errorf("reading body: %w", err)
+	}
+	text := strings.TrimSpace(string(body))
+	if strings.HasPrefix(text, "{") {
+		var v struct {
+			Value uint64 `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(text), &v); err != nil {
+			return 0, fmt.Errorf("bad JSON body: %w", err)
+		}
+		return v.Value, nil
+	}
+	val, err := strconv.ParseUint(text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("body must be a decimal uint64 or {\"value\": n}: %w", err)
+	}
+	return val, nil
+}
+
+func readJSON(r *http.Request, into any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("bad JSON body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps an application error to its status; saturation and
+// drain carry Retry-After so clients back off.
+func writeErr(w http.ResponseWriter, err error) {
+	status := HTTPStatus(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,74 @@
+// Package svc is the service plane: the layering that turns the rank
+// mesh into a fronted production service. It follows the ports-and-
+// adapters split — ports.go defines the Store port and the typed
+// errors the application layer maps to transport status codes; app.go
+// is the application layer (admission control, per-request deadlines,
+// graceful drain) written purely against the port; httpapi.go is the
+// inbound HTTP/JSON adapter; dhtstore.go is the outbound adapter
+// binding the port to the replicated DHT over the SPMD progress loop.
+//
+// The split is what keeps the hard concurrency boundary honest: every
+// DHT operation must run on the gateway rank's SPMD goroutine (the
+// runtime's progress discipline), while HTTP handlers run on whatever
+// goroutines net/http spawns. Only dhtstore.go knows about that
+// boundary; the app layer sees a Store, and the HTTP layer sees the
+// app.
+package svc
+
+import (
+	"context"
+	"errors"
+)
+
+// Store is the port the application layer drives: a string-keyed
+// u64-valued store. Implementations must be safe for concurrent use —
+// calls arrive from many HTTP handler goroutines at once. Batch
+// variants exist so one inbound request can hand the adapter a set of
+// operations that coalesce into aggregated traffic together.
+type Store interface {
+	// Put stores (key, val), durably on every live replica, and
+	// returns once the write is acknowledged. A nil error is the
+	// service's durability promise: the pair survives any single rank
+	// death.
+	Put(ctx context.Context, key string, val uint64) error
+
+	// Get returns the value stored under key and whether it was
+	// present.
+	Get(ctx context.Context, key string) (val uint64, found bool, err error)
+
+	// PutBatch stores every pair; errs[i] is the i'th pair's outcome.
+	PutBatch(ctx context.Context, keys []string, vals []uint64) []error
+
+	// GetBatch looks every key up; outcomes are positional.
+	GetBatch(ctx context.Context, keys []string) []GetResult
+
+	// Ready reports whether the store is attached to its backend
+	// (rendezvous complete, DHT joined) and able to serve.
+	Ready() bool
+}
+
+// GetResult is one positional outcome of a GetBatch.
+type GetResult struct {
+	Val   uint64
+	Found bool
+	Err   error
+}
+
+// Typed service errors. The application layer maps these — and the
+// runtime's own typed failures (core.ErrRankDead, context deadline
+// expiry) — onto transport status codes in one place (HTTPStatus).
+var (
+	// ErrSaturated: admission control rejected the request because the
+	// configured in-flight budget is spent. Clients should back off
+	// and retry (429 + Retry-After).
+	ErrSaturated = errors.New("svc: server saturated")
+
+	// ErrDraining: the service is shutting down gracefully and accepts
+	// no new work; in-flight requests are completing (503).
+	ErrDraining = errors.New("svc: draining")
+
+	// ErrUnavailable: the backing store cannot serve the operation
+	// right now — typically every replica of a key's range died or the
+	// retry budget against failover was exhausted (503).
+	ErrUnavailable = errors.New("svc: store unavailable")
+)

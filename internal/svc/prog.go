@@ -1,0 +1,28 @@
+package svc
+
+import (
+	"upcxx/internal/core"
+	"upcxx/internal/spmd"
+)
+
+// gateserve is the compute-rank half of a gateway job: every rank
+// joins the K=2 replicated, read-repairing DHT and parks in progress —
+// serving shard traffic the whole time — until the gateway rank's
+// drain broadcast releases it into the closing collective checksum.
+// upcxx-run's -gateway mode launches this program on ranks 0..n-1 and
+// the upcxx-gate binary as rank n of the same wire job; the body lives
+// here (ServeMain) so the launcher, the benchmarks and the tests
+// assemble the identical topology.
+func init() {
+	spmd.Register(spmd.Prog{
+		Name:         "gateserve",
+		Desc:         "gateway compute rank: replicated DHT member serving an upcxx-gate front door until its drain broadcast (use via upcxx-run -gateway)",
+		DefaultScale: DefaultGateScale, // distinct keys provisioned for
+		SegBytes:     GateSegBytes,
+		Run: func(me *core.Rank, scale int) uint64 {
+			return ServeMain(me, scale)
+		},
+		Resilient: true,
+		Gateway:   true,
+	})
+}

@@ -82,10 +82,14 @@ type Handler func(ep *TCPEndpoint, m Message)
 // survivable endpoint loses a peer, its reader goroutine enqueues one
 // peerDown message through the inbox, so the loss is observed on the
 // dispatch goroutine strictly after every frame that peer delivered.
+// wake is also synthesized locally: Wake enqueues one through the
+// inbox so a blocked WaitFor re-runs its predicate. It carries no
+// payload and dispatch treats it as a no-op.
 const (
 	helloHandler    uint16 = 0xFFFF
 	byeHandler      uint16 = 0xFFFE
 	peerDownHandler uint16 = 0xFFFD
+	wakeHandler     uint16 = 0xFFFC
 )
 
 // Vectored send plane tuning.
@@ -363,6 +367,20 @@ func (ep *TCPEndpoint) markPeerDown(peer int32, cause error) {
 	}
 }
 
+// Wake makes a WaitFor blocked on this endpoint re-evaluate its
+// predicate by enqueueing a synthetic no-op message through the inbox.
+// Safe to call from any goroutine, any number of times: it is how
+// non-SPMD threads (an HTTP server, a signal handler) nudge the rank's
+// progress loop after publishing work for it. When the inbox is full
+// the wake is dropped — a full inbox means dispatch is active and the
+// predicate is being re-checked anyway.
+func (ep *TCPEndpoint) Wake() {
+	select {
+	case ep.inbox <- Message{From: ep.rank, To: ep.rank, Handler: wakeHandler}:
+	default:
+	}
+}
+
 // SeverPeer forcibly closes the connection to peer, as if the link had
 // died: the local side observes peer loss through the usual path
 // (peer-down in survivable mode, teardown otherwise) and the remote
@@ -430,6 +448,9 @@ func (ep *TCPEndpoint) Retain() { ep.retained = true }
 // what keeps the steady-state receive loop at zero allocations per
 // frame.
 func (ep *TCPEndpoint) dispatch(m Message) {
+	if m.Handler == wakeHandler {
+		return // delivery itself was the point: WaitFor re-runs its predicate
+	}
 	if m.Handler == peerDownHandler {
 		ep.failMu.Lock()
 		fn, cause := ep.peerDown, ep.downCause[m.From]
